@@ -1,0 +1,6 @@
+//! Regenerates the §6.2.3 backoff sweep (aggressive vs. conservative).
+fn main() {
+    let config = mala_bench::exp::backoff::Config::default();
+    let data = mala_bench::exp::backoff::run(&config);
+    print!("{}", mala_bench::exp::backoff::render(&data));
+}

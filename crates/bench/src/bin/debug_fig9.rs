@@ -1,0 +1,54 @@
+//! Scratch diagnostics for the Fig. 9 dynamics (not a paper figure).
+
+use mala_bench::workload::{BalancerChoice, SeqBench, SeqBenchCfg};
+use mala_mds::server::Mds;
+use mala_mds::CephFsMode;
+use mala_sim::SimDuration;
+use mala_zlog::SeqMode;
+
+fn run(label: &str, balancer: BalancerChoice) {
+    let mut bench = SeqBench::build(SeqBenchCfg {
+        seed: 9,
+        mds: 3,
+        osds: 0,
+        sequencers: 3,
+        clients_per_seq: 4,
+        mode: SeqMode::RoundTrip,
+        balancer,
+        balance_interval: SimDuration::from_secs(5),
+        prefix: format!("dbg.{label}"),
+    });
+    bench.start_all();
+    for step in 0..9 {
+        bench.cluster.sim.run_for(SimDuration::from_secs(10));
+        let ops: Vec<u64> = bench.ops_per_seq();
+        let auth: Vec<u32> = bench
+            .seq_inos
+            .iter()
+            .map(|ino| {
+                bench
+                    .cluster
+                    .sim
+                    .actor::<Mds>(bench.cluster.mds_node(0))
+                    .auth_of(*ino)
+            })
+            .collect();
+        println!(
+            "[{label}] t={:>3}s ops={ops:?} auth={auth:?} exports={} imports={}",
+            (step + 1) * 10,
+            bench.cluster.sim.metrics().counter("mds.exports"),
+            bench.cluster.sim.metrics().counter("mds.imports"),
+        );
+    }
+    bench.stop_all();
+    println!("[{label}] total={}", bench.total_ops());
+}
+
+fn main() {
+    run("none", BalancerChoice::None);
+    run("cephfs", BalancerChoice::CephFs(CephFsMode::Workload));
+    run(
+        "mantle",
+        BalancerChoice::Mantle(mala_mantle::SEQUENCER_AWARE_POLICY.to_string()),
+    );
+}

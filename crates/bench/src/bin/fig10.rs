@@ -1,0 +1,6 @@
+//! Regenerates Figure 10 (balancing modes and migration units).
+fn main() {
+    let config = mala_bench::exp::fig10::Config::default();
+    let data = mala_bench::exp::fig10::run(&config);
+    print!("{}", mala_bench::exp::fig10::render(&data));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 12 (proxy vs. client mode over time).
+fn main() {
+    let config = mala_bench::exp::fig12::Config::default();
+    let data = mala_bench::exp::fig12::run(&config);
+    print!("{}", mala_bench::exp::fig12::render(&data, &config));
+}

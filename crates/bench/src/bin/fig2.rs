@@ -1,0 +1,5 @@
+//! Regenerates Figure 2 (growth of co-designed object interfaces).
+fn main() {
+    let data = mala_bench::exp::fig2::run();
+    print!("{}", mala_bench::exp::fig2::render(&data));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 5 (capability holds under the three policies).
+fn main() {
+    let config = mala_bench::exp::fig5::Config::default();
+    let data = mala_bench::exp::fig5::run(&config);
+    print!("{}", mala_bench::exp::fig5::render(&data));
+}

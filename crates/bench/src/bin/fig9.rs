@@ -1,0 +1,6 @@
+//! Regenerates Figure 9 (throughput over time per balancing regime).
+fn main() {
+    let config = mala_bench::exp::fig9::Config::default();
+    let data = mala_bench::exp::fig9::run(&config);
+    print!("{}", mala_bench::exp::fig9::render(&data));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (object-class census by category).
+fn main() {
+    print!("{}", mala_bench::exp::tables::render_table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (internal abstractions catalog).
+fn main() {
+    print!("{}", mala_bench::exp::tables::render_table2());
+}

@@ -1,0 +1,162 @@
+//! §6.2.3 "Feature: Backoff" — how aggressive the balancer's decision
+//! making is, controlled entirely from the Mantle policy (`when()`
+//! thresholds plus a saved-state countdown after each migration).
+//!
+//! Shape to reproduce (the paper omits the graphs for space but states the
+//! result): "the more conservative the approach the less overall
+//! throughput", and conservative policies take visibly longer to make
+//! their first migration.
+
+use mala_sim::SimDuration;
+use mala_zlog::SeqMode;
+
+use crate::report;
+use crate::workload::{BalancerChoice, SeqBench, SeqBenchCfg};
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Run length.
+    pub duration: SimDuration,
+    /// Balancing tick.
+    pub balance_interval: SimDuration,
+    /// `(label, overload-ticks-required, cooldown-ticks)` sweep.
+    pub variants: Vec<(String, u32, u32)>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            duration: SimDuration::from_secs(120),
+            balance_interval: SimDuration::from_secs(5),
+            variants: vec![
+                ("aggressive".to_string(), 1, 0),
+                ("moderate".to_string(), 2, 2),
+                ("conservative".to_string(), 4, 4),
+            ],
+            seed: 21,
+        }
+    }
+}
+
+/// One variant's result.
+#[derive(Debug, Clone)]
+pub struct VariantRun {
+    /// Label.
+    pub label: String,
+    /// Total positions over the run.
+    pub total_ops: u64,
+    /// Number of migrations.
+    pub migrations: u64,
+    /// Tick count before the first migration (None = never migrated).
+    pub first_migration_s: Option<f64>,
+}
+
+/// The sweep.
+#[derive(Debug, Clone)]
+pub struct Data {
+    /// One run per variant, in sweep order (most → least aggressive).
+    pub runs: Vec<VariantRun>,
+}
+
+/// Runs the sweep.
+pub fn run(config: &Config) -> Data {
+    let mut runs = Vec::new();
+    for (label, threshold, cooldown) in &config.variants {
+        let policy = mala_mantle::backoff_policy(*threshold, *cooldown);
+        let mut bench = SeqBench::build(SeqBenchCfg {
+            seed: config.seed,
+            mds: 3,
+            osds: 0,
+            sequencers: 3,
+            clients_per_seq: 4,
+            mode: SeqMode::RoundTrip,
+            balancer: BalancerChoice::Mantle(policy),
+            balance_interval: config.balance_interval,
+            prefix: format!("backoff.{label}"),
+        });
+        let t0 = bench.cluster.sim.now();
+        bench.start_all();
+        // Watch for the first export while running.
+        let mut first_migration_s = None;
+        let step = SimDuration::from_secs(1);
+        let steps = config.duration.as_micros() / step.as_micros();
+        for _ in 0..steps {
+            bench.cluster.sim.run_for(step);
+            if first_migration_s.is_none() && bench.cluster.sim.metrics().counter("mds.exports") > 0
+            {
+                first_migration_s = Some(bench.cluster.sim.now().since(t0).as_secs_f64());
+            }
+        }
+        bench.stop_all();
+        runs.push(VariantRun {
+            label: label.clone(),
+            total_ops: bench.total_ops(),
+            migrations: bench.cluster.sim.metrics().counter("mds.exports"),
+            first_migration_s,
+        });
+    }
+    Data { runs }
+}
+
+/// Renders the sweep.
+pub fn render(data: &Data) -> String {
+    let mut out = String::from("Backoff (§6.2.3): balancer aggressiveness sweep\n\n");
+    let rows: Vec<Vec<String>> = data
+        .runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.total_ops.to_string(),
+                r.migrations.to_string(),
+                r.first_migration_s
+                    .map(|t| format!("{t:.0} s"))
+                    .unwrap_or_else(|| "never".to_string()),
+            ]
+        })
+        .collect();
+    out.push_str(&report::table(
+        &["policy", "total ops", "migrations", "first migration"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservative_policies_wait_longer_and_deliver_less() {
+        let config = Config {
+            duration: SimDuration::from_secs(80),
+            ..Default::default()
+        };
+        let data = run(&config);
+        let aggressive = &data.runs[0];
+        let conservative = &data.runs[2];
+        assert!(aggressive.migrations > 0);
+        assert!(conservative.migrations > 0, "conservative never acted");
+        let (a_first, c_first) = (
+            aggressive.first_migration_s.expect("aggressive migrated"),
+            conservative
+                .first_migration_s
+                .expect("conservative migrated"),
+        );
+        assert!(
+            c_first > a_first,
+            "conservative first migration {c_first} !> aggressive {a_first}"
+        );
+        assert!(
+            aggressive.total_ops > conservative.total_ops,
+            "aggressive {} !> conservative {}",
+            aggressive.total_ops,
+            conservative.total_ops
+        );
+        let rendered = render(&data);
+        assert!(rendered.contains("first migration"));
+    }
+}

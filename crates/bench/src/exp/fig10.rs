@@ -1,0 +1,286 @@
+//! Figure 10: balancing modes (a) and migration units (b).
+//!
+//! (a) Same cluster as Fig. 9, comparing the CephFS balancer's three load
+//! metrics (CPU / workload / hybrid) against Mantle's sequencer-aware
+//! policy, over several seeds. Shape: the three CephFS modes perform the
+//! same (one decision structure), the CPU mode has the widest variance
+//! (its metric is noisy), Mantle is best.
+//!
+//! (b) Two sequencers on a two-rank cluster; the Mantle policy controls
+//! both the *mode* (proxy vs. client/redirect) and the *migration unit*
+//! (half vs. all of the first server's load). Shape: proxy beats client
+//! at the same unit, full beats half in proxy mode, and Proxy (Full) —
+//! fully decoupling request handling from tail-finding — approaches 2×
+//! the worst configuration.
+
+use mala_mds::CephFsMode;
+use mala_sim::SimDuration;
+use mala_zlog::SeqMode;
+
+use crate::report;
+use crate::workload::{BalancerChoice, SeqBench, SeqBenchCfg};
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Run length per configuration.
+    pub duration: SimDuration,
+    /// Balancing tick.
+    pub balance_interval: SimDuration,
+    /// Seeds for the (a) variance comparison.
+    pub seeds: Vec<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            duration: SimDuration::from_secs(120),
+            balance_interval: SimDuration::from_secs(5),
+            seeds: vec![9, 10, 11],
+        }
+    }
+}
+
+/// One bar: mean ± std of steady-state throughput.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Configuration label.
+    pub label: String,
+    /// Mean steady-state throughput (ops/s) across seeds.
+    pub mean: f64,
+    /// Standard deviation across seeds.
+    pub std: f64,
+}
+
+/// Both panels.
+#[derive(Debug, Clone)]
+pub struct Data {
+    /// Panel (a): cephfs-cpu / cephfs-workload / cephfs-hybrid / mantle.
+    pub modes: Vec<Bar>,
+    /// Panel (b): client-half / client-full / proxy-half / proxy-full.
+    pub units: Vec<Bar>,
+}
+
+fn steady_state(
+    seed: u64,
+    label: &str,
+    mds: u32,
+    sequencers: u32,
+    balancer: BalancerChoice,
+    config: &Config,
+) -> f64 {
+    let mut bench = SeqBench::build(SeqBenchCfg {
+        seed,
+        mds,
+        osds: 0,
+        sequencers,
+        clients_per_seq: 4,
+        mode: SeqMode::RoundTrip,
+        balancer,
+        balance_interval: config.balance_interval,
+        prefix: format!("fig10.{label}.{seed}"),
+    });
+    bench.start_all();
+    // Warm-up two thirds, measure the final third.
+    bench.cluster.sim.run_for(config.duration.mul(2).div(3));
+    let ops_before = bench.total_ops();
+    let t0 = bench.cluster.sim.now();
+    bench.cluster.sim.run_for(config.duration.div(3));
+    let ops = bench.total_ops() - ops_before;
+    let elapsed = bench.cluster.sim.now().since(t0).as_secs_f64();
+    bench.stop_all();
+    ops as f64 / elapsed
+}
+
+fn bar(
+    label: &str,
+    mds: u32,
+    sequencers: u32,
+    balancer: impl Fn() -> BalancerChoice,
+    config: &Config,
+) -> Bar {
+    let rates: Vec<f64> = config
+        .seeds
+        .iter()
+        .map(|seed| steady_state(*seed, label, mds, sequencers, balancer(), config))
+        .collect();
+    Bar {
+        label: label.to_string(),
+        mean: report::mean(&rates),
+        std: report::stddev(&rates),
+    }
+}
+
+/// Runs both panels.
+pub fn run(config: &Config) -> Data {
+    let modes = vec![
+        bar(
+            "cephfs-cpu",
+            3,
+            3,
+            || BalancerChoice::CephFs(CephFsMode::Cpu),
+            config,
+        ),
+        bar(
+            "cephfs-workload",
+            3,
+            3,
+            || BalancerChoice::CephFs(CephFsMode::Workload),
+            config,
+        ),
+        bar(
+            "cephfs-hybrid",
+            3,
+            3,
+            || BalancerChoice::CephFs(CephFsMode::Hybrid),
+            config,
+        ),
+        bar(
+            "mantle",
+            3,
+            3,
+            || BalancerChoice::Mantle(mala_mantle::SEQUENCER_AWARE_POLICY.to_string()),
+            config,
+        ),
+    ];
+    let units = vec![
+        bar(
+            "client-half",
+            2,
+            2,
+            || BalancerChoice::Mantle(mala_mantle::CLIENT_HALF_POLICY.to_string()),
+            config,
+        ),
+        bar(
+            "client-full",
+            2,
+            2,
+            || BalancerChoice::Mantle(mala_mantle::CLIENT_FULL_POLICY.to_string()),
+            config,
+        ),
+        bar(
+            "proxy-half",
+            2,
+            2,
+            || BalancerChoice::Mantle(mala_mantle::PROXY_HALF_POLICY.to_string()),
+            config,
+        ),
+        bar(
+            "proxy-full",
+            2,
+            2,
+            || BalancerChoice::Mantle(mala_mantle::PROXY_FULL_POLICY.to_string()),
+            config,
+        ),
+    ];
+    Data { modes, units }
+}
+
+/// Renders both panels as bar tables.
+pub fn render(data: &Data) -> String {
+    let mut out = String::from("Figure 10(a): balancing modes (3 sequencers, 3 MDS)\n\n");
+    let bars = |bars: &[Bar]| {
+        let max = bars.iter().map(|b| b.mean).fold(1.0, f64::max);
+        report::table(
+            &["configuration", "ops/sec", "stddev", ""],
+            &bars
+                .iter()
+                .map(|b| {
+                    vec![
+                        b.label.clone(),
+                        format!("{:.0}", b.mean),
+                        format!("{:.0}", b.std),
+                        "#".repeat((b.mean / max * 40.0) as usize),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    };
+    out.push_str(&bars(&data.modes));
+    out.push_str("\nFigure 10(b): migration units (2 sequencers, 2 MDS)\n\n");
+    out.push_str(&bars(&data.units));
+    let best = data.units.iter().map(|b| b.mean).fold(0.0, f64::max);
+    let worst = data
+        .units
+        .iter()
+        .map(|b| b.mean)
+        .fold(f64::INFINITY, f64::min);
+    out.push_str(&format!(
+        "\nbest/worst migration configuration: {:.2}x\n",
+        best / worst
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Config {
+        Config {
+            duration: SimDuration::from_secs(60),
+            balance_interval: SimDuration::from_secs(5),
+            seeds: vec![9, 10],
+        }
+    }
+
+    #[test]
+    fn modes_panel_shapes() {
+        let config = quick();
+        let data = run(&config);
+        let by = |label: &str| {
+            data.modes
+                .iter()
+                .chain(data.units.iter())
+                .find(|b| b.label == label)
+                .unwrap_or_else(|| panic!("missing {label}"))
+        };
+        // (a) three CephFS modes within a band; mantle best.
+        let cpu = by("cephfs-cpu");
+        let wl = by("cephfs-workload");
+        let hy = by("cephfs-hybrid");
+        let mantle = by("mantle");
+        for b in [cpu, wl, hy] {
+            assert!(
+                mantle.mean > b.mean,
+                "mantle {} !> {} {}",
+                mantle.mean,
+                b.label,
+                b.mean
+            );
+        }
+        let band = |a: &Bar, b: &Bar| (a.mean - b.mean).abs() / a.mean.max(b.mean) < 0.25;
+        assert!(band(wl, hy), "workload {} vs hybrid {}", wl.mean, hy.mean);
+        // (b) proxy beats client at same unit; full beats half in proxy.
+        let ch = by("client-half");
+        let cf = by("client-full");
+        let ph = by("proxy-half");
+        let pf = by("proxy-full");
+        assert!(
+            ph.mean > ch.mean,
+            "proxy-half {} !> client-half {}",
+            ph.mean,
+            ch.mean
+        );
+        assert!(
+            pf.mean > cf.mean,
+            "proxy-full {} !> client-full {}",
+            pf.mean,
+            cf.mean
+        );
+        assert!(
+            pf.mean > ph.mean,
+            "proxy-full {} !> proxy-half {}",
+            pf.mean,
+            ph.mean
+        );
+        // The paper's headline: up to ~2x between best and worst.
+        let spread = pf.mean / ch.mean.min(cf.mean);
+        assert!(
+            spread > 1.5,
+            "best/worst spread {spread:.2} too small for the 2x claim"
+        );
+        let rendered = render(&data);
+        assert!(rendered.contains("Figure 10(b)"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Figure 12: proxy mode vs. client mode over time, per sequencer.
+//!
+//! Two sequencers (four clients each) on a two-rank cluster.
+//!
+//! * **Proxy mode** (panel a): both sequencers start on rank 0; at the
+//!   migration point sequencer 0 moves to rank 1 but clients keep talking
+//!   to rank 0, which forwards. Shape: sequencer 0's throughput jumps
+//!   (the slave only finds tails), sequencer 1's dips (its server now
+//!   also forwards), cluster total rises.
+//! * **Client mode** (panel b): same migration but clients are redirected
+//!   to rank 1. Shape: more fair, but the cluster total is lower than
+//!   proxy mode, and the rank-0 sequencer is slower (rank 0 carries the
+//!   scatter-gather coordination).
+
+use mala_mds::ServeStyle;
+use mala_sim::SimDuration;
+use mala_zlog::SeqMode;
+
+use crate::report;
+use crate::workload::{BalancerChoice, SeqBench, SeqBenchCfg};
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Total run length (paper: 120 s).
+    pub duration: SimDuration,
+    /// When the migration happens (paper: 60 s).
+    pub migrate_at: SimDuration,
+    /// Throughput window.
+    pub window: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            duration: SimDuration::from_secs(120),
+            migrate_at: SimDuration::from_secs(60),
+            window: SimDuration::from_secs(5),
+            seed: 12,
+        }
+    }
+}
+
+/// One mode's run.
+#[derive(Debug, Clone)]
+pub struct ModeRun {
+    /// Mode label.
+    pub label: String,
+    /// Per-sequencer series `(t_s, ops/s)`.
+    pub series: [Vec<(f64, f64)>; 2],
+    /// Per-sequencer throughput after the migration settled.
+    pub after: [f64; 2],
+    /// Cluster throughput after the migration settled.
+    pub cluster_after: f64,
+}
+
+/// Both modes.
+#[derive(Debug, Clone)]
+pub struct Data {
+    /// Proxy then client.
+    pub runs: Vec<ModeRun>,
+}
+
+fn run_mode(config: &Config, label: &str, style: ServeStyle) -> ModeRun {
+    let mut bench = SeqBench::build(SeqBenchCfg {
+        seed: config.seed,
+        mds: 2,
+        osds: 0,
+        sequencers: 2,
+        clients_per_seq: 4,
+        mode: SeqMode::RoundTrip,
+        balancer: BalancerChoice::None,
+        balance_interval: SimDuration::from_secs(10),
+        prefix: format!("fig12.{label}"),
+    });
+    let t0 = bench.cluster.sim.now().as_secs_f64();
+    bench.start_all();
+    bench.cluster.sim.run_for(config.migrate_at);
+    // Manual migration of sequencer 0 (the paper drives this from Mantle;
+    // the administrative path exercises the same mechanism).
+    bench.migrate(0, 1, style);
+    bench
+        .cluster
+        .sim
+        .run_for(config.duration - config.migrate_at);
+    bench.stop_all();
+    let mut series: [Vec<(f64, f64)>; 2] = [Vec::new(), Vec::new()];
+    let mut after = [0.0; 2];
+    for k in 0..2 {
+        let events: Vec<(f64, f64)> = bench
+            .events_of_seq(k)
+            .into_iter()
+            .map(|(t, n)| (t - t0, n))
+            .collect();
+        series[k] = report::windowed_rate(
+            &events,
+            config.window.as_secs_f64(),
+            config.duration.as_secs_f64(),
+        );
+        // Steady state after migration: final quarter of the run.
+        let tail: Vec<f64> = series[k]
+            .iter()
+            .filter(|(t, _)| *t >= config.duration.as_secs_f64() * 0.75)
+            .map(|(_, r)| *r)
+            .collect();
+        after[k] = report::mean(&tail);
+    }
+    ModeRun {
+        label: label.to_string(),
+        cluster_after: after[0] + after[1],
+        series,
+        after,
+    }
+}
+
+/// Runs both modes.
+pub fn run(config: &Config) -> Data {
+    Data {
+        runs: vec![
+            run_mode(config, "proxy", ServeStyle::Proxy),
+            run_mode(config, "client", ServeStyle::Direct),
+        ],
+    }
+}
+
+/// Renders both panels.
+pub fn render(data: &Data, config: &Config) -> String {
+    let mut out = format!(
+        "Figure 12: serving modes over time (2 sequencers, 2 MDS; sequencer 0 migrates at {} s)\n",
+        config.migrate_at.as_secs_f64()
+    );
+    for run in &data.runs {
+        out.push_str(&format!("\n== {} mode ==\n", run.label));
+        let rows: Vec<Vec<String>> = run.series[0]
+            .iter()
+            .zip(run.series[1].iter())
+            .map(|((t, s0), (_, s1))| {
+                vec![
+                    format!("{t:.0}"),
+                    format!("{s0:.0}"),
+                    format!("{s1:.0}"),
+                    format!("{:.0}", s0 + s1),
+                ]
+            })
+            .collect();
+        out.push_str(&report::table(
+            &["t (s)", "sequencer 0", "sequencer 1", "cluster"],
+            &rows,
+        ));
+        out.push_str(&format!(
+            "after migration: s0 {:.0} ops/s, s1 {:.0} ops/s, cluster {:.0} ops/s\n",
+            run.after[0], run.after[1], run.cluster_after
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_beats_client_and_dynamics_match() {
+        let config = Config {
+            duration: SimDuration::from_secs(60),
+            migrate_at: SimDuration::from_secs(30),
+            ..Default::default()
+        };
+        let data = run(&config);
+        let proxy = &data.runs[0];
+        let client = &data.runs[1];
+        // Before migration both sequencers share rank 0 evenly.
+        let before = |r: &ModeRun, k: usize| {
+            let xs: Vec<f64> = r.series[k]
+                .iter()
+                .filter(|(t, _)| *t > 5.0 && *t < config.migrate_at.as_secs_f64() - 5.0)
+                .map(|(_, v)| *v)
+                .collect();
+            report::mean(&xs)
+        };
+        let p0_before = before(proxy, 0);
+        let p1_before = before(proxy, 1);
+        assert!((p0_before - p1_before).abs() / p0_before < 0.2);
+        // Proxy: migrated sequencer jumps, the one left on the proxy dips.
+        assert!(
+            proxy.after[0] > p0_before * 1.3,
+            "s0 {} !>> before {}",
+            proxy.after[0],
+            p0_before
+        );
+        assert!(proxy.after[1] < p1_before, "s1 must dip on the proxy");
+        // Cluster: proxy beats client mode.
+        assert!(
+            proxy.cluster_after > client.cluster_after * 1.1,
+            "proxy {} !> client {}",
+            proxy.cluster_after,
+            client.cluster_after
+        );
+        // Client mode is more fair but the rank-0 resident is slower.
+        assert!(client.after[1] < client.after[0] * 1.05);
+        let rendered = render(&data, &config);
+        assert!(rendered.contains("proxy mode"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 2: growth of co-designed object-storage interfaces in Ceph.
+//!
+//! The paper mines the Ceph git history; offline we regenerate the series
+//! from the reconstructed class catalog in
+//! [`mala_rados::class_registry`] (documented substitution in
+//! `DESIGN.md`). The shape to reproduce: accelerating growth since 2010
+//! in both classes and methods, reaching ~20 classes / 95 methods by 2016.
+
+use mala_rados::class_registry::growth_series;
+
+use crate::report;
+
+/// The regenerated series.
+#[derive(Debug, Clone)]
+pub struct Data {
+    /// `(year, cumulative classes, cumulative methods)`.
+    pub series: Vec<(u16, u32, u32)>,
+}
+
+/// Regenerates the growth series.
+pub fn run() -> Data {
+    Data {
+        series: growth_series(),
+    }
+}
+
+/// Renders the figure as a table plus a sparkline-style bar per year.
+pub fn render(data: &Data) -> String {
+    let mut out = String::from("Figure 2: growth of co-designed object storage interfaces\n\n");
+    let rows: Vec<Vec<String>> = data
+        .series
+        .iter()
+        .map(|(year, classes, methods)| {
+            vec![
+                year.to_string(),
+                classes.to_string(),
+                methods.to_string(),
+                "#".repeat(*classes as usize),
+            ]
+        })
+        .collect();
+    out.push_str(&report::table(
+        &["year", "classes", "methods", "classes (bar)"],
+        &rows,
+    ));
+    let (y0, c0, m0) = data.series[0];
+    let (y1, c1, m1) = *data.series.last().expect("non-empty");
+    out.push_str(&format!(
+        "\n{y0}: {c0} classes / {m0} methods  →  {y1}: {c1} classes / {m1} methods\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_shape_matches_paper() {
+        let data = run();
+        assert_eq!(data.series.first().unwrap().0, 2010);
+        assert_eq!(data.series.last().unwrap().0, 2016);
+        let (_, classes, methods) = *data.series.last().unwrap();
+        assert_eq!(methods, 95, "Table 1 total");
+        assert!(classes >= 15);
+        // Accelerating: second-half growth exceeds first-half growth.
+        let c2013 = data.series.iter().find(|(y, _, _)| *y == 2013).unwrap().1;
+        assert!(classes - c2013 > c2013 - 1);
+        let rendered = render(&data);
+        assert!(rendered.contains("2016"));
+        assert!(rendered.contains("95"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Figure 5: who holds the sequencer capability over time under the three
+//! sharing policies.
+//!
+//! Two clients contend for one sequencer. The paper's dot plot shows each
+//! obtained position as a dot per client; we reconstruct the equivalent
+//! *hold segments* (intervals during which one client was taking
+//! positions locally) from the batch samples.
+//!
+//! Shape to reproduce: best-effort interleaves in tiny slivers (most time
+//! goes to re-distributing the capability); "delay" produces ~hold-length
+//! alternating segments; "quota" produces segments of exactly the quota's
+//! worth of operations.
+
+use mala_mds::types::CapPolicyConfig;
+use mala_sim::SimDuration;
+use mala_zlog::SeqMode;
+
+use crate::report;
+use crate::workload::{BalancerChoice, SeqBench, SeqBenchCfg};
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Run length per policy.
+    pub duration: SimDuration,
+    /// Local increment cost.
+    pub op_time: SimDuration,
+    /// The "delay" policy's hold time (paper: 0.25 s).
+    pub hold: SimDuration,
+    /// The "quota" policy's budget.
+    pub quota: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            duration: SimDuration::from_secs(4),
+            op_time: SimDuration::from_micros(5),
+            hold: SimDuration::from_millis(250),
+            quota: 20_000,
+            seed: 7,
+        }
+    }
+}
+
+/// One client's hold segments: `(start_s, end_s, positions)`.
+pub type Segments = Vec<(f64, f64, u64)>;
+
+/// Results per policy.
+#[derive(Debug, Clone)]
+pub struct PolicyRun {
+    /// Policy label.
+    pub label: String,
+    /// Per-client hold segments.
+    pub segments: [Segments; 2],
+    /// Total positions obtained.
+    pub total_ops: u64,
+    /// Capability grants (exchanges) observed.
+    pub exchanges: u64,
+}
+
+/// Full experiment data.
+#[derive(Debug, Clone)]
+pub struct Data {
+    /// One run per policy: best-effort, delay, quota.
+    pub runs: Vec<PolicyRun>,
+}
+
+fn run_policy(config: &Config, label: &str, policy: CapPolicyConfig) -> PolicyRun {
+    let mut bench = SeqBench::build(SeqBenchCfg {
+        seed: config.seed,
+        mds: 1,
+        sequencers: 1,
+        clients_per_seq: 2,
+        mode: SeqMode::Cached {
+            op_time: config.op_time,
+        },
+        balancer: BalancerChoice::None,
+        prefix: format!("fig5.{label}"),
+        ..Default::default()
+    });
+    bench.set_policy(0, policy);
+    let t0 = bench.cluster.sim.now().as_secs_f64();
+    bench.start_all();
+    bench.cluster.sim.run_for(config.duration);
+    bench.stop_all();
+    let op_s = config.op_time.as_secs_f64();
+    let mut segments: [Segments; 2] = [Vec::new(), Vec::new()];
+    for (i, seg) in segments.iter_mut().enumerate() {
+        let name = format!("fig5.{label}.s0.c{i}.batch");
+        for s in bench.cluster.sim.metrics().series(&name) {
+            let end = s.at.as_secs_f64() - t0;
+            let n = s.value as u64;
+            seg.push((end - op_s * s.value, end, n));
+        }
+        // Merge back-to-back batches of one hold into single segments.
+        seg.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut merged: Segments = Vec::new();
+        for (start, end, n) in seg.drain(..) {
+            match merged.last_mut() {
+                Some((_, last_end, last_n)) if start - *last_end < op_s * 2.0 => {
+                    *last_end = end;
+                    *last_n += n;
+                }
+                _ => merged.push((start, end, n)),
+            }
+        }
+        *seg = merged;
+    }
+    let exchanges = bench
+        .clients
+        .iter()
+        .flatten()
+        .map(|n| {
+            bench
+                .cluster
+                .sim
+                .actor::<mala_zlog::SeqWorkload>(*n)
+                .stats
+                .grants
+        })
+        .sum();
+    PolicyRun {
+        label: label.to_string(),
+        total_ops: bench.total_ops(),
+        segments,
+        exchanges,
+    }
+}
+
+/// Runs all three policies.
+pub fn run(config: &Config) -> Data {
+    Data {
+        runs: vec![
+            run_policy(config, "best-effort", CapPolicyConfig::best_effort()),
+            run_policy(config, "delay", CapPolicyConfig::delay(config.hold)),
+            run_policy(
+                config,
+                "quota",
+                CapPolicyConfig::quota(config.quota, config.hold.mul(4)),
+            ),
+        ],
+    }
+}
+
+/// Renders per-policy hold timelines.
+pub fn render(data: &Data) -> String {
+    let mut out =
+        String::from("Figure 5: sequencer capability holds over time (2 contending clients)\n");
+    for run in &data.runs {
+        out.push_str(&format!(
+            "\n== policy: {} — {} positions, {} exchanges ==\n",
+            run.label, run.total_ops, run.exchanges
+        ));
+        let mut rows = Vec::new();
+        for (i, segs) in run.segments.iter().enumerate() {
+            let shown = segs.iter().take(8);
+            for (start, end, ops) in shown {
+                rows.push(vec![
+                    format!("client {i}"),
+                    format!("{start:.4}s"),
+                    format!("{end:.4}s"),
+                    format!("{:.1} ms", (end - start) * 1e3),
+                    ops.to_string(),
+                ]);
+            }
+            if segs.len() > 8 {
+                rows.push(vec![
+                    format!("client {i}"),
+                    format!("... {} more holds", segs.len() - 8),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
+            }
+        }
+        out.push_str(&report::table(
+            &["client", "hold start", "hold end", "length", "positions"],
+            &rows,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_shape_matches_paper() {
+        let config = Config {
+            duration: SimDuration::from_secs(2),
+            ..Default::default()
+        };
+        let data = run(&config);
+        let [best, delay, quota] = [&data.runs[0], &data.runs[1], &data.runs[2]];
+
+        // Both clients get turns in all policies.
+        for r in &data.runs {
+            assert!(
+                !r.segments[0].is_empty() && !r.segments[1].is_empty(),
+                "{}: a client was starved",
+                r.label
+            );
+        }
+        // Best-effort: many short exchanges, lowest throughput.
+        assert!(
+            best.exchanges > delay.exchanges,
+            "best-effort must exchange more ({} vs {})",
+            best.exchanges,
+            delay.exchanges
+        );
+        assert!(best.total_ops < delay.total_ops);
+        assert!(best.total_ops < quota.total_ops);
+        // Delay: hold lengths cluster near the configured 250 ms.
+        let delay_holds: Vec<f64> = delay.segments[0]
+            .iter()
+            .chain(delay.segments[1].iter())
+            .map(|(s, e, _)| e - s)
+            .collect();
+        let mean_hold = crate::report::mean(&delay_holds);
+        assert!(
+            (0.15..=0.35).contains(&mean_hold),
+            "delay hold mean {mean_hold:.3}s not near 0.25s"
+        );
+        // Quota: segments carry ~quota positions each.
+        let quota_sizes: Vec<f64> = quota.segments[0]
+            .iter()
+            .chain(quota.segments[1].iter())
+            .map(|(_, _, n)| *n as f64)
+            .collect();
+        let mean_ops = crate::report::mean(&quota_sizes);
+        assert!(
+            (config.quota as f64 * 0.8..=config.quota as f64 * 1.2).contains(&mean_ops),
+            "quota segments average {mean_ops} ops, expected ~{}",
+            config.quota
+        );
+        let rendered = render(&data);
+        assert!(rendered.contains("policy: quota"));
+    }
+}

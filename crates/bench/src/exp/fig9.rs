@@ -1,0 +1,224 @@
+//! Figure 9: throughput over time under three load-balancing regimes.
+//!
+//! Three sequencers (four closed-loop round-trip clients each) all start
+//! on MDS rank 0 of a three-rank metadata cluster. The three regimes:
+//!
+//! * **No Balancing** — everything stays on rank 0 (the floor).
+//! * **CephFS** — the reconstructed stock balancer reacts at its first
+//!   tick (~10 s) and spreads sequencers in client (redirect) mode.
+//! * **Mantle** — the sequencer-aware policy (proxy mode, conservative
+//!   `when()` that waits out the import-coherence settling) takes longer
+//!   to stabilise but reaches the highest plateau.
+
+use mala_mds::CephFsMode;
+use mala_sim::SimDuration;
+use mala_zlog::SeqMode;
+
+use crate::report;
+use crate::workload::{BalancerChoice, SeqBench, SeqBenchCfg};
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Run length (paper plot: ~180 s).
+    pub duration: SimDuration,
+    /// Balancing tick (Ceph default 10 s).
+    pub balance_interval: SimDuration,
+    /// Sequencers (paper: 3).
+    pub sequencers: u32,
+    /// Clients per sequencer (paper: 4).
+    pub clients_per_seq: u32,
+    /// MDS ranks (paper: 3).
+    pub mds: u32,
+    /// OSD count (paper: 10 object-storage nodes).
+    pub osds: u32,
+    /// Throughput window for the rendered series.
+    pub window: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            duration: SimDuration::from_secs(180),
+            balance_interval: SimDuration::from_secs(10),
+            sequencers: 3,
+            clients_per_seq: 4,
+            mds: 3,
+            osds: 10,
+            window: SimDuration::from_secs(5),
+            seed: 9,
+        }
+    }
+}
+
+/// One regime's run.
+#[derive(Debug, Clone)]
+pub struct RegimeRun {
+    /// Regime label.
+    pub label: String,
+    /// `(window_start_s, cluster ops/s)`.
+    pub series: Vec<(f64, f64)>,
+    /// Mean cluster throughput over the final third of the run.
+    pub steady_state: f64,
+    /// Migrations performed.
+    pub migrations: u64,
+    /// Time of the first migration (s), if any.
+    pub first_migration_s: Option<f64>,
+}
+
+/// The three regimes.
+#[derive(Debug, Clone)]
+pub struct Data {
+    /// No balancing / CephFS / Mantle, in that order.
+    pub runs: Vec<RegimeRun>,
+}
+
+/// Runs one regime.
+pub fn run_regime(config: &Config, label: &str, balancer: BalancerChoice) -> RegimeRun {
+    let mut bench = SeqBench::build(SeqBenchCfg {
+        seed: config.seed,
+        mds: config.mds,
+        osds: config.osds,
+        sequencers: config.sequencers,
+        clients_per_seq: config.clients_per_seq,
+        mode: SeqMode::RoundTrip,
+        balancer,
+        balance_interval: config.balance_interval,
+        prefix: format!("fig9.{label}"),
+    });
+    let t0 = bench.cluster.sim.now().as_secs_f64();
+    let exports_before = bench.cluster.sim.metrics().counter("mds.exports");
+    bench.start_all();
+    bench.cluster.sim.run_for(config.duration);
+    bench.stop_all();
+    // Merge all sequencers' events into one cluster series.
+    let mut events = Vec::new();
+    for k in 0..config.sequencers as usize {
+        for (t, n) in bench.events_of_seq(k) {
+            events.push((t - t0, n));
+        }
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let series = report::windowed_rate(
+        &events,
+        config.window.as_secs_f64(),
+        config.duration.as_secs_f64(),
+    );
+    let tail = series.len() / 3;
+    let steady: Vec<f64> = series[series.len() - tail..]
+        .iter()
+        .map(|(_, r)| *r)
+        .collect();
+    let migrations = bench.cluster.sim.metrics().counter("mds.exports") - exports_before;
+    let first_migration_s = bench
+        .cluster
+        .sim
+        .metrics()
+        .series("mds.export_events")
+        .first()
+        .map(|s| s.at.as_secs_f64() - t0);
+    RegimeRun {
+        label: label.to_string(),
+        series,
+        steady_state: report::mean(&steady),
+        migrations,
+        first_migration_s,
+    }
+}
+
+/// Runs all three regimes.
+pub fn run(config: &Config) -> Data {
+    Data {
+        runs: vec![
+            run_regime(config, "no-balancing", BalancerChoice::None),
+            run_regime(
+                config,
+                "cephfs",
+                BalancerChoice::CephFs(CephFsMode::Workload),
+            ),
+            run_regime(
+                config,
+                "mantle",
+                BalancerChoice::Mantle(mala_mantle::SEQUENCER_AWARE_POLICY.to_string()),
+            ),
+        ],
+    }
+}
+
+/// Renders the three time series side by side.
+pub fn render(data: &Data) -> String {
+    let mut out = String::from(
+        "Figure 9: cluster sequencer throughput over time (3 sequencers x 4 clients)\n\n",
+    );
+    let mut headers = vec!["t (s)"];
+    for r in &data.runs {
+        headers.push(Box::leak(r.label.clone().into_boxed_str()));
+    }
+    let len = data.runs.iter().map(|r| r.series.len()).max().unwrap_or(0);
+    let mut rows = Vec::new();
+    for i in 0..len {
+        let mut row = vec![data.runs[0]
+            .series
+            .get(i)
+            .map(|(t, _)| format!("{t:.0}"))
+            .unwrap_or_default()];
+        for r in &data.runs {
+            row.push(
+                r.series
+                    .get(i)
+                    .map(|(_, v)| format!("{v:.0}"))
+                    .unwrap_or_default(),
+            );
+        }
+        rows.push(row);
+    }
+    out.push_str(&report::table(&headers, &rows));
+    out.push('\n');
+    for r in &data.runs {
+        out.push_str(&format!(
+            "{:<14} steady-state {:>8.0} ops/s   migrations: {}   first effect: {}\n",
+            r.label,
+            r.steady_state,
+            r.migrations,
+            r.first_migration_s
+                .map(|t| format!("{t:.0} s"))
+                .unwrap_or_else(|| "-".to_string())
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balancers_beat_no_balancing_and_mantle_wins() {
+        let config = Config {
+            duration: SimDuration::from_secs(90),
+            balance_interval: SimDuration::from_secs(5),
+            ..Default::default()
+        };
+        let data = run(&config);
+        let [none, cephfs, mantle] = [&data.runs[0], &data.runs[1], &data.runs[2]];
+        assert_eq!(none.migrations, 0);
+        assert!(cephfs.migrations > 0, "cephfs never migrated");
+        assert!(mantle.migrations > 0, "mantle never migrated");
+        assert!(
+            cephfs.steady_state > none.steady_state * 1.05,
+            "cephfs {} !> none {}",
+            cephfs.steady_state,
+            none.steady_state
+        );
+        assert!(
+            mantle.steady_state > cephfs.steady_state * 1.05,
+            "mantle {} !> cephfs {}",
+            mantle.steady_state,
+            cephfs.steady_state
+        );
+        let rendered = render(&data);
+        assert!(rendered.contains("steady-state"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment harness: one module per table/figure in the paper's
+//! evaluation (§6), plus the ablations called out in `DESIGN.md`.
+//!
+//! Each experiment module exposes
+//!
+//! * a `Config` with the paper's parameters as defaults (scaled-down
+//!   variants are used by tests and Criterion benches), and
+//! * `run(config) -> Data` producing the numbers, and
+//! * `render(&Data) -> String` printing the same rows/series the paper
+//!   reports.
+//!
+//! Binaries under `src/bin/` (one per figure) run the full-scale
+//! experiment and print the rendering; `EXPERIMENTS.md` records
+//! paper-vs-measured values.
+
+pub mod report;
+pub mod workload;
+
+pub mod exp {
+    //! The per-figure experiment modules.
+    pub mod backoff;
+    pub mod fig10;
+    pub mod fig12;
+    pub mod fig2;
+    pub mod fig5;
+    pub mod fig6;
+    pub mod fig8;
+    pub mod fig9;
+    pub mod tables;
+}

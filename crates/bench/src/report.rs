@@ -1,0 +1,127 @@
+//! Text rendering: aligned tables, CDFs, and time-series columns.
+
+/// Renders an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Selected quantiles of a (sorted ascending) value slice.
+pub fn quantiles(sorted: &[f64], qs: &[f64]) -> Vec<(f64, f64)> {
+    qs.iter()
+        .map(|q| {
+            if sorted.is_empty() {
+                return (*q, f64::NAN);
+            }
+            let rank = ((q / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+            (*q, sorted[rank.min(sorted.len() - 1)])
+        })
+        .collect()
+}
+
+/// Buckets samples `(t_seconds, count)` into fixed windows, returning
+/// `(window_start_s, rate_per_s)`.
+pub fn windowed_rate(events: &[(f64, f64)], window_s: f64, until_s: f64) -> Vec<(f64, f64)> {
+    let n = (until_s / window_s).ceil() as usize;
+    let mut buckets = vec![0.0; n.max(1)];
+    for (t, count) in events {
+        let idx = (t / window_s) as usize;
+        if idx < buckets.len() {
+            buckets[idx] += count;
+        }
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(i, total)| (i as f64 * window_s, total / window_s))
+        .collect()
+}
+
+/// Mean of a slice (`NaN` when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation (`NaN` when empty).
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a     "));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn quantiles_pick_ranks() {
+        let sorted: Vec<f64> = (0..101).map(f64::from).collect();
+        let qs = quantiles(&sorted, &[0.0, 50.0, 99.0, 100.0]);
+        assert_eq!(qs[1].1, 50.0);
+        assert_eq!(qs[2].1, 99.0);
+        assert_eq!(qs[3].1, 100.0);
+        assert!(quantiles(&[], &[50.0])[0].1.is_nan());
+    }
+
+    #[test]
+    fn windowed_rate_buckets() {
+        let events = vec![(0.1, 5.0), (0.9, 5.0), (1.5, 20.0)];
+        let rates = windowed_rate(&events, 1.0, 3.0);
+        assert_eq!(rates.len(), 3);
+        assert_eq!(rates[0], (0.0, 10.0));
+        assert_eq!(rates[1], (1.0, 20.0));
+        assert_eq!(rates[2], (2.0, 0.0));
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,334 @@
+//! Shared workload assembly for the sequencer experiments (Figs. 5–7 and
+//! 9–12): a cluster with MDS ranks, sequencer inodes under `/seq`, and
+//! closed-loop [`SeqWorkload`] clients.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use mala_mantle::MantleBalancer;
+use mala_mds::types::MdsMsg;
+use mala_mds::{Balancer, CephFsBalancer, CephFsMode, FileType, Ino, MdsConfig, NoBalancer};
+use mala_sim::{Actor, Context, NodeId, Sim, SimDuration};
+use mala_zlog::{SeqMode, SeqWorkload};
+use malacology::cluster::{Cluster, ClusterBuilder};
+
+/// Which balancing policy the MDS ranks run.
+#[derive(Debug, Clone)]
+pub enum BalancerChoice {
+    /// No balancing (the Fig. 9 baseline).
+    None,
+    /// The reconstructed stock CephFS balancer.
+    CephFs(CephFsMode),
+    /// Mantle with the given Cephalo policy bootstrapped in.
+    Mantle(String),
+    /// Mantle with no bootstrap policy: the policy must arrive through
+    /// the versioned map + RADOS object path.
+    MantleFromMap,
+}
+
+impl BalancerChoice {
+    fn build(&self, _rank: u32) -> Box<dyn Balancer> {
+        match self {
+            BalancerChoice::None => Box::new(NoBalancer),
+            BalancerChoice::CephFs(mode) => Box::new(CephFsBalancer::new(*mode)),
+            BalancerChoice::Mantle(src) => Box::new(MantleBalancer::with_policy(src)),
+            BalancerChoice::MantleFromMap => Box::new(MantleBalancer::new()),
+        }
+    }
+}
+
+/// Configuration of a sequencer bench.
+#[derive(Clone)]
+pub struct SeqBenchCfg {
+    /// RNG seed.
+    pub seed: u64,
+    /// MDS ranks.
+    pub mds: u32,
+    /// OSDs (only needed when policies/journals live in RADOS).
+    pub osds: u32,
+    /// Number of sequencers (all created on rank 0, as in the paper).
+    pub sequencers: u32,
+    /// Closed-loop clients per sequencer.
+    pub clients_per_seq: u32,
+    /// Client access mode.
+    pub mode: SeqMode,
+    /// Balancing policy.
+    pub balancer: BalancerChoice,
+    /// Balancing tick.
+    pub balance_interval: SimDuration,
+    /// Metric series prefix (`<prefix>.s<k>` per sequencer).
+    pub prefix: String,
+}
+
+impl Default for SeqBenchCfg {
+    fn default() -> Self {
+        SeqBenchCfg {
+            seed: 42,
+            mds: 1,
+            osds: 0,
+            sequencers: 1,
+            clients_per_seq: 2,
+            mode: SeqMode::RoundTrip,
+            balancer: BalancerChoice::None,
+            balance_interval: SimDuration::from_secs(10),
+            prefix: "seq".to_string(),
+        }
+    }
+}
+
+/// A tiny administrative client used for namespace setup.
+#[derive(Default)]
+pub struct AdminClient {
+    created: HashMap<u64, Result<Ino, mala_mds::types::MdsError>>,
+}
+
+impl Actor for AdminClient {
+    fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, msg: Box<dyn Any>) {
+        if let Ok(msg) = msg.downcast::<MdsMsg>() {
+            if let MdsMsg::Created { reqid, result } = *msg {
+                self.created.insert(reqid, result);
+            }
+        }
+    }
+}
+
+/// An assembled sequencer bench.
+pub struct SeqBench {
+    /// The cluster (drive `bench.cluster.sim`).
+    pub cluster: Cluster,
+    /// Sequencer inodes, index = sequencer number.
+    pub seq_inos: Vec<Ino>,
+    /// Client nodes, `clients[k][i]` = client `i` of sequencer `k`.
+    pub clients: Vec<Vec<NodeId>>,
+    /// The admin client node.
+    pub admin: NodeId,
+    /// Series prefix in use.
+    pub prefix: String,
+}
+
+impl SeqBench {
+    /// Builds the cluster, creates `/seq/s<k>` sequencers, spawns (but
+    /// does not start) the workload clients.
+    pub fn build(cfg: SeqBenchCfg) -> SeqBench {
+        let balancer = cfg.balancer.clone();
+        let mut mds_config = MdsConfig::default();
+        mds_config.balance_interval = cfg.balance_interval;
+        let mut builder = ClusterBuilder::new()
+            .monitors(1)
+            .osds(cfg.osds)
+            .mds_ranks(cfg.mds)
+            .mds_config(mds_config)
+            .rados_clients(if cfg.osds > 0 { 1 } else { 0 })
+            .balancers(move |rank| balancer.build(rank));
+        if cfg.osds > 0 {
+            builder = builder.pool("meta", 32, 2.min(cfg.osds));
+        }
+        let mut cluster = builder.build(cfg.seed);
+        let admin = cluster.alloc_node();
+        cluster.sim.add_node(admin, AdminClient::default());
+        // Create /seq and the sequencer inodes on rank 0.
+        let mds0 = cluster.mds_node(0);
+        let send_create = |sim: &mut Sim, reqid: u64, parent: &str, name: &str, ftype: FileType| {
+            let (parent, name) = (parent.to_string(), name.to_string());
+            sim.with_actor::<AdminClient, _>(admin, move |_, ctx| {
+                ctx.send(
+                    mds0,
+                    MdsMsg::Create {
+                        reqid,
+                        parent_path: parent,
+                        name,
+                        ftype,
+                    },
+                );
+            });
+        };
+        send_create(&mut cluster.sim, 1, "/", "seq", FileType::Dir);
+        cluster.sim.run_for(SimDuration::from_millis(100));
+        for k in 0..cfg.sequencers {
+            send_create(
+                &mut cluster.sim,
+                10 + u64::from(k),
+                "/seq",
+                &format!("s{k}"),
+                FileType::Sequencer,
+            );
+        }
+        cluster.sim.run_for(SimDuration::from_millis(200));
+        let seq_inos: Vec<Ino> = (0..cfg.sequencers)
+            .map(|k| {
+                let admin_ref = cluster.sim.actor::<AdminClient>(admin);
+                admin_ref
+                    .created
+                    .get(&(10 + u64::from(k)))
+                    .cloned()
+                    .unwrap_or_else(|| panic!("sequencer {k} not created"))
+                    .expect("create succeeded")
+            })
+            .collect();
+        // Spawn workload clients.
+        let mds_nodes = cluster.mds_nodes();
+        let mut clients = Vec::new();
+        for (k, ino) in seq_inos.iter().enumerate() {
+            let mut row = Vec::new();
+            for i in 0..cfg.clients_per_seq {
+                let node = cluster.alloc_node();
+                let series = format!("{}.s{k}.c{i}", cfg.prefix);
+                cluster.sim.add_node(
+                    node,
+                    SeqWorkload::new(mds_nodes.clone(), 0, *ino, cfg.mode, series),
+                );
+                row.push(node);
+            }
+            clients.push(row);
+        }
+        cluster.sim.run_for(SimDuration::from_millis(100));
+        SeqBench {
+            cluster,
+            seq_inos,
+            clients,
+            admin,
+            prefix: cfg.prefix,
+        }
+    }
+
+    /// Starts every workload client.
+    pub fn start_all(&mut self) {
+        for row in self.clients.clone() {
+            for node in row {
+                self.cluster
+                    .sim
+                    .with_actor::<SeqWorkload, _>(node, |w, ctx| w.start(ctx));
+            }
+        }
+    }
+
+    /// Stops every workload client.
+    pub fn stop_all(&mut self) {
+        for row in self.clients.clone() {
+            for node in row {
+                self.cluster
+                    .sim
+                    .with_actor::<SeqWorkload, _>(node, |w, ctx| w.stop(ctx));
+            }
+        }
+    }
+
+    /// Total positions obtained across all clients.
+    pub fn total_ops(&self) -> u64 {
+        self.clients
+            .iter()
+            .flatten()
+            .map(|n| self.cluster.sim.actor::<SeqWorkload>(*n).stats.ops)
+            .sum()
+    }
+
+    /// Positions obtained per sequencer.
+    pub fn ops_per_seq(&self) -> Vec<u64> {
+        self.clients
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|n| self.cluster.sim.actor::<SeqWorkload>(*n).stats.ops)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// All position events of one sequencer as `(t_seconds, count)`,
+    /// merged across its clients and both recording encodings.
+    pub fn events_of_seq(&self, k: usize) -> Vec<(f64, f64)> {
+        let metrics = self.cluster.sim.metrics();
+        let mut events = Vec::new();
+        for i in 0..self.clients[k].len() {
+            for suffix in ["ops", "batch"] {
+                let name = format!("{}.s{k}.c{i}.{suffix}", self.prefix);
+                for s in metrics.series(&name) {
+                    events.push((s.at.as_secs_f64(), s.value));
+                }
+            }
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        events
+    }
+
+    /// Sets the capability policy of sequencer `k`.
+    pub fn set_policy(&mut self, k: usize, policy: mala_mds::types::CapPolicyConfig) {
+        let mds0 = self.cluster.mds_node(0);
+        let ino = self.seq_inos[k];
+        self.cluster
+            .sim
+            .with_actor::<AdminClient, _>(self.admin, move |_, ctx| {
+                ctx.send(mds0, MdsMsg::SetCapPolicy { ino, policy });
+            });
+        self.cluster.sim.run_for(SimDuration::from_millis(10));
+    }
+
+    /// Administratively migrates sequencer `k` to `rank` with `style`.
+    pub fn migrate(&mut self, k: usize, rank: u32, style: mala_mds::ServeStyle) {
+        let mds0 = self.cluster.mds_node(0);
+        let ino = self.seq_inos[k];
+        self.cluster
+            .sim
+            .with_actor::<AdminClient, _>(self.admin, move |_, ctx| {
+                ctx.send(
+                    mds0,
+                    MdsMsg::AdminExport {
+                        ino,
+                        target: rank,
+                        style,
+                    },
+                );
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_runs_round_trip_workload() {
+        let mut bench = SeqBench::build(SeqBenchCfg {
+            sequencers: 2,
+            clients_per_seq: 2,
+            ..Default::default()
+        });
+        assert_eq!(bench.seq_inos.len(), 2);
+        bench.start_all();
+        bench.cluster.sim.run_for(SimDuration::from_secs(2));
+        bench.stop_all();
+        let total = bench.total_ops();
+        assert!(total > 1000, "only {total} ops in 2 s");
+        let per_seq = bench.ops_per_seq();
+        assert_eq!(per_seq.len(), 2);
+        assert!(per_seq.iter().all(|o| *o > 0));
+        assert!(!bench.events_of_seq(0).is_empty());
+    }
+
+    #[test]
+    fn cached_mode_batches() {
+        let mut bench = SeqBench::build(SeqBenchCfg {
+            mode: SeqMode::Cached {
+                op_time: SimDuration::from_micros(5),
+            },
+            clients_per_seq: 2,
+            prefix: "cachedtest".to_string(),
+            ..Default::default()
+        });
+        bench.set_policy(
+            0,
+            mala_mds::types::CapPolicyConfig::quota(1000, SimDuration::from_millis(250)),
+        );
+        bench.start_all();
+        bench.cluster.sim.run_for(SimDuration::from_secs(2));
+        bench.stop_all();
+        let total = bench.total_ops();
+        assert!(total > 50_000, "cached mode too slow: {total}");
+        // Both clients made progress (the capability alternated).
+        for node in &bench.clients[0] {
+            let stats = bench.cluster.sim.actor::<SeqWorkload>(*node).stats;
+            assert!(stats.ops > 0);
+            assert!(stats.grants > 1);
+        }
+    }
+}

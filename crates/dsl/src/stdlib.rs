@@ -1,0 +1,376 @@
+//! Standard library installed into every Cephalo interpreter.
+//!
+//! A deliberately small, deterministic surface: no OS access, no wall-clock
+//! time, no ambient randomness. Anything a policy script needs from its
+//! daemon arrives through embedding-specific natives instead.
+
+use std::rc::Rc;
+
+use crate::interp::{Interp, RtError};
+use crate::value::{fmt_num, HostCtx, Key, Value};
+
+fn arg(args: &[Value], i: usize) -> Value {
+    args.get(i).cloned().unwrap_or(Value::Nil)
+}
+
+fn num_arg(name: &str, args: &[Value], i: usize) -> Result<f64, RtError> {
+    arg(args, i)
+        .as_num()
+        .ok_or_else(|| RtError::new(format!("{name}: argument {} must be a number", i + 1)))
+}
+
+/// Installs the standard library into `interp`.
+pub fn install(interp: &mut Interp) {
+    // print(...) — joins arguments with tabs into the output buffer.
+    interp.register(
+        "print",
+        Rc::new(|ctx: &mut HostCtx<'_>, args: &[Value]| {
+            let line = args
+                .iter()
+                .map(Value::display)
+                .collect::<Vec<_>>()
+                .join("\t");
+            ctx.output.push(line);
+            Ok(Value::Nil)
+        }),
+    );
+
+    // tostring(v)
+    interp.register(
+        "tostring",
+        Rc::new(|_, args| Ok(Value::str(arg(args, 0).display()))),
+    );
+
+    // tonumber(v) — nil on failure, like Lua.
+    interp.register(
+        "tonumber",
+        Rc::new(|_, args| {
+            Ok(match arg(args, 0) {
+                Value::Num(n) => Value::Num(n),
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<f64>()
+                    .map(Value::Num)
+                    .unwrap_or(Value::Nil),
+                _ => Value::Nil,
+            })
+        }),
+    );
+
+    // type(v)
+    interp.register(
+        "type",
+        Rc::new(|_, args| Ok(Value::str(arg(args, 0).type_name()))),
+    );
+
+    // error(msg) — raises a runtime error.
+    interp.register(
+        "error",
+        Rc::new(|_, args| Err(RtError::new(arg(args, 0).display()))),
+    );
+
+    // assert(cond, [msg])
+    interp.register(
+        "assert",
+        Rc::new(|_, args| {
+            if arg(args, 0).truthy() {
+                Ok(arg(args, 0))
+            } else {
+                let msg = match arg(args, 1) {
+                    Value::Nil => "assertion failed".to_string(),
+                    v => v.display(),
+                };
+                Err(RtError::new(msg))
+            }
+        }),
+    );
+
+    // Math.
+    macro_rules! unary_math {
+        ($name:literal, $f:expr) => {
+            interp.register(
+                $name,
+                Rc::new(|_, args| {
+                    let x = num_arg($name, args, 0)?;
+                    #[allow(clippy::redundant_closure_call)]
+                    Ok(Value::Num(($f)(x)))
+                }),
+            );
+        };
+    }
+    unary_math!("floor", |x: f64| x.floor());
+    unary_math!("ceil", |x: f64| x.ceil());
+    unary_math!("abs", |x: f64| x.abs());
+    unary_math!("sqrt", |x: f64| x.sqrt());
+    unary_math!("exp", |x: f64| x.exp());
+    unary_math!("log", |x: f64| x.ln());
+
+    interp.register(
+        "min",
+        Rc::new(|_, args| {
+            let mut best = num_arg("min", args, 0)?;
+            for (i, _) in args.iter().enumerate().skip(1) {
+                best = best.min(num_arg("min", args, i)?);
+            }
+            Ok(Value::Num(best))
+        }),
+    );
+    interp.register(
+        "max",
+        Rc::new(|_, args| {
+            let mut best = num_arg("max", args, 0)?;
+            for (i, _) in args.iter().enumerate().skip(1) {
+                best = best.max(num_arg("max", args, i)?);
+            }
+            Ok(Value::Num(best))
+        }),
+    );
+
+    // Tables.
+    interp.register(
+        "insert",
+        Rc::new(|_, args| {
+            let t = arg(args, 0);
+            let t = t
+                .as_table()
+                .ok_or_else(|| RtError::new("insert: argument 1 must be a table"))?;
+            t.borrow_mut().push(arg(args, 1));
+            Ok(Value::Nil)
+        }),
+    );
+    interp.register(
+        "remove",
+        Rc::new(|_, args| {
+            let t = arg(args, 0);
+            let t = t
+                .as_table()
+                .ok_or_else(|| RtError::new("remove: argument 1 must be a table"))?;
+            let popped = t.borrow_mut().pop();
+            Ok(popped.unwrap_or(Value::Nil))
+        }),
+    );
+    interp.register(
+        "keys",
+        Rc::new(|_, args| {
+            let t = arg(args, 0);
+            let t = t
+                .as_table()
+                .ok_or_else(|| RtError::new("keys: argument 1 must be a table"))?;
+            let mut out = crate::value::Table::new();
+            for (k, _) in t.borrow().iter() {
+                out.push(match k {
+                    Key::Int(i) => Value::Num(i as f64),
+                    Key::Str(s) => Value::str(s),
+                });
+            }
+            Ok(Value::from_table(out))
+        }),
+    );
+
+    // Strings.
+    interp.register(
+        "sub",
+        Rc::new(|_, args| {
+            let s = arg(args, 0);
+            let s = s
+                .as_str()
+                .ok_or_else(|| RtError::new("sub: argument 1 must be a string"))?
+                .to_string();
+            let len = s.len() as i64;
+            let norm = |i: f64| -> i64 {
+                let i = i as i64;
+                if i < 0 {
+                    (len + i + 1).max(1)
+                } else {
+                    i.max(1)
+                }
+            };
+            let from = norm(num_arg("sub", args, 1)?);
+            let to = match arg(args, 2) {
+                Value::Nil => len,
+                v => {
+                    let i = v
+                        .as_num()
+                        .ok_or_else(|| RtError::new("sub: argument 3 must be a number"))?;
+                    let i = i as i64;
+                    if i < 0 {
+                        len + i + 1
+                    } else {
+                        i.min(len)
+                    }
+                }
+            };
+            if from > to {
+                return Ok(Value::str(""));
+            }
+            Ok(Value::str(&s[(from - 1) as usize..to as usize]))
+        }),
+    );
+    interp.register(
+        "find",
+        Rc::new(|_, args| {
+            let s = arg(args, 0);
+            let s = s
+                .as_str()
+                .ok_or_else(|| RtError::new("find: argument 1 must be a string"))?;
+            let needle = arg(args, 1);
+            let needle = needle
+                .as_str()
+                .ok_or_else(|| RtError::new("find: argument 2 must be a string"))?;
+            Ok(match s.find(needle) {
+                Some(i) => Value::Num((i + 1) as f64), // 1-based, like Lua
+                None => Value::Nil,
+            })
+        }),
+    );
+    interp.register(
+        "split",
+        Rc::new(|_, args| {
+            let s = arg(args, 0);
+            let s = s
+                .as_str()
+                .ok_or_else(|| RtError::new("split: argument 1 must be a string"))?;
+            let sep = arg(args, 1);
+            let sep = sep
+                .as_str()
+                .ok_or_else(|| RtError::new("split: argument 2 must be a string"))?;
+            let mut out = crate::value::Table::new();
+            if sep.is_empty() {
+                out.push(Value::str(s));
+            } else {
+                for part in s.split(sep) {
+                    out.push(Value::str(part));
+                }
+            }
+            Ok(Value::from_table(out))
+        }),
+    );
+    interp.register(
+        "format_num",
+        Rc::new(|_, args| {
+            let n = num_arg("format_num", args, 0)?;
+            let digits = match arg(args, 1) {
+                Value::Nil => 2.0,
+                v => v
+                    .as_num()
+                    .ok_or_else(|| RtError::new("format_num: argument 2 must be a number"))?,
+            };
+            Ok(Value::str(format!("{:.*}", digits as usize, n)))
+        }),
+    );
+    interp.register(
+        "fmt",
+        Rc::new(|_, args| Ok(Value::str(fmt_num(num_arg("fmt", args, 0)?)))),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Script;
+
+    fn run(src: &str) -> Interp {
+        let script = Script::compile(src).unwrap();
+        let mut interp = Interp::new();
+        interp.load(&script).unwrap();
+        interp
+    }
+
+    #[test]
+    fn print_collects_output() {
+        let mut interp = run("print(\"a\", 1, true)\nprint({1, k = 2})");
+        assert_eq!(interp.take_output(), vec!["a\t1\ttrue", "{1, k = 2}"]);
+        assert!(interp.take_output().is_empty());
+    }
+
+    #[test]
+    fn tostring_tonumber_round_trip() {
+        let interp = run("a = tostring(3.5)\nb = tonumber(\" 42 \")\nc = tonumber(\"nope\")");
+        assert_eq!(interp.global("a"), Value::str("3.5"));
+        assert_eq!(interp.global("b"), Value::from(42.0));
+        assert_eq!(interp.global("c"), Value::Nil);
+    }
+
+    #[test]
+    fn type_builtin() {
+        let interp = run("a = type(nil)\nb = type(1)\nc = type({})\nd = type(print)");
+        assert_eq!(interp.global("a"), Value::str("nil"));
+        assert_eq!(interp.global("b"), Value::str("number"));
+        assert_eq!(interp.global("c"), Value::str("table"));
+        assert_eq!(interp.global("d"), Value::str("function"));
+    }
+
+    #[test]
+    fn error_and_assert() {
+        let script = Script::compile("error(\"boom\")").unwrap();
+        let err = Interp::new().load(&script).unwrap_err();
+        assert_eq!(err.message, "boom");
+
+        let script = Script::compile("assert(false, \"nope\")").unwrap();
+        let err = Interp::new().load(&script).unwrap_err();
+        assert_eq!(err.message, "nope");
+
+        run("assert(1 == 1)");
+    }
+
+    #[test]
+    fn math_builtins() {
+        let interp = run(
+            "a = floor(2.7)\nb = ceil(2.1)\nc = abs(-3)\nd = sqrt(16)\ne = min(3, 1, 2)\nf = max(3, 1, 2)",
+        );
+        assert_eq!(interp.global("a"), Value::from(2.0));
+        assert_eq!(interp.global("b"), Value::from(3.0));
+        assert_eq!(interp.global("c"), Value::from(3.0));
+        assert_eq!(interp.global("d"), Value::from(4.0));
+        assert_eq!(interp.global("e"), Value::from(1.0));
+        assert_eq!(interp.global("f"), Value::from(3.0));
+    }
+
+    #[test]
+    fn table_insert_remove_keys() {
+        let interp = run(
+            "t = {}\ninsert(t, 5)\ninsert(t, 6)\nn = #t\nx = remove(t)\nm = #t\nt2 = {a = 1, b = 2}\nks = keys(t2)\nk1 = ks[1]",
+        );
+        assert_eq!(interp.global("n"), Value::from(2.0));
+        assert_eq!(interp.global("x"), Value::from(6.0));
+        assert_eq!(interp.global("m"), Value::from(1.0));
+        assert_eq!(interp.global("k1"), Value::str("a"));
+    }
+
+    #[test]
+    fn string_sub() {
+        let interp = run(
+            "a = sub(\"hello\", 2)\nb = sub(\"hello\", 2, 3)\nc = sub(\"hello\", -3)\nd = sub(\"hello\", 4, 2)",
+        );
+        assert_eq!(interp.global("a"), Value::str("ello"));
+        assert_eq!(interp.global("b"), Value::str("el"));
+        assert_eq!(interp.global("c"), Value::str("llo"));
+        assert_eq!(interp.global("d"), Value::str(""));
+    }
+
+    #[test]
+    fn format_helpers() {
+        let interp = run("a = format_num(3.14159, 2)\nb = fmt(4)");
+        assert_eq!(interp.global("a"), Value::str("3.14"));
+        assert_eq!(interp.global("b"), Value::str("4"));
+    }
+
+    #[test]
+    fn find_and_split() {
+        let interp = run(
+            "a = find(\"hello\", \"ll\")\nb = find(\"hello\", \"zz\")\nt = split(\"1:22:333\", \":\")\nn = #t\nx = t[2]\ne = split(\"abc\", \"\")",
+        );
+        assert_eq!(interp.global("a"), Value::from(3.0));
+        assert_eq!(interp.global("b"), Value::Nil);
+        assert_eq!(interp.global("n"), Value::from(3.0));
+        assert_eq!(interp.global("x"), Value::str("22"));
+    }
+
+    #[test]
+    fn wrong_arg_types_error() {
+        for src in ["floor(\"x\")", "insert(1, 2)", "sub(1, 2)"] {
+            let script = Script::compile(src).unwrap();
+            assert!(Interp::new().load(&script).is_err(), "{src}");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Stock Mantle policies used by the paper's experiments and this
+//! repository's benches/examples. All are plain Cephalo source, shippable
+//! through the monitor's `mantle` map like any administrator-written
+//! policy.
+
+use mala_consensus::{MapUpdate, SERVICE_MAP_MANTLE};
+
+use crate::MANTLE_POLICY_KEY;
+
+/// Greedy spread (a Mantle rendering of the stock CephFS heuristic): when
+/// this rank is ≥10% above the mean, ship half the excess to the
+/// least-loaded rank, client mode.
+pub const GREEDY_SPREAD_POLICY: &str = r#"
+function least_loaded()
+    local best = nil
+    local i = 1
+    while mds[i] ~= nil do
+        if i ~= whoami then
+            if best == nil or mds[i]["load"] < mds[best]["load"] then
+                best = i
+            end
+        end
+        i = i + 1
+    end
+    return best
+end
+
+function when()
+    return mds[whoami]["load"] > avg * 1.1
+end
+
+function balance()
+    local target = least_loaded()
+    if target ~= nil then
+        targets[target] = (mds[whoami]["load"] - avg) / 2
+    end
+end
+"#;
+
+/// The sequencer-aware policy of §6.2 (the "Mantle" curve in Fig. 9):
+/// conservative `when()` — wait until the candidate target's residual
+/// coherence load has settled — then migrate whole sequencers, proxy
+/// mode, one target per tick.
+pub const SEQUENCER_AWARE_POLICY: &str = r#"
+function pick_target()
+    local best = nil
+    local i = 1
+    while mds[i] ~= nil do
+        if i ~= whoami then
+            if best == nil or mds[i]["load"] < mds[best]["load"] then
+                best = i
+            end
+        end
+        i = i + 1
+    end
+    return best
+end
+
+function when()
+    if mds[whoami]["load"] <= avg * 1.1 then
+        return false
+    end
+    -- Conservative: do not pile onto a server still absorbing an import
+    -- (the ~60 s cache-coherence settling the paper describes).
+    local target = pick_target()
+    if target == nil then return false end
+    if mds[target]["coherence"] > avg * 0.05 + 1 then
+        return false
+    end
+    return true
+end
+
+function balance()
+    local target = pick_target()
+    if target ~= nil then
+        mode = "proxy"
+        only_type = "sequencer"
+        -- One sequencer's worth of load per tick: cautious, stepwise.
+        targets[target] = (mds[whoami]["load"] - avg) / 2
+    end
+end
+"#;
+
+/// §6.2.2 "Proxy Mode (Half)": ship half this rank's load to the next
+/// rank, proxy mode. Contains the paper's verbatim snippet.
+pub const PROXY_HALF_POLICY: &str = r#"
+function when()
+    -- One-shot, driven from the first server only (the Fig. 10b setup).
+    -- Wait until the target rank's heartbeat is visible, or the latch
+    -- would burn on a tick where the export cannot be routed.
+    if mds[whoami + 1] == nil then return false end
+    return whoami == 1 and state.done == nil and mds[whoami]["load"] > 0
+end
+
+function balance()
+    mode = "proxy"
+    targets[whoami + 1] = mds[whoami]["load"] / 2
+    state.done = 1
+end
+"#;
+
+/// §6.2.2 "Proxy Mode (Full)": ship everything, proxy mode.
+pub const PROXY_FULL_POLICY: &str = r#"
+function when()
+    if mds[whoami + 1] == nil then return false end
+    return whoami == 1 and state.done == nil and mds[whoami]["load"] > 0
+end
+
+function balance()
+    mode = "proxy"
+    targets[whoami + 1] = mds[whoami]["load"]
+    state.done = 1
+end
+"#;
+
+/// "Client Mode (Half)": redirecting variant of the half-migration.
+pub const CLIENT_HALF_POLICY: &str = r#"
+function when()
+    if mds[whoami + 1] == nil then return false end
+    return whoami == 1 and state.done == nil and mds[whoami]["load"] > 0
+end
+
+function balance()
+    mode = "client"
+    targets[whoami + 1] = mds[whoami]["load"] / 2
+    state.done = 1
+end
+"#;
+
+/// "Client Mode (Full)": redirecting variant of the full migration.
+pub const CLIENT_FULL_POLICY: &str = r#"
+function when()
+    if mds[whoami + 1] == nil then return false end
+    return whoami == 1 and state.done == nil and mds[whoami]["load"] > 0
+end
+
+function balance()
+    mode = "client"
+    targets[whoami + 1] = mds[whoami]["load"]
+    state.done = 1
+end
+"#;
+
+/// §6.2.3 backoff: act only after `threshold` consecutive overloaded
+/// ticks, and hold off `cooldown` ticks after each migration (the
+/// "countdown after a migration" built on Mantle's saved state).
+pub fn backoff_policy(threshold: u32, cooldown: u32) -> String {
+    format!(
+        r#"
+function when()
+    if state.overloaded == nil then state.overloaded = 0 end
+    if state.cooldown == nil then state.cooldown = 0 end
+    if state.cooldown > 0 then
+        state.cooldown = state.cooldown - 1
+        return false
+    end
+    if mds[whoami]["load"] > avg * 1.1 then
+        state.overloaded = state.overloaded + 1
+    else
+        state.overloaded = 0
+    end
+    return state.overloaded >= {threshold}
+end
+
+function balance()
+    local best = nil
+    local i = 1
+    while mds[i] ~= nil do
+        if i ~= whoami then
+            if best == nil or mds[i]["load"] < mds[best]["load"] then
+                best = i
+            end
+        end
+        i = i + 1
+    end
+    if best ~= nil then
+        mode = "proxy"
+        targets[best] = (mds[whoami]["load"] - avg) / 2
+        state.overloaded = 0
+        state.cooldown = {cooldown}
+    end
+end
+"#
+    )
+}
+
+/// The monitor update pointing the cluster at a new policy object
+/// (the §5.1.1 version pointer). The policy source itself must already be
+/// durable in RADOS under `object_name`.
+pub fn policy_pointer_update(object_name: &str) -> MapUpdate {
+    MapUpdate::set(
+        SERVICE_MAP_MANTLE,
+        MANTLE_POLICY_KEY,
+        object_name.as_bytes().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mala_dsl::Script;
+
+    #[test]
+    fn all_stock_policies_compile() {
+        for (name, src) in [
+            ("greedy", GREEDY_SPREAD_POLICY),
+            ("seq-aware", SEQUENCER_AWARE_POLICY),
+            ("proxy-half", PROXY_HALF_POLICY),
+            ("proxy-full", PROXY_FULL_POLICY),
+            ("client-half", CLIENT_HALF_POLICY),
+            ("client-full", CLIENT_FULL_POLICY),
+        ] {
+            Script::compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        Script::compile(&backoff_policy(3, 5)).unwrap();
+    }
+
+    #[test]
+    fn pointer_update_targets_mantle_map() {
+        let up = policy_pointer_update("mantle_policy_v7");
+        assert_eq!(up.map, SERVICE_MAP_MANTLE);
+        assert_eq!(up.key, MANTLE_POLICY_KEY);
+        assert_eq!(up.value.unwrap(), b"mantle_policy_v7".to_vec());
+    }
+}

@@ -1,0 +1,40 @@
+//! Simulated CephFS metadata service (MDS).
+//!
+//! The MDS cluster supplies three of Malacology's interfaces:
+//!
+//! * **Shared Resource** (paper §4.3.1) — the capability/lease protocol in
+//!   [`caps`]: exclusive, cacheable access to an inode with pluggable
+//!   sharing policies (best-effort, bounded hold time, operation quotas).
+//!   Figures 5–7 are entirely this machinery.
+//! * **File Type** (§4.3.2) — inodes carry a type tag and an embedded
+//!   state blob; domain-specific types (ZLog's sequencer) change locking
+//!   and capability behaviour.
+//! * **Load Balancing** (§4.3.3) — dynamic subtree partitioning in
+//!   [`server`]: per-MDS load accounting, export/import of inodes between
+//!   ranks, proxy vs. direct (client) serving modes, and a pluggable
+//!   [`balancer::Balancer`] evaluated on a fixed tick. Mantle plugs in
+//!   here; Figures 9–12 are this machinery.
+//!
+//! Namespace durability comes from journaling mutations into RADOS
+//! ([`namespace`]), which is Malacology's Durability interface at work:
+//! a restarted MDS replays its journal object.
+//!
+//! Performance model: each MDS is a single-server queue. Every request
+//! class has a configurable service cost ([`server::MdsCostModel`]) and
+//! requests occupy the server back-to-back, so throughput saturates at
+//! `1/cost` — reproducing the saturation-and-crossover shapes in the
+//! paper's figures rather than their absolute numbers.
+
+pub mod balancer;
+pub mod caps;
+pub mod mdsmap;
+pub mod namespace;
+pub mod server;
+pub mod types;
+
+pub use balancer::{BalanceView, Balancer, CephFsBalancer, CephFsMode, Export, NoBalancer};
+pub use caps::{CapPolicy, CapState};
+pub use mdsmap::MdsMapView;
+pub use namespace::{Inode, Namespace};
+pub use server::{Mds, MdsConfig, MdsCostModel};
+pub use types::{FileType, Ino, MdsMsg, ServeStyle};

@@ -1,0 +1,407 @@
+//! The POSIX-style hierarchical namespace and its journal encoding.
+//!
+//! Every MDS rank holds a replica of the namespace *structure* (as Ceph
+//! MDSs cache dentries); authority over an inode — who may grant caps and
+//! serve type operations — is tracked separately by the server. Mutations
+//! are journaled as compact text records appended to a per-rank RADOS
+//! object, and a restarted MDS replays that journal (the paper's
+//! Durability interface backing the metadata service).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::types::{FileType, Ino, MdsError, ROOT_INO};
+
+/// One inode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// Inode number.
+    pub ino: Ino,
+    /// Parent inode (self for root).
+    pub parent: Ino,
+    /// Entry name under the parent.
+    pub name: String,
+    /// File type.
+    pub ftype: FileType,
+    /// Embedded file-type state (e.g. the sequencer tail). The paper's
+    /// File Type interface embeds domain state directly in the inode.
+    pub embedded: u64,
+    /// Children (directories only): name → ino.
+    pub children: BTreeMap<String, Ino>,
+}
+
+/// The in-memory namespace.
+#[derive(Debug, Clone)]
+pub struct Namespace {
+    inodes: HashMap<Ino, Inode>,
+    next_ino: Ino,
+}
+
+impl Namespace {
+    /// A namespace holding only `/`.
+    pub fn new() -> Namespace {
+        let mut inodes = HashMap::new();
+        inodes.insert(
+            ROOT_INO,
+            Inode {
+                ino: ROOT_INO,
+                parent: ROOT_INO,
+                name: String::new(),
+                ftype: FileType::Dir,
+                embedded: 0,
+                children: BTreeMap::new(),
+            },
+        );
+        Namespace {
+            inodes,
+            next_ino: ROOT_INO + 1,
+        }
+    }
+
+    /// Looks up an inode by number.
+    pub fn get(&self, ino: Ino) -> Option<&Inode> {
+        self.inodes.get(&ino)
+    }
+
+    /// Mutable inode access.
+    pub fn get_mut(&mut self, ino: Ino) -> Option<&mut Inode> {
+        self.inodes.get_mut(&ino)
+    }
+
+    /// Number of inodes (including root).
+    pub fn len(&self) -> usize {
+        self.inodes.len()
+    }
+
+    /// Whether only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.inodes.len() == 1
+    }
+
+    /// Resolves an absolute path.
+    pub fn resolve(&self, path: &str) -> Result<Ino, MdsError> {
+        let mut cur = ROOT_INO;
+        for part in path.split('/').filter(|p| !p.is_empty()) {
+            let dir = self.inodes.get(&cur).ok_or(MdsError::NotFound)?;
+            cur = *dir.children.get(part).ok_or(MdsError::NotFound)?;
+        }
+        Ok(cur)
+    }
+
+    /// The absolute path of an inode (diagnostics).
+    pub fn path_of(&self, ino: Ino) -> Option<String> {
+        let mut parts = Vec::new();
+        let mut cur = ino;
+        while cur != ROOT_INO {
+            let inode = self.inodes.get(&cur)?;
+            parts.push(inode.name.clone());
+            cur = inode.parent;
+        }
+        parts.reverse();
+        Some(format!("/{}", parts.join("/")))
+    }
+
+    /// Creates an entry under `parent`. Returns the new inode number.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for a missing/non-dir parent, `Exists` for a duplicate
+    /// name.
+    pub fn create(&mut self, parent: Ino, name: &str, ftype: FileType) -> Result<Ino, MdsError> {
+        if name.is_empty() || name.contains('/') {
+            return Err(MdsError::NotFound);
+        }
+        let ino = self.next_ino;
+        {
+            let dir = self.inodes.get_mut(&parent).ok_or(MdsError::NotFound)?;
+            if dir.ftype != FileType::Dir {
+                return Err(MdsError::BadType);
+            }
+            if dir.children.contains_key(name) {
+                return Err(MdsError::Exists);
+            }
+            dir.children.insert(name.to_string(), ino);
+        }
+        self.inodes.insert(
+            ino,
+            Inode {
+                ino,
+                parent,
+                name: name.to_string(),
+                ftype,
+                embedded: 0,
+                children: BTreeMap::new(),
+            },
+        );
+        self.next_ino += 1;
+        Ok(ino)
+    }
+
+    /// Applies a create with a *fixed* inode number (replica application:
+    /// the authoritative MDS allocated the number).
+    pub fn apply_create(
+        &mut self,
+        ino: Ino,
+        parent: Ino,
+        name: &str,
+        ftype: FileType,
+    ) -> Result<(), MdsError> {
+        if self.inodes.contains_key(&ino) {
+            return Ok(()); // idempotent replay
+        }
+        let dir = self.inodes.get_mut(&parent).ok_or(MdsError::NotFound)?;
+        dir.children.insert(name.to_string(), ino);
+        self.inodes.insert(
+            ino,
+            Inode {
+                ino,
+                parent,
+                name: name.to_string(),
+                ftype,
+                embedded: 0,
+                children: BTreeMap::new(),
+            },
+        );
+        self.next_ino = self.next_ino.max(ino + 1);
+        Ok(())
+    }
+
+    /// All inodes of a given file type (used by type-aware balancers).
+    pub fn inodes_of_type(&self, ftype: &FileType) -> Vec<Ino> {
+        let mut v: Vec<Ino> = self
+            .inodes
+            .values()
+            .filter(|i| &i.ftype == ftype)
+            .map(|i| i.ino)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Default for Namespace {
+    fn default() -> Self {
+        Namespace::new()
+    }
+}
+
+/// A journal record: one namespace mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalEntry {
+    /// Entry creation.
+    Create {
+        /// Allocated inode number.
+        ino: Ino,
+        /// Parent inode.
+        parent: Ino,
+        /// Entry name.
+        name: String,
+        /// File type.
+        ftype: FileType,
+    },
+    /// Embedded-state flush (e.g. sequencer tail written back on cap
+    /// release).
+    SetEmbedded {
+        /// Target inode.
+        ino: Ino,
+        /// New embedded value.
+        value: u64,
+    },
+}
+
+impl JournalEntry {
+    /// Encodes to one journal line.
+    pub fn encode(&self) -> String {
+        match self {
+            JournalEntry::Create {
+                ino,
+                parent,
+                name,
+                ftype,
+            } => format!("C {ino} {parent} {} {name}\n", ftype.name()),
+            JournalEntry::SetEmbedded { ino, value } => format!("E {ino} {value}\n"),
+        }
+    }
+
+    /// Decodes one journal line; `None` for unparseable lines (a replayer
+    /// must tolerate torn tails).
+    pub fn decode(line: &str) -> Option<JournalEntry> {
+        let mut parts = line.split(' ');
+        match parts.next()? {
+            "C" => {
+                let ino = parts.next()?.parse().ok()?;
+                let parent = parts.next()?.parse().ok()?;
+                let ftype = FileType::parse(parts.next()?)?;
+                let name = parts.collect::<Vec<_>>().join(" ");
+                if name.is_empty() {
+                    return None;
+                }
+                Some(JournalEntry::Create {
+                    ino,
+                    parent,
+                    name,
+                    ftype,
+                })
+            }
+            "E" => {
+                let ino = parts.next()?.parse().ok()?;
+                let value = parts.next()?.parse().ok()?;
+                Some(JournalEntry::SetEmbedded { ino, value })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Replays a journal blob into a fresh namespace.
+pub fn replay_journal(data: &[u8]) -> Namespace {
+    let mut ns = Namespace::new();
+    for line in String::from_utf8_lossy(data).lines() {
+        match JournalEntry::decode(line) {
+            Some(JournalEntry::Create {
+                ino,
+                parent,
+                name,
+                ftype,
+            }) => {
+                let _ = ns.apply_create(ino, parent, &name, ftype);
+            }
+            Some(JournalEntry::SetEmbedded { ino, value }) => {
+                if let Some(inode) = ns.get_mut(ino) {
+                    inode.embedded = value;
+                }
+            }
+            None => {}
+        }
+    }
+    ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_resolve_paths() {
+        let mut ns = Namespace::new();
+        let dir = ns.create(ROOT_INO, "logs", FileType::Dir).unwrap();
+        let seq = ns.create(dir, "seq0", FileType::Sequencer).unwrap();
+        assert_eq!(ns.resolve("/logs"), Ok(dir));
+        assert_eq!(ns.resolve("/logs/seq0"), Ok(seq));
+        assert_eq!(ns.resolve("/"), Ok(ROOT_INO));
+        assert_eq!(ns.resolve("/nope"), Err(MdsError::NotFound));
+        assert_eq!(ns.path_of(seq).unwrap(), "/logs/seq0");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut ns = Namespace::new();
+        ns.create(ROOT_INO, "a", FileType::Regular).unwrap();
+        assert_eq!(
+            ns.create(ROOT_INO, "a", FileType::Regular),
+            Err(MdsError::Exists)
+        );
+    }
+
+    #[test]
+    fn create_under_file_rejected() {
+        let mut ns = Namespace::new();
+        let f = ns.create(ROOT_INO, "f", FileType::Regular).unwrap();
+        assert_eq!(
+            ns.create(f, "child", FileType::Regular),
+            Err(MdsError::BadType)
+        );
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        let mut ns = Namespace::new();
+        assert!(ns.create(ROOT_INO, "", FileType::Regular).is_err());
+        assert!(ns.create(ROOT_INO, "a/b", FileType::Regular).is_err());
+    }
+
+    #[test]
+    fn journal_round_trip() {
+        let entries = vec![
+            JournalEntry::Create {
+                ino: 2,
+                parent: 1,
+                name: "logs".into(),
+                ftype: FileType::Dir,
+            },
+            JournalEntry::Create {
+                ino: 3,
+                parent: 2,
+                name: "seq with space".into(),
+                ftype: FileType::Sequencer,
+            },
+            JournalEntry::SetEmbedded { ino: 3, value: 42 },
+        ];
+        for e in &entries {
+            let line = e.encode();
+            assert_eq!(JournalEntry::decode(line.trim_end()).as_ref(), Some(e));
+        }
+    }
+
+    #[test]
+    fn journal_replay_restores_namespace() {
+        let mut ns = Namespace::new();
+        let dir = ns.create(ROOT_INO, "d", FileType::Dir).unwrap();
+        let seq = ns.create(dir, "s", FileType::Sequencer).unwrap();
+        let mut blob = String::new();
+        blob.push_str(
+            &JournalEntry::Create {
+                ino: dir,
+                parent: ROOT_INO,
+                name: "d".into(),
+                ftype: FileType::Dir,
+            }
+            .encode(),
+        );
+        blob.push_str(
+            &JournalEntry::Create {
+                ino: seq,
+                parent: dir,
+                name: "s".into(),
+                ftype: FileType::Sequencer,
+            }
+            .encode(),
+        );
+        blob.push_str(
+            &JournalEntry::SetEmbedded {
+                ino: seq,
+                value: 99,
+            }
+            .encode(),
+        );
+        blob.push_str("garbage line that must be ignored\n");
+        let replayed = replay_journal(blob.as_bytes());
+        assert_eq!(replayed.resolve("/d/s"), Ok(seq));
+        assert_eq!(replayed.get(seq).unwrap().embedded, 99);
+        assert_eq!(replayed.get(seq).unwrap().ftype, FileType::Sequencer);
+        // Allocation continues after the replayed range.
+        let mut replayed = replayed;
+        let fresh = replayed.create(ROOT_INO, "new", FileType::Regular).unwrap();
+        assert!(fresh > seq);
+    }
+
+    #[test]
+    fn apply_create_is_idempotent() {
+        let mut ns = Namespace::new();
+        ns.apply_create(5, ROOT_INO, "x", FileType::Regular)
+            .unwrap();
+        ns.apply_create(5, ROOT_INO, "x", FileType::Regular)
+            .unwrap();
+        assert_eq!(ns.resolve("/x"), Ok(5));
+        assert_eq!(ns.len(), 2);
+    }
+
+    #[test]
+    fn inodes_of_type_filters() {
+        let mut ns = Namespace::new();
+        ns.create(ROOT_INO, "a", FileType::Sequencer).unwrap();
+        ns.create(ROOT_INO, "b", FileType::Regular).unwrap();
+        ns.create(ROOT_INO, "c", FileType::Sequencer).unwrap();
+        assert_eq!(ns.inodes_of_type(&FileType::Sequencer).len(), 2);
+        assert_eq!(ns.inodes_of_type(&FileType::Dir).len(), 1); // root
+    }
+}

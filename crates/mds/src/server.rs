@@ -1,0 +1,1129 @@
+//! The MDS daemon actor: request serving, capabilities, dynamic subtree
+//! partitioning, journaling, and the balancer tick.
+//!
+//! # Performance model
+//!
+//! Each MDS is a single FIFO server: every request class has a configured
+//! service cost ([`MdsCostModel`]) and requests occupy the server
+//! back-to-back (`busy_until` bookkeeping), so a rank's throughput
+//! saturates at `1/cost`. Two workload-dependent surcharges reproduce the
+//! phenomena in the paper's §6.2:
+//!
+//! * When the namespace is *split* — two or more ranks serve client-facing
+//!   inodes directly — every direct-serving rank pays a per-request
+//!   `coherence` surcharge (the metadata scatter-gather traffic), and
+//!   rank 0 additionally pays an `admin` surcharge ("the first server does
+//!   a lot of the cache coherence work", §6.2.2).
+//! * Proxied service splits the work: the home rank pays `handle +
+//!   forward`, the authoritative rank pays only `find`. This is why Proxy
+//!   Mode (Full) approaches 2× client mode in Figure 10(b).
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use mala_consensus::{MonMsg, SERVICE_MAP_MANTLE, SERVICE_MAP_MDS, SERVICE_MAP_OSD};
+use mala_rados::{ObjectId, Op, OpResult, OsdError, OsdMsg};
+use mala_sim::{Actor, Context, NodeId, SimDuration, SimTime};
+use rand::Rng;
+
+use crate::balancer::{BalanceView, Balancer, Export, LoadSample};
+use crate::caps::{CapAction, CapState};
+use crate::mdsmap::MdsMapView;
+use crate::namespace::{JournalEntry, Namespace};
+use crate::types::{CapPolicyConfig, FileType, Ino, MdsError, MdsMsg, ServeStyle};
+
+/// Service costs of the MDS queueing model.
+#[derive(Debug, Clone)]
+pub struct MdsCostModel {
+    /// Receiving, parsing, and answering one client request.
+    pub handle: SimDuration,
+    /// Executing a file-type operation (e.g. finding the log tail).
+    pub find: SimDuration,
+    /// Forwarding a proxied request to the authoritative rank.
+    pub forward: SimDuration,
+    /// Per-request scatter-gather surcharge on every direct-serving rank
+    /// while the namespace is split across ranks.
+    pub coherence: SimDuration,
+    /// Additional per-request surcharge on rank 0 while split (it
+    /// coordinates the coherence traffic).
+    pub admin: SimDuration,
+    /// Window over which an import's synthetic coherence load decays —
+    /// what a conservative Mantle `when()` policy waits out (§6.2.3).
+    pub settle: SimDuration,
+}
+
+impl Default for MdsCostModel {
+    fn default() -> Self {
+        MdsCostModel {
+            handle: SimDuration::from_micros(60),
+            find: SimDuration::from_micros(60),
+            forward: SimDuration::from_micros(30),
+            coherence: SimDuration::from_micros(180),
+            admin: SimDuration::from_micros(100),
+            settle: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// MDS configuration.
+#[derive(Debug, Clone)]
+pub struct MdsConfig {
+    /// Service cost model.
+    pub costs: MdsCostModel,
+    /// Balancing tick (Ceph default: 10 s).
+    pub balance_interval: SimDuration,
+    /// Capability policy check resolution.
+    pub cap_tick: SimDuration,
+    /// Journal namespace mutations to RADOS.
+    pub journal: bool,
+    /// Pool holding MDS metadata objects (journal, Mantle policies).
+    pub meta_pool: String,
+}
+
+impl Default for MdsConfig {
+    fn default() -> Self {
+        MdsConfig {
+            costs: MdsCostModel::default(),
+            balance_interval: SimDuration::from_secs(10),
+            cap_tick: SimDuration::from_millis(10),
+            journal: false,
+            meta_pool: "meta".to_string(),
+        }
+    }
+}
+
+/// Routing state for an inode whose authority moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Route {
+    /// Authoritative rank.
+    auth: u32,
+    /// Original (home) rank — the proxy in proxy mode.
+    home: u32,
+    /// Serving style.
+    style: ServeStyle,
+}
+
+const TIMER_BALANCE: u64 = 1;
+const TIMER_CAP: u64 = 2;
+const TIMER_JOURNAL: u64 = 3;
+const TIMER_MANTLE_TIMEOUT: u64 = 4;
+
+/// Peer-to-peer MDS messages.
+#[derive(Debug, Clone)]
+pub enum MdsPeer {
+    /// Load heartbeat, sent each balancing tick.
+    LoadShare {
+        /// The sender's sample.
+        sample: LoadSample,
+    },
+    /// Subtree/inode export: authority transfer.
+    Export {
+        /// The inode.
+        ino: Ino,
+        /// Its embedded file-type state.
+        embedded: u64,
+        /// Capability policy travelling with the inode.
+        policy: CapPolicyConfig,
+        /// Serving style after import.
+        style: ServeStyle,
+        /// The exporting (home) rank.
+        home: u32,
+        /// Load the inode carries (for the importer's coherence spike).
+        rate: f64,
+    },
+    /// Import acknowledgement.
+    ExportAck {
+        /// The inode.
+        ino: Ino,
+    },
+    /// Routing-table update broadcast after a migration.
+    RouteUpdate {
+        /// The inode.
+        ino: Ino,
+        /// New authoritative rank.
+        auth: u32,
+        /// Home rank.
+        home: u32,
+        /// Serving style.
+        style: ServeStyle,
+    },
+    /// A namespace mutation replicated from the creating rank.
+    NsReplicate {
+        /// The journal record.
+        entry: String,
+    },
+    /// Proxied type operation (home → auth).
+    ProxyOp {
+        /// Client's request id.
+        reqid: u64,
+        /// The client to answer.
+        client: NodeId,
+        /// Target inode.
+        ino: Ino,
+        /// Operation name.
+        op: String,
+    },
+}
+
+/// The MDS daemon actor.
+pub struct Mds {
+    /// This daemon's rank.
+    pub rank: u32,
+    monitor: NodeId,
+    config: MdsConfig,
+    balancer: Box<dyn Balancer>,
+
+    namespace: Namespace,
+    routes: HashMap<Ino, Route>,
+    caps: HashMap<Ino, CapState>,
+    frozen: HashSet<Ino>,
+    /// Exports deferred until the holder releases its capability.
+    pending_exports: HashMap<Ino, Export>,
+
+    mdsmap: MdsMapView,
+    osdmap: mala_rados::OsdMapView,
+
+    // Queueing model.
+    busy_until: SimTime,
+
+    // Load accounting.
+    served_this_tick: u64,
+    per_inode_this_tick: HashMap<Ino, u64>,
+    last_rates: HashMap<Ino, f64>,
+    coherence_spike: f64,
+    coherence_spike_at: SimTime,
+    peer_loads: HashMap<u32, LoadSample>,
+    last_tick_at: SimTime,
+
+    // Journal.
+    journal_buf: String,
+    journal_reqid: u64,
+    ready: bool,
+    stashed: VecDeque<(NodeId, MdsMsg)>,
+
+    // Mantle policy plumbing.
+    mantle_version_seen: u64,
+    mantle_fetch_reqid: Option<u64>,
+    mantle_fetch_deadline: Option<SimTime>,
+}
+
+impl Mds {
+    /// Creates rank `rank`, reporting to `monitor`, with the given policy.
+    pub fn new(rank: u32, monitor: NodeId, config: MdsConfig, balancer: Box<dyn Balancer>) -> Mds {
+        Mds {
+            rank,
+            monitor,
+            config,
+            balancer,
+            namespace: Namespace::new(),
+            routes: HashMap::new(),
+            caps: HashMap::new(),
+            frozen: HashSet::new(),
+            pending_exports: HashMap::new(),
+            mdsmap: MdsMapView::default(),
+            osdmap: mala_rados::OsdMapView::default(),
+            busy_until: SimTime::ZERO,
+            served_this_tick: 0,
+            per_inode_this_tick: HashMap::new(),
+            last_rates: HashMap::new(),
+            coherence_spike: 0.0,
+            coherence_spike_at: SimTime::ZERO,
+            peer_loads: HashMap::new(),
+            last_tick_at: SimTime::ZERO,
+            journal_buf: String::new(),
+            journal_reqid: 1,
+            ready: false,
+            stashed: VecDeque::new(),
+            mantle_version_seen: 0,
+            mantle_fetch_reqid: None,
+            mantle_fetch_deadline: None,
+        }
+    }
+
+    /// The namespace (tests / harness inspection).
+    pub fn namespace(&self) -> &Namespace {
+        &self.namespace
+    }
+
+    /// The balancer (harness inspection).
+    pub fn balancer(&self) -> &dyn Balancer {
+        self.balancer.as_ref()
+    }
+
+    /// Authoritative rank for `ino` under current routing.
+    pub fn auth_of(&self, ino: Ino) -> u32 {
+        self.routes.get(&ino).map(|r| r.auth).unwrap_or(0)
+    }
+
+    /// Whether this rank is authoritative for `ino`.
+    pub fn is_auth(&self, ino: Ino) -> bool {
+        self.auth_of(ino) == self.rank
+    }
+
+    /// Capability holder of `ino`, if any (harness inspection).
+    pub fn cap_holder(&self, ino: Ino) -> Option<NodeId> {
+        self.caps.get(&ino).and_then(|c| c.holder())
+    }
+
+    // ---- queueing model ----
+
+    /// Accounts `cost` of server occupancy; returns the delay from now
+    /// until this request's completion.
+    fn enqueue(&mut self, now: SimTime, cost: SimDuration) -> SimDuration {
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
+        self.busy_until = start + cost;
+        self.busy_until.since(now)
+    }
+
+    /// Ranks participating in metadata service for client-facing inodes:
+    /// the authoritative rank of every sequencer, plus the home rank of
+    /// every proxied one. When two or more ranks participate, the
+    /// namespace is *split* and the scatter-gather coherence protocol
+    /// runs between them.
+    fn participating_ranks(&self) -> HashSet<u32> {
+        let mut ranks = HashSet::new();
+        for ino in self.namespace.inodes_of_type(&FileType::Sequencer) {
+            match self.routes.get(&ino) {
+                Some(route) => {
+                    ranks.insert(route.auth);
+                    if route.style == ServeStyle::Proxy {
+                        ranks.insert(route.home);
+                    }
+                }
+                None => {
+                    ranks.insert(0);
+                }
+            }
+        }
+        ranks
+    }
+
+    /// Per-request surcharge on *direct* service while the namespace is
+    /// split. Proxied finds are exempt: shielding the slave from the
+    /// client-facing coherence work is exactly the benefit the paper
+    /// ascribes to proxy mode.
+    fn split_surcharge(&self) -> SimDuration {
+        if self.participating_ranks().len() < 2 {
+            return SimDuration::ZERO;
+        }
+        let mut extra = self.config.costs.coherence;
+        if self.rank == 0 {
+            extra = extra + self.config.costs.admin;
+        }
+        extra
+    }
+
+    fn account_request(&mut self, ino: Ino) {
+        self.served_this_tick += 1;
+        *self.per_inode_this_tick.entry(ino).or_insert(0) += 1;
+    }
+
+    // ---- type operations ----
+
+    fn exec_type_op(&mut self, ino: Ino, op: &str) -> Result<u64, MdsError> {
+        let inode = self.namespace.get_mut(ino).ok_or(MdsError::NotFound)?;
+        match (&inode.ftype, op) {
+            (FileType::Sequencer, "next") => {
+                let v = inode.embedded;
+                inode.embedded += 1;
+                Ok(v)
+            }
+            (FileType::Sequencer, "read") => Ok(inode.embedded),
+            (FileType::Sequencer, op) if op.starts_with("advance_to:") => {
+                // Used by ZLog recovery: restart the tail at the sealed
+                // maximum. Never moves backwards.
+                let v: u64 = op["advance_to:".len()..]
+                    .parse()
+                    .map_err(|_| MdsError::BadType)?;
+                inode.embedded = inode.embedded.max(v);
+                Ok(inode.embedded)
+            }
+            _ => Err(MdsError::BadType),
+        }
+    }
+
+    fn handle_type_op(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        reqid: u64,
+        ino: Ino,
+        op: String,
+    ) {
+        if self.frozen.contains(&ino) {
+            ctx.send(
+                from,
+                MdsMsg::TypeOpReply {
+                    reqid,
+                    result: Err(MdsError::Frozen),
+                    served_by: self.rank,
+                },
+            );
+            return;
+        }
+        let route = self.routes.get(&ino).copied().unwrap_or(Route {
+            auth: 0,
+            home: 0,
+            style: ServeStyle::Direct,
+        });
+        let costs = self.config.costs.clone();
+        if route.auth == self.rank {
+            // Serve directly.
+            let cost = costs.handle + costs.find + self.split_surcharge();
+            let delay = self.enqueue(ctx.now(), cost);
+            self.account_request(ino);
+            let result = self.exec_type_op(ino, &op);
+            let rank = self.rank;
+            ctx.metrics().incr("mds.typeops", 1);
+            ctx.send_after(
+                delay,
+                from,
+                MdsMsg::TypeOpReply {
+                    reqid,
+                    result,
+                    served_by: rank,
+                },
+            );
+        } else if route.home == self.rank && route.style == ServeStyle::Proxy {
+            // Proxy: the forward happens in the dispatch layer, off the
+            // serialized request path — it adds latency but does not
+            // occupy the server (which is what lets a proxy shovel far
+            // more requests than it could fully process).
+            self.account_request(ino);
+            ctx.metrics().incr("mds.proxied", 1);
+            if let Some(node) = self.mdsmap.node_of(route.auth) {
+                ctx.send_after(
+                    costs.forward,
+                    node,
+                    MdsPeer::ProxyOp {
+                        reqid,
+                        client: from,
+                        ino,
+                        op,
+                    },
+                );
+            } else {
+                ctx.send(
+                    from,
+                    MdsMsg::TypeOpReply {
+                        reqid,
+                        result: Err(MdsError::NotAuth { rank: route.auth }),
+                        served_by: self.rank,
+                    },
+                );
+            }
+        } else {
+            // Client mode: redirect.
+            ctx.send(
+                from,
+                MdsMsg::TypeOpReply {
+                    reqid,
+                    result: Err(MdsError::NotAuth { rank: route.auth }),
+                    served_by: self.rank,
+                },
+            );
+        }
+    }
+
+    fn handle_proxy_op(
+        &mut self,
+        ctx: &mut Context<'_>,
+        reqid: u64,
+        client: NodeId,
+        ino: Ino,
+        op: String,
+    ) {
+        let cost = self.config.costs.find;
+        let delay = self.enqueue(ctx.now(), cost);
+        self.account_request(ino);
+        let result = self.exec_type_op(ino, &op);
+        let rank = self.rank;
+        ctx.send_after(
+            delay,
+            client,
+            MdsMsg::TypeOpReply {
+                reqid,
+                result,
+                served_by: rank,
+            },
+        );
+    }
+
+    // ---- capabilities ----
+
+    fn run_cap_actions(&mut self, ctx: &mut Context<'_>, ino: Ino, actions: Vec<CapAction>) {
+        let Some(cap) = self.caps.get(&ino) else {
+            return;
+        };
+        let policy = cap.policy();
+        let state = self.namespace.get(ino).map(|i| i.embedded).unwrap_or(0);
+        let cost = self.config.costs.handle;
+        for action in actions {
+            let delay = self.enqueue(ctx.now(), cost);
+            match action {
+                CapAction::Grant { to } => {
+                    ctx.metrics().incr("mds.cap_grants", 1);
+                    ctx.send_after(
+                        delay,
+                        to,
+                        MdsMsg::CapGrant {
+                            ino,
+                            state,
+                            quota: policy.quota,
+                            max_hold: policy.max_hold,
+                        },
+                    );
+                }
+                CapAction::Recall { from } => {
+                    ctx.metrics().incr("mds.cap_recalls", 1);
+                    ctx.send_after(delay, from, MdsMsg::CapRecall { ino });
+                }
+            }
+        }
+    }
+
+    fn cap_entry(&mut self, ino: Ino) -> &mut CapState {
+        self.caps
+            .entry(ino)
+            .or_insert_with(|| CapState::new(CapPolicyConfig::best_effort()))
+    }
+
+    // ---- migration ----
+
+    fn start_export(&mut self, ctx: &mut Context<'_>, export: Export) {
+        let ino = export.ino;
+        if !self.is_auth(ino) || self.frozen.contains(&ino) {
+            return;
+        }
+        // A held capability must come home before the inode can move.
+        if let Some(cap) = self.caps.get_mut(&ino) {
+            if let Some(holder) = cap.holder() {
+                self.pending_exports.insert(ino, export);
+                ctx.send(holder, MdsMsg::CapRecall { ino });
+                return;
+            }
+        }
+        let Some(target_node) = self.mdsmap.node_of(export.target) else {
+            return;
+        };
+        let Some(inode) = self.namespace.get(ino) else {
+            return;
+        };
+        let rate = self.last_rates.get(&ino).copied().unwrap_or(0.0);
+        let policy = self
+            .caps
+            .get(&ino)
+            .map(|c| c.policy())
+            .unwrap_or_else(CapPolicyConfig::best_effort);
+        self.frozen.insert(ino);
+        ctx.metrics().incr("mds.exports", 1);
+        let now = ctx.now();
+        ctx.metrics().observe("mds.export_events", now, ino as f64);
+        let home = self.routes.get(&ino).map(|r| r.home).unwrap_or(self.rank);
+        ctx.send(
+            target_node,
+            MdsPeer::Export {
+                ino,
+                embedded: inode.embedded,
+                policy,
+                style: export.style,
+                home,
+                rate,
+            },
+        );
+    }
+
+    fn finish_export(&mut self, ctx: &mut Context<'_>, ino: Ino) {
+        self.frozen.remove(&ino);
+        self.caps.remove(&ino);
+        // Shedding an inode leaves residual coherence churn on the
+        // exporter too, though smaller than the importer's.
+        self.coherence_spike += self.last_rates.get(&ino).copied().unwrap_or(0.0) / 2.0;
+        self.coherence_spike_at = ctx.now();
+    }
+
+    fn broadcast_route(&mut self, ctx: &mut Context<'_>, ino: Ino, route: Route) {
+        self.routes.insert(ino, route);
+        for (rank, entry) in self.mdsmap.ranks.clone() {
+            if rank != self.rank && entry.up {
+                ctx.send(
+                    entry.node,
+                    MdsPeer::RouteUpdate {
+                        ino,
+                        auth: route.auth,
+                        home: route.home,
+                        style: route.style,
+                    },
+                );
+            }
+        }
+    }
+
+    // ---- balancing ----
+
+    fn coherence_now(&self, now: SimTime) -> f64 {
+        let settle = self.config.costs.settle.as_secs_f64();
+        if settle <= 0.0 {
+            return 0.0;
+        }
+        let age = now.saturating_since(self.coherence_spike_at).as_secs_f64();
+        (self.coherence_spike * (1.0 - age / settle)).max(0.0)
+    }
+
+    fn my_sample(&self, ctx: &mut Context<'_>, interval_s: f64) -> LoadSample {
+        let req_rate = self.served_this_tick as f64 / interval_s.max(1e-9);
+        // CPU proxy: proportional to request rate with multiplicative noise
+        // (the "dynamic and unpredictable" metric of §6.2.1).
+        let noise: f64 = ctx.rng().gen_range(0.6..1.4);
+        LoadSample {
+            rank: self.rank,
+            req_rate,
+            cpu: (req_rate / 100.0).min(100.0) * noise,
+            coherence: self.coherence_now(ctx.now()),
+        }
+    }
+
+    fn balance_tick(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let interval_s = now.saturating_since(self.last_tick_at).as_secs_f64();
+        self.last_tick_at = now;
+        let sample = self.my_sample(ctx, interval_s);
+        // Refresh per-inode rates.
+        self.last_rates = self
+            .per_inode_this_tick
+            .drain()
+            .map(|(ino, n)| (ino, n as f64 / interval_s.max(1e-9)))
+            .collect();
+        self.served_this_tick = 0;
+        let me = self.rank;
+        ctx.metrics()
+            .observe(&format!("mds.load.{me}"), now, sample.total());
+        // Heartbeat to peers.
+        for (rank, entry) in self.mdsmap.ranks.clone() {
+            if rank != self.rank && entry.up {
+                ctx.send(
+                    entry.node,
+                    MdsPeer::LoadShare {
+                        sample: sample.clone(),
+                    },
+                );
+            }
+        }
+        self.peer_loads.insert(self.rank, sample.clone());
+        // Build the policy view.
+        let mut loads: Vec<LoadSample> = self
+            .mdsmap
+            .up_ranks()
+            .iter()
+            .filter_map(|r| self.peer_loads.get(r).cloned())
+            .collect();
+        loads.sort_by_key(|l| l.rank);
+        let mut my_inodes: Vec<(Ino, f64, FileType)> = self
+            .last_rates
+            .iter()
+            .filter(|(ino, _)| self.is_auth(**ino))
+            .filter_map(|(ino, rate)| {
+                self.namespace
+                    .get(*ino)
+                    .map(|inode| (*ino, *rate, inode.ftype.clone()))
+            })
+            .collect();
+        my_inodes.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rates"));
+        let view = BalanceView {
+            whoami: self.rank,
+            now,
+            loads,
+            my_inodes,
+        };
+        let exports = self.balancer.decide(&view);
+        for line in self.balancer.take_log() {
+            ctx.send(
+                self.monitor,
+                MonMsg::ClusterLog {
+                    source: format!("mds.{}", self.rank),
+                    line,
+                },
+            );
+        }
+        for export in exports {
+            if export.target != self.rank && self.mdsmap.node_of(export.target).is_some() {
+                self.start_export(ctx, export);
+            }
+        }
+        // Mantle policy refresh: check the policy map version each tick.
+        self.maybe_fetch_policy(ctx);
+    }
+
+    // ---- Mantle policy plumbing ----
+
+    fn maybe_fetch_policy(&mut self, ctx: &mut Context<'_>) {
+        if !self.balancer.wants_policy() {
+            return;
+        }
+        ctx.send(
+            self.monitor,
+            MonMsg::Get {
+                map: SERVICE_MAP_MANTLE.to_string(),
+            },
+        );
+    }
+
+    fn on_mantle_map(&mut self, ctx: &mut Context<'_>, epoch: u64, object_name: Option<String>) {
+        if !self.balancer.wants_policy() || epoch <= self.mantle_version_seen {
+            return;
+        }
+        let Some(object_name) = object_name else {
+            return;
+        };
+        if self.osdmap.pools.is_empty() {
+            return; // no object store yet
+        }
+        // Dereference the version pointer: read the policy object from
+        // RADOS, with a timeout of half the balancing tick (§5.1.2).
+        let reqid = self.journal_reqid;
+        self.journal_reqid += 1;
+        let oid = ObjectId::new(self.config.meta_pool.clone(), object_name);
+        if let Some(primary) = self
+            .osdmap
+            .acting_set_for(&oid.pool, &oid.name)
+            .and_then(|a| a.first().copied())
+            .and_then(|p| self.osdmap.node_of(p))
+        {
+            self.mantle_fetch_reqid = Some(reqid);
+            self.mantle_version_seen = epoch;
+            let timeout = self.config.balance_interval.div(2);
+            self.mantle_fetch_deadline = Some(ctx.now() + timeout);
+            ctx.set_timer(timeout, TIMER_MANTLE_TIMEOUT);
+            ctx.send(
+                primary,
+                OsdMsg::ClientOp {
+                    reqid,
+                    oid,
+                    txn: vec![Op::Read {
+                        offset: 0,
+                        len: usize::MAX / 2,
+                    }],
+                    map_epoch: self.osdmap.epoch,
+                },
+            );
+        }
+    }
+
+    fn on_policy_fetched(&mut self, ctx: &mut Context<'_>, source: &str) {
+        let version = self.mantle_version_seen;
+        match self.balancer.install_policy(source, version) {
+            Ok(()) => {
+                ctx.send(
+                    self.monitor,
+                    MonMsg::ClusterLog {
+                        source: format!("mds.{}", self.rank),
+                        line: format!("mantle: installed balancer v{version}"),
+                    },
+                );
+                ctx.metrics().incr("mds.mantle_installs", 1);
+            }
+            Err(e) => {
+                ctx.send(
+                    self.monitor,
+                    MonMsg::ClusterLog {
+                        source: format!("mds.{}", self.rank),
+                        line: format!("mantle: balancer v{version} rejected: {e}"),
+                    },
+                );
+                ctx.metrics().incr("mds.mantle_install_errors", 1);
+            }
+        }
+    }
+
+    // ---- journal ----
+
+    fn journal(&mut self, entry: JournalEntry) {
+        if self.config.journal {
+            self.journal_buf.push_str(&entry.encode());
+        }
+    }
+
+    fn flush_journal(&mut self, ctx: &mut Context<'_>) {
+        if self.journal_buf.is_empty() || self.osdmap.pools.is_empty() {
+            return;
+        }
+        let data = std::mem::take(&mut self.journal_buf).into_bytes();
+        let oid = ObjectId::new(
+            self.config.meta_pool.clone(),
+            format!("mds_journal.{}", self.rank),
+        );
+        let reqid = self.journal_reqid;
+        self.journal_reqid += 1;
+        if let Some(primary) = self
+            .osdmap
+            .acting_set_for(&oid.pool, &oid.name)
+            .and_then(|a| a.first().copied())
+            .and_then(|p| self.osdmap.node_of(p))
+        {
+            ctx.send(
+                primary,
+                OsdMsg::ClientOp {
+                    reqid,
+                    oid,
+                    txn: vec![Op::Append { data }],
+                    map_epoch: self.osdmap.epoch,
+                },
+            );
+            ctx.metrics().incr("mds.journal_flushes", 1);
+        } else {
+            // No store reachable: keep buffering.
+            self.journal_buf = String::from_utf8(data).expect("journal is utf8");
+        }
+    }
+
+    fn try_recover(&mut self, ctx: &mut Context<'_>) {
+        // Called when the osdmap first becomes usable: read our journal.
+        if self.ready || !self.config.journal || self.osdmap.pools.is_empty() {
+            return;
+        }
+        let oid = ObjectId::new(
+            self.config.meta_pool.clone(),
+            format!("mds_journal.{}", self.rank),
+        );
+        if let Some(primary) = self
+            .osdmap
+            .acting_set_for(&oid.pool, &oid.name)
+            .and_then(|a| a.first().copied())
+            .and_then(|p| self.osdmap.node_of(p))
+        {
+            let reqid = u64::MAX; // reserved id for the recovery read
+            ctx.send(
+                primary,
+                OsdMsg::ClientOp {
+                    reqid,
+                    oid,
+                    txn: vec![Op::Read {
+                        offset: 0,
+                        len: usize::MAX / 2,
+                    }],
+                    map_epoch: self.osdmap.epoch,
+                },
+            );
+        }
+    }
+
+    fn become_ready(&mut self, ctx: &mut Context<'_>) {
+        self.ready = true;
+        while let Some((from, msg)) = self.stashed.pop_front() {
+            self.handle_client(ctx, from, msg);
+        }
+    }
+
+    // ---- client dispatch ----
+
+    fn handle_client(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: MdsMsg) {
+        match msg {
+            MdsMsg::Resolve { reqid, path } => {
+                let cost = self.config.costs.handle;
+                let delay = self.enqueue(ctx.now(), cost);
+                let result = self
+                    .namespace
+                    .resolve(&path)
+                    .map(|ino| (ino, self.auth_of(ino)));
+                ctx.send_after(delay, from, MdsMsg::Resolved { reqid, result });
+            }
+            MdsMsg::Create {
+                reqid,
+                parent_path,
+                name,
+                ftype,
+            } => {
+                let cost = self.config.costs.handle;
+                let delay = self.enqueue(ctx.now(), cost);
+                let result = self.namespace.resolve(&parent_path).and_then(|parent| {
+                    let ino = self.namespace.create(parent, &name, ftype.clone())?;
+                    self.journal(JournalEntry::Create {
+                        ino,
+                        parent,
+                        name: name.clone(),
+                        ftype: ftype.clone(),
+                    });
+                    // Replicate the structure to peer ranks.
+                    let entry = JournalEntry::Create {
+                        ino,
+                        parent,
+                        name: name.clone(),
+                        ftype,
+                    }
+                    .encode();
+                    for (rank, e) in self.mdsmap.ranks.clone() {
+                        if rank != self.rank && e.up {
+                            ctx.send(
+                                e.node,
+                                MdsPeer::NsReplicate {
+                                    entry: entry.clone(),
+                                },
+                            );
+                        }
+                    }
+                    Ok(ino)
+                });
+                ctx.send_after(delay, from, MdsMsg::Created { reqid, result });
+            }
+            MdsMsg::TypeOp { reqid, ino, op } => {
+                self.handle_type_op(ctx, from, reqid, ino, op);
+            }
+            MdsMsg::CapRequest { ino } => {
+                if !self.is_auth(ino) {
+                    // Capability traffic follows authority.
+                    return;
+                }
+                let now = ctx.now();
+                let actions = self.cap_entry(ino).request(from, now);
+                self.run_cap_actions(ctx, ino, actions);
+            }
+            MdsMsg::CapRelease { ino, state } => {
+                if let Some(inode) = self.namespace.get_mut(ino) {
+                    if state > inode.embedded {
+                        inode.embedded = state;
+                        self.journal(JournalEntry::SetEmbedded { ino, value: state });
+                    }
+                }
+                let now = ctx.now();
+                let actions = self
+                    .caps
+                    .get_mut(&ino)
+                    .map(|c| c.release(from, now))
+                    .unwrap_or_default();
+                self.run_cap_actions(ctx, ino, actions);
+                // A deferred export can proceed once the cap is home.
+                if let Some(export) = self.pending_exports.remove(&ino) {
+                    self.start_export(ctx, export);
+                }
+            }
+            MdsMsg::SetCapPolicy { ino, policy } => {
+                self.cap_entry(ino).set_policy(policy);
+            }
+            MdsMsg::AdminExport { ino, target, style } => {
+                self.start_export(ctx, Export { ino, target, style });
+            }
+            MdsMsg::Resolved { .. }
+            | MdsMsg::Created { .. }
+            | MdsMsg::TypeOpReply { .. }
+            | MdsMsg::CapGrant { .. }
+            | MdsMsg::CapRecall { .. } => {}
+        }
+    }
+}
+
+impl Actor for Mds {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for map in [SERVICE_MAP_MDS, SERVICE_MAP_OSD, SERVICE_MAP_MANTLE] {
+            ctx.send(
+                self.monitor,
+                MonMsg::Subscribe {
+                    map: map.to_string(),
+                },
+            );
+        }
+        ctx.set_timer(self.config.balance_interval, TIMER_BALANCE);
+        ctx.set_timer(self.config.cap_tick, TIMER_CAP);
+        ctx.set_timer(SimDuration::from_millis(500), TIMER_JOURNAL);
+        self.last_tick_at = ctx.now();
+        if !self.config.journal {
+            self.ready = true;
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Box<dyn Any>) {
+        // Monitor map traffic.
+        let msg = match msg.downcast::<MonMsg>() {
+            Ok(mon) => {
+                match *mon {
+                    MonMsg::Snapshot(snap) => match snap.map.as_str() {
+                        SERVICE_MAP_MDS if snap.epoch > self.mdsmap.epoch => {
+                            self.mdsmap = MdsMapView::from_snapshot(&snap);
+                        }
+                        SERVICE_MAP_OSD if snap.epoch > self.osdmap.epoch => {
+                            self.osdmap = mala_rados::OsdMapView::from_snapshot(&snap);
+                            self.try_recover(ctx);
+                        }
+                        SERVICE_MAP_MANTLE => {
+                            let name = snap
+                                .entries
+                                .get("balancer")
+                                .map(|v| String::from_utf8_lossy(v).into_owned());
+                            self.on_mantle_map(ctx, snap.epoch, name);
+                        }
+                        _ => {}
+                    },
+                    MonMsg::Changed { map, .. } => {
+                        // Re-fetch the full map (deltas may skip epochs).
+                        ctx.send(self.monitor, MonMsg::Get { map });
+                    }
+                    _ => {}
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        // Peer traffic.
+        let msg = match msg.downcast::<MdsPeer>() {
+            Ok(peer) => {
+                match *peer {
+                    MdsPeer::LoadShare { sample } => {
+                        self.peer_loads.insert(sample.rank, sample);
+                    }
+                    MdsPeer::Export {
+                        ino,
+                        embedded,
+                        policy,
+                        style,
+                        home,
+                        rate,
+                    } => {
+                        if let Some(inode) = self.namespace.get_mut(ino) {
+                            inode.embedded = embedded;
+                        }
+                        self.caps.insert(ino, CapState::new(policy));
+                        // Import churn: the paper's 60-second coherence
+                        // settling window starts here.
+                        self.coherence_spike = self.coherence_now(ctx.now()) + rate.max(1.0);
+                        self.coherence_spike_at = ctx.now();
+                        let route = Route {
+                            auth: self.rank,
+                            home,
+                            style,
+                        };
+                        self.broadcast_route(ctx, ino, route);
+                        ctx.metrics().incr("mds.imports", 1);
+                        ctx.send(from, MdsPeer::ExportAck { ino });
+                    }
+                    MdsPeer::ExportAck { ino } => {
+                        self.finish_export(ctx, ino);
+                    }
+                    MdsPeer::RouteUpdate {
+                        ino,
+                        auth,
+                        home,
+                        style,
+                    } => {
+                        self.routes.insert(ino, Route { auth, home, style });
+                        self.frozen.remove(&ino);
+                    }
+                    MdsPeer::NsReplicate { entry } => {
+                        if let Some(JournalEntry::Create {
+                            ino,
+                            parent,
+                            name,
+                            ftype,
+                        }) = JournalEntry::decode(entry.trim_end())
+                        {
+                            let _ = self.namespace.apply_create(ino, parent, &name, ftype);
+                        }
+                    }
+                    MdsPeer::ProxyOp {
+                        reqid,
+                        client,
+                        ino,
+                        op,
+                    } => {
+                        self.handle_proxy_op(ctx, reqid, client, ino, op);
+                    }
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        // OSD replies (journal / policy reads).
+        let msg = match msg.downcast::<OsdMsg>() {
+            Ok(osd) => {
+                if let OsdMsg::ClientReply { reqid, result, .. } = *osd {
+                    if reqid == u64::MAX {
+                        // Journal recovery read.
+                        let ns = match result {
+                            Ok(results) => match results.first() {
+                                Some(OpResult::Data(data)) => {
+                                    crate::namespace::replay_journal(data)
+                                }
+                                _ => Namespace::new(),
+                            },
+                            Err(OsdError::NoEnt) => Namespace::new(),
+                            Err(_) => Namespace::new(),
+                        };
+                        self.namespace = ns;
+                        ctx.metrics().incr("mds.journal_replays", 1);
+                        self.become_ready(ctx);
+                    } else if Some(reqid) == self.mantle_fetch_reqid {
+                        self.mantle_fetch_reqid = None;
+                        self.mantle_fetch_deadline = None;
+                        if let Ok(results) = result {
+                            if let Some(OpResult::Data(data)) = results.first() {
+                                let source = String::from_utf8_lossy(data).into_owned();
+                                self.on_policy_fetched(ctx, &source);
+                            }
+                        }
+                    }
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        // Client traffic.
+        if let Ok(msg) = msg.downcast::<MdsMsg>() {
+            if !self.ready {
+                self.stashed.push_back((from, *msg));
+                return;
+            }
+            self.handle_client(ctx, from, *msg);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        match token {
+            TIMER_BALANCE => {
+                if self.ready {
+                    self.balance_tick(ctx);
+                }
+                ctx.set_timer(self.config.balance_interval, TIMER_BALANCE);
+            }
+            TIMER_CAP => {
+                let now = ctx.now();
+                let due: Vec<(Ino, Vec<CapAction>)> = self
+                    .caps
+                    .iter_mut()
+                    .map(|(ino, cap)| (*ino, cap.on_tick(now)))
+                    .filter(|(_, a)| !a.is_empty())
+                    .collect();
+                for (ino, actions) in due {
+                    self.run_cap_actions(ctx, ino, actions);
+                }
+                ctx.set_timer(self.config.cap_tick, TIMER_CAP);
+            }
+            TIMER_JOURNAL => {
+                self.flush_journal(ctx);
+                ctx.set_timer(SimDuration::from_millis(500), TIMER_JOURNAL);
+            }
+            TIMER_MANTLE_TIMEOUT => {
+                if let Some(deadline) = self.mantle_fetch_deadline {
+                    if ctx.now() >= deadline && self.mantle_fetch_reqid.is_some() {
+                        // §5.1.2: the synchronous policy read gave up.
+                        self.mantle_fetch_reqid = None;
+                        self.mantle_fetch_deadline = None;
+                        // Allow a later retry of the same version.
+                        self.mantle_version_seen = self.mantle_version_seen.saturating_sub(1);
+                        ctx.send(
+                            self.monitor,
+                            MonMsg::ClusterLog {
+                                source: format!("mds.{}", self.rank),
+                                line: "mantle: Connection Timeout reading balancer policy"
+                                    .to_string(),
+                            },
+                        );
+                        ctx.metrics().incr("mds.mantle_fetch_timeouts", 1);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

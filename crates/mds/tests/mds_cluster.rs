@@ -1,0 +1,579 @@
+//! Integration tests for the MDS cluster: namespace operations, the
+//! capability protocol under the three sharing policies, migration in both
+//! serving modes, and journal-based recovery through RADOS.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use mala_consensus::{MonConfig, MonMsg, Monitor};
+use mala_mds::server::Mds;
+use mala_mds::types::CapPolicyConfig;
+use mala_mds::{
+    CephFsBalancer, CephFsMode, FileType, MdsConfig, MdsMapView, MdsMsg, NoBalancer, ServeStyle,
+};
+use mala_rados::{Osd, OsdConfig, OsdMapView, PoolInfo};
+use mala_sim::{Actor, Context, NodeId, Sim, SimDuration, SimTime};
+
+const MON: NodeId = NodeId(0);
+
+fn mds_node(rank: u32) -> NodeId {
+    NodeId(20 + rank)
+}
+
+fn client_node(i: u32) -> NodeId {
+    NodeId(100 + i)
+}
+
+/// A scripted test client collecting every MDS reply; also plays the
+/// capability game (acquire → local ops → release).
+#[derive(Default)]
+struct TestClient {
+    target: Option<NodeId>,
+    resolved: HashMap<u64, Result<(u64, u32), mala_mds::types::MdsError>>,
+    created: HashMap<u64, Result<u64, mala_mds::types::MdsError>>,
+    typeops: HashMap<u64, (Result<u64, mala_mds::types::MdsError>, u32)>,
+    grants: Vec<(SimTime, u64, u64)>,
+    recalls: Vec<(SimTime, u64)>,
+    /// While holding a cap: (ino, local tail).
+    holding: Option<(u64, u64)>,
+}
+
+impl Actor for TestClient {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Box<dyn Any>) {
+        let Ok(msg) = msg.downcast::<MdsMsg>() else {
+            return;
+        };
+        match *msg {
+            MdsMsg::Resolved { reqid, result } => {
+                self.resolved.insert(reqid, result);
+            }
+            MdsMsg::Created { reqid, result } => {
+                self.created.insert(reqid, result);
+            }
+            MdsMsg::TypeOpReply {
+                reqid,
+                result,
+                served_by,
+            } => {
+                self.typeops.insert(reqid, (result, served_by));
+            }
+            MdsMsg::CapGrant { ino, state, .. } => {
+                self.grants.push((ctx.now(), ino, state));
+                self.holding = Some((ino, state));
+            }
+            MdsMsg::CapRecall { ino } => {
+                self.recalls.push((ctx.now(), ino));
+                if let Some((held, tail)) = self.holding.take() {
+                    assert_eq!(held, ino);
+                    ctx.send(from, MdsMsg::CapRelease { ino, state: tail });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn build(ranks: u32) -> Sim {
+    let mut sim = Sim::new(5);
+    sim.add_node(MON, Monitor::new(0, vec![MON], MonConfig::default()));
+    for rank in 0..ranks {
+        sim.add_node(
+            mds_node(rank),
+            Mds::new(rank, MON, MdsConfig::default(), Box::new(NoBalancer)),
+        );
+    }
+    for i in 0..4 {
+        sim.add_node(client_node(i), TestClient::default());
+    }
+    let updates = (0..ranks)
+        .map(|r| MdsMapView::update_rank(r, mds_node(r), true))
+        .collect();
+    sim.inject(MON, MonMsg::Submit { seq: 1, updates });
+    sim.run_for(SimDuration::from_secs(3));
+    sim
+}
+
+fn send_from(sim: &mut Sim, client: NodeId, to: NodeId, msg: MdsMsg) {
+    sim.with_actor::<TestClient, _>(client, |c, ctx| {
+        c.target = Some(to);
+        ctx.send(to, msg);
+    });
+}
+
+fn create(
+    sim: &mut Sim,
+    client: NodeId,
+    reqid: u64,
+    parent: &str,
+    name: &str,
+    ftype: FileType,
+) -> u64 {
+    send_from(
+        sim,
+        client,
+        mds_node(0),
+        MdsMsg::Create {
+            reqid,
+            parent_path: parent.to_string(),
+            name: name.to_string(),
+            ftype,
+        },
+    );
+    sim.run_for(SimDuration::from_millis(50));
+    sim.actor::<TestClient>(client)
+        .created
+        .get(&reqid)
+        .cloned()
+        .unwrap_or_else(|| panic!("create {reqid} never completed"))
+        .unwrap()
+}
+
+#[test]
+fn create_and_resolve_through_wire() {
+    let mut sim = build(1);
+    let dir = create(&mut sim, client_node(0), 1, "/", "logs", FileType::Dir);
+    let seq = create(
+        &mut sim,
+        client_node(0),
+        2,
+        "/logs",
+        "seq0",
+        FileType::Sequencer,
+    );
+    assert!(seq > dir);
+    send_from(
+        &mut sim,
+        client_node(0),
+        mds_node(0),
+        MdsMsg::Resolve {
+            reqid: 3,
+            path: "/logs/seq0".into(),
+        },
+    );
+    sim.run_for(SimDuration::from_millis(50));
+    let client = sim.actor::<TestClient>(client_node(0));
+    assert_eq!(client.resolved[&3], Ok((seq, 0)));
+}
+
+#[test]
+fn sequencer_type_ops_are_strictly_increasing() {
+    let mut sim = build(1);
+    let seq = create(&mut sim, client_node(0), 1, "/", "s", FileType::Sequencer);
+    for reqid in 10..20 {
+        send_from(
+            &mut sim,
+            client_node(0),
+            mds_node(0),
+            MdsMsg::TypeOp {
+                reqid,
+                ino: seq,
+                op: "next".into(),
+            },
+        );
+    }
+    sim.run_for(SimDuration::from_millis(100));
+    let client = sim.actor::<TestClient>(client_node(0));
+    // Network jitter may reorder concurrent requests in flight; the
+    // sequencer guarantee is uniqueness and density, not arrival order.
+    let mut values: Vec<u64> = (10..20)
+        .map(|r| client.typeops[&r].0.clone().unwrap())
+        .collect();
+    values.sort_unstable();
+    assert_eq!(values, (0..10).collect::<Vec<u64>>());
+}
+
+#[test]
+fn namespace_replicates_to_peer_ranks() {
+    let mut sim = build(3);
+    let seq = create(
+        &mut sim,
+        client_node(0),
+        1,
+        "/",
+        "shared",
+        FileType::Sequencer,
+    );
+    sim.run_for(SimDuration::from_millis(100));
+    for rank in 0..3 {
+        let mds = sim.actor::<Mds>(mds_node(rank));
+        assert_eq!(
+            mds.namespace().resolve("/shared"),
+            Ok(seq),
+            "rank {rank} missing replicated entry"
+        );
+    }
+}
+
+#[test]
+fn cap_contention_alternates_between_clients() {
+    let mut sim = build(1);
+    let seq = create(&mut sim, client_node(0), 1, "/", "s", FileType::Sequencer);
+    // Both clients request; contention under best-effort policy.
+    for i in 0..2 {
+        send_from(
+            &mut sim,
+            client_node(i),
+            mds_node(0),
+            MdsMsg::CapRequest { ino: seq },
+        );
+    }
+    sim.run_for(SimDuration::from_millis(200));
+    // Client 0 got the grant, then a recall, released, client 1 granted.
+    let c0 = sim.actor::<TestClient>(client_node(0));
+    let c1 = sim.actor::<TestClient>(client_node(1));
+    assert_eq!(c0.grants.len(), 1);
+    assert_eq!(c0.recalls.len(), 1);
+    assert_eq!(c1.grants.len(), 1);
+    let mds = sim.actor::<Mds>(mds_node(0));
+    assert_eq!(mds.cap_holder(seq), Some(client_node(1)));
+}
+
+#[test]
+fn delay_policy_defers_recall() {
+    let mut sim = build(1);
+    let seq = create(&mut sim, client_node(0), 1, "/", "s", FileType::Sequencer);
+    send_from(
+        &mut sim,
+        client_node(0),
+        mds_node(0),
+        MdsMsg::SetCapPolicy {
+            ino: seq,
+            policy: CapPolicyConfig::delay(SimDuration::from_millis(250)),
+        },
+    );
+    sim.run_for(SimDuration::from_millis(10));
+    let t0 = sim.now();
+    send_from(
+        &mut sim,
+        client_node(0),
+        mds_node(0),
+        MdsMsg::CapRequest { ino: seq },
+    );
+    sim.run_for(SimDuration::from_millis(20));
+    send_from(
+        &mut sim,
+        client_node(1),
+        mds_node(0),
+        MdsMsg::CapRequest { ino: seq },
+    );
+    sim.run_for(SimDuration::from_secs(1));
+    let c0 = sim.actor::<TestClient>(client_node(0));
+    assert_eq!(c0.recalls.len(), 1);
+    let recall_after = c0.recalls[0].0.since(t0);
+    assert!(
+        recall_after >= SimDuration::from_millis(250),
+        "recall arrived after only {recall_after}"
+    );
+    let c1 = sim.actor::<TestClient>(client_node(1));
+    assert_eq!(c1.grants.len(), 1);
+}
+
+#[test]
+fn released_state_flushes_into_inode() {
+    let mut sim = build(1);
+    let seq = create(&mut sim, client_node(0), 1, "/", "s", FileType::Sequencer);
+    send_from(
+        &mut sim,
+        client_node(0),
+        mds_node(0),
+        MdsMsg::CapRequest { ino: seq },
+    );
+    sim.run_for(SimDuration::from_millis(20));
+    // Simulate 500 local increments, then a voluntary release.
+    sim.with_actor::<TestClient, _>(client_node(0), |c, ctx| {
+        let (ino, _) = c.holding.take().unwrap();
+        ctx.send(mds_node(0), MdsMsg::CapRelease { ino, state: 500 });
+    });
+    sim.run_for(SimDuration::from_millis(20));
+    let mds = sim.actor::<Mds>(mds_node(0));
+    assert_eq!(mds.namespace().get(seq).unwrap().embedded, 500);
+    // A round-trip op continues from the flushed value.
+    send_from(
+        &mut sim,
+        client_node(1),
+        mds_node(0),
+        MdsMsg::TypeOp {
+            reqid: 7,
+            ino: seq,
+            op: "next".into(),
+        },
+    );
+    sim.run_for(SimDuration::from_millis(50));
+    let c1 = sim.actor::<TestClient>(client_node(1));
+    assert_eq!(c1.typeops[&7].0.clone().unwrap(), 500);
+}
+
+#[test]
+fn admin_export_proxy_mode_forwards_and_serves() {
+    let mut sim = build(2);
+    let seq = create(&mut sim, client_node(0), 1, "/", "s", FileType::Sequencer);
+    sim.inject(
+        mds_node(0),
+        MdsMsg::AdminExport {
+            ino: seq,
+            target: 1,
+            style: ServeStyle::Proxy,
+        },
+    );
+    sim.run_for(SimDuration::from_secs(1));
+    assert!(sim.actor::<Mds>(mds_node(1)).is_auth(seq));
+    // Client keeps talking to rank 0; the op is served by rank 1.
+    send_from(
+        &mut sim,
+        client_node(0),
+        mds_node(0),
+        MdsMsg::TypeOp {
+            reqid: 9,
+            ino: seq,
+            op: "next".into(),
+        },
+    );
+    sim.run_for(SimDuration::from_millis(100));
+    let c0 = sim.actor::<TestClient>(client_node(0));
+    let (result, served_by) = c0.typeops[&9].clone();
+    assert_eq!(result.unwrap(), 0);
+    assert_eq!(served_by, 1, "proxy mode: slave rank serves the op");
+}
+
+#[test]
+fn admin_export_client_mode_redirects() {
+    let mut sim = build(2);
+    let seq = create(&mut sim, client_node(0), 1, "/", "s", FileType::Sequencer);
+    sim.inject(
+        mds_node(0),
+        MdsMsg::AdminExport {
+            ino: seq,
+            target: 1,
+            style: ServeStyle::Direct,
+        },
+    );
+    sim.run_for(SimDuration::from_secs(1));
+    // Stale client hits rank 0 → NotAuth redirect → retries at rank 1.
+    send_from(
+        &mut sim,
+        client_node(0),
+        mds_node(0),
+        MdsMsg::TypeOp {
+            reqid: 5,
+            ino: seq,
+            op: "next".into(),
+        },
+    );
+    sim.run_for(SimDuration::from_millis(100));
+    let redirect = {
+        let c0 = sim.actor::<TestClient>(client_node(0));
+        c0.typeops[&5].0.clone()
+    };
+    assert_eq!(
+        redirect,
+        Err(mala_mds::types::MdsError::NotAuth { rank: 1 })
+    );
+    send_from(
+        &mut sim,
+        client_node(0),
+        mds_node(1),
+        MdsMsg::TypeOp {
+            reqid: 6,
+            ino: seq,
+            op: "next".into(),
+        },
+    );
+    sim.run_for(SimDuration::from_millis(100));
+    let c0 = sim.actor::<TestClient>(client_node(0));
+    let (result, served_by) = c0.typeops[&6].clone();
+    assert_eq!(result.unwrap(), 0);
+    assert_eq!(served_by, 1);
+}
+
+#[test]
+fn export_with_held_cap_recalls_first() {
+    let mut sim = build(2);
+    let seq = create(&mut sim, client_node(0), 1, "/", "s", FileType::Sequencer);
+    send_from(
+        &mut sim,
+        client_node(0),
+        mds_node(0),
+        MdsMsg::CapRequest { ino: seq },
+    );
+    sim.run_for(SimDuration::from_millis(20));
+    sim.inject(
+        mds_node(0),
+        MdsMsg::AdminExport {
+            ino: seq,
+            target: 1,
+            style: ServeStyle::Direct,
+        },
+    );
+    sim.run_for(SimDuration::from_secs(1));
+    let c0 = sim.actor::<TestClient>(client_node(0));
+    assert_eq!(c0.recalls.len(), 1, "export must recall the cap first");
+    assert!(sim.actor::<Mds>(mds_node(1)).is_auth(seq));
+}
+
+#[test]
+fn cephfs_balancer_migrates_under_load() {
+    // 2 ranks; rank 0 hosts a hot sequencer driven by closed-loop traffic.
+    let mut sim = Sim::new(9);
+    sim.add_node(MON, Monitor::new(0, vec![MON], MonConfig::default()));
+    let mut config = MdsConfig::default();
+    config.balance_interval = SimDuration::from_secs(2);
+    for rank in 0..2 {
+        sim.add_node(
+            mds_node(rank),
+            Mds::new(
+                rank,
+                MON,
+                config.clone(),
+                Box::new(CephFsBalancer::new(CephFsMode::Workload)),
+            ),
+        );
+    }
+    sim.add_node(client_node(0), TestClient::default());
+    let updates = (0..2)
+        .map(|r| MdsMapView::update_rank(r, mds_node(r), true))
+        .collect();
+    sim.inject(MON, MonMsg::Submit { seq: 1, updates });
+    sim.run_for(SimDuration::from_secs(3));
+    // Two hot sequencers: the balancer sheds half the excess, so it needs
+    // at least two inodes on the overloaded rank before one can move.
+    let seq_a = create(
+        &mut sim,
+        client_node(0),
+        1,
+        "/",
+        "hot-a",
+        FileType::Sequencer,
+    );
+    let seq_b = create(
+        &mut sim,
+        client_node(0),
+        2,
+        "/",
+        "hot-b",
+        FileType::Sequencer,
+    );
+    // Drive steady traffic for several balance ticks.
+    let mut reqid = 100;
+    for i in 0..400 {
+        let ino = if i % 2 == 0 { seq_a } else { seq_b };
+        send_from(
+            &mut sim,
+            client_node(0),
+            mds_node(0),
+            MdsMsg::TypeOp {
+                reqid,
+                ino,
+                op: "next".into(),
+            },
+        );
+        reqid += 1;
+        sim.run_for(SimDuration::from_millis(20));
+    }
+    assert!(
+        sim.metrics().counter("mds.exports") > 0,
+        "overloaded rank 0 must export a hot inode"
+    );
+    let mds1 = sim.actor::<Mds>(mds_node(1));
+    assert!(
+        mds1.is_auth(seq_a) || mds1.is_auth(seq_b),
+        "one hot sequencer must now live on rank 1"
+    );
+}
+
+#[test]
+fn journal_recovery_after_mds_crash() {
+    // Full stack: monitor + 3 OSDs (meta pool) + 1 journaling MDS.
+    let mut sim = Sim::new(17);
+    sim.add_node(MON, Monitor::new(0, vec![MON], MonConfig::default()));
+    for i in 0..3 {
+        sim.add_node(NodeId(10 + i), Osd::new(i, MON, OsdConfig::default()));
+    }
+    let mut config = MdsConfig::default();
+    config.journal = true;
+    sim.add_node(
+        mds_node(0),
+        Mds::new(0, MON, config.clone(), Box::new(NoBalancer)),
+    );
+    sim.add_node(client_node(0), TestClient::default());
+    let mut updates = vec![
+        OsdMapView::update_pool(
+            "meta",
+            PoolInfo {
+                pg_num: 16,
+                replicas: 2,
+            },
+        ),
+        MdsMapView::update_rank(0, mds_node(0), true),
+    ];
+    for i in 0..3 {
+        updates.push(OsdMapView::update_osd(i, NodeId(10 + i), true));
+    }
+    sim.inject(MON, MonMsg::Submit { seq: 1, updates });
+    sim.run_for(SimDuration::from_secs(3));
+
+    let dir = create(&mut sim, client_node(0), 1, "/", "dir", FileType::Dir);
+    let seq = create(
+        &mut sim,
+        client_node(0),
+        2,
+        "/dir",
+        "seq",
+        FileType::Sequencer,
+    );
+    let _ = (dir, seq);
+    // Let the journal flush (500 ms timer), then crash the MDS.
+    sim.run_for(SimDuration::from_secs(2));
+    sim.crash(mds_node(0));
+    sim.restart(mds_node(0), Mds::new(0, MON, config, Box::new(NoBalancer)));
+    sim.run_for(SimDuration::from_secs(3));
+    // The restarted MDS must have replayed its journal.
+    send_from(
+        &mut sim,
+        client_node(0),
+        mds_node(0),
+        MdsMsg::Resolve {
+            reqid: 50,
+            path: "/dir/seq".into(),
+        },
+    );
+    sim.run_for(SimDuration::from_millis(200));
+    let client = sim.actor::<TestClient>(client_node(0));
+    let resolved = client.resolved.get(&50).cloned().expect("resolve done");
+    assert_eq!(resolved.map(|(ino, _)| ino), Ok(seq));
+    assert!(sim.metrics().counter("mds.journal_replays") > 0);
+}
+
+#[test]
+fn crashed_cap_holder_is_evicted_and_waiter_granted() {
+    let mut sim = build(1);
+    let seq = create(&mut sim, client_node(0), 1, "/", "s", FileType::Sequencer);
+    // Client 0 takes the capability, then dies without releasing.
+    send_from(
+        &mut sim,
+        client_node(0),
+        mds_node(0),
+        MdsMsg::CapRequest { ino: seq },
+    );
+    sim.run_for(SimDuration::from_millis(50));
+    assert_eq!(
+        sim.actor::<Mds>(mds_node(0)).cap_holder(seq),
+        Some(client_node(0))
+    );
+    sim.crash(client_node(0));
+    // Client 1 contends; recalls go unanswered until the holder timeout
+    // (the paper's §5.2.1 failure handling) evicts the dead client.
+    send_from(
+        &mut sim,
+        client_node(1),
+        mds_node(0),
+        MdsMsg::CapRequest { ino: seq },
+    );
+    sim.run_for(SimDuration::from_secs(3));
+    assert_eq!(
+        sim.actor::<Mds>(mds_node(0)).cap_holder(seq),
+        Some(client_node(1)),
+        "waiter must be granted after the dead holder's timeout"
+    );
+    let c1 = sim.actor::<TestClient>(client_node(1));
+    assert_eq!(c1.grants.len(), 1);
+}

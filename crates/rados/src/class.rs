@@ -1,0 +1,640 @@
+//! Object interface classes: co-designed storage interfaces executed on
+//! the OSD that holds the object (paper §2, §4.2).
+//!
+//! Two flavours coexist, as in the paper:
+//!
+//! * **Native classes** — Rust functions registered at build time,
+//!   mirroring Ceph's statically-loaded C++ classes. A few production-style
+//!   classes ship as built-ins ([`ClassRegistry::with_builtins`]): `lock`,
+//!   `refcount`, `version`, and `cls_log`.
+//! * **Scripted classes** — Cephalo source installed *at runtime*,
+//!   versioned and propagated cluster-wide through the monitor's Service
+//!   Metadata interface. These reproduce the dynamic Lua object interfaces
+//!   that Malacology contributes.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use mala_dsl::{Interp, RtError, Script, Value};
+
+use crate::object::Object;
+
+/// Error raised by a class method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassError {
+    /// errno-style code (negative, e.g. -22 for EINVAL).
+    pub code: i32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ClassError {
+    /// Builds an EINVAL-style error.
+    pub fn invalid(message: impl Into<String>) -> ClassError {
+        ClassError {
+            code: -22,
+            message: message.into(),
+        }
+    }
+
+    /// Builds an EBUSY-style error (e.g. lock contention).
+    pub fn busy(message: impl Into<String>) -> ClassError {
+        ClassError {
+            code: -16,
+            message: message.into(),
+        }
+    }
+
+    /// Builds an ESTALE-style error (epoch guard violations).
+    pub fn stale(message: impl Into<String>) -> ClassError {
+        ClassError {
+            code: -116,
+            message: message.into(),
+        }
+    }
+}
+
+/// Whether a method may mutate the object (drives replication decisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// Never mutates; may be served without replication.
+    ReadOnly,
+    /// May mutate; replicated like any write.
+    ReadWrite,
+}
+
+/// Execution context handed to native class methods: the object slot plus
+/// convenience accessors. Mutations participate in the enclosing
+/// transaction's atomicity (rolled back wholesale on error).
+pub struct ObjCtx<'a> {
+    /// The object slot (`None` = object absent).
+    pub slot: &'a mut Option<Object>,
+}
+
+impl ObjCtx<'_> {
+    /// The object, created on first mutation.
+    pub fn obj_mut(&mut self) -> &mut Object {
+        self.slot.get_or_insert_with(Object::new)
+    }
+
+    /// The object, if it exists.
+    pub fn obj(&self) -> Option<&Object> {
+        self.slot.as_ref()
+    }
+
+    /// Reads an omap value.
+    pub fn omap_get(&self, key: &str) -> Option<Vec<u8>> {
+        self.obj().and_then(|o| o.omap.get(key).cloned())
+    }
+
+    /// Reads an xattr.
+    pub fn xattr_get(&self, key: &str) -> Option<Vec<u8>> {
+        self.obj().and_then(|o| o.xattrs.get(key).cloned())
+    }
+}
+
+type NativeMethod = Rc<dyn Fn(&mut ObjCtx<'_>, &[u8]) -> Result<Vec<u8>, ClassError>>;
+
+struct ScriptedClass {
+    version: u64,
+    script: Script,
+    /// Cached interpreter with the script loaded; rebuilt on reinstall.
+    interp: RefCell<Interp>,
+}
+
+/// The per-OSD registry of object classes.
+pub struct ClassRegistry {
+    native: HashMap<(String, String), (MethodKind, NativeMethod)>,
+    scripted: HashMap<String, ScriptedClass>,
+}
+
+impl ClassRegistry {
+    /// An empty registry (no classes).
+    pub fn new() -> ClassRegistry {
+        ClassRegistry {
+            native: HashMap::new(),
+            scripted: HashMap::new(),
+        }
+    }
+
+    /// A registry pre-loaded with the built-in native classes.
+    pub fn with_builtins() -> ClassRegistry {
+        let mut reg = ClassRegistry::new();
+        crate::class_registry::install_builtin_classes(&mut reg);
+        reg
+    }
+
+    /// Registers a native method as `class.method`.
+    pub fn register_native(
+        &mut self,
+        class: &str,
+        method: &str,
+        kind: MethodKind,
+        f: NativeMethod,
+    ) {
+        self.native
+            .insert((class.to_string(), method.to_string()), (kind, f));
+    }
+
+    /// Installs (or upgrades) a scripted class from Cephalo source.
+    ///
+    /// Installation is idempotent per version; an older version never
+    /// replaces a newer one (late gossip must not roll interfaces back).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the source does not compile or its top level errors.
+    pub fn install_scripted(
+        &mut self,
+        class: &str,
+        source: &str,
+        version: u64,
+    ) -> Result<(), ClassError> {
+        if let Some(existing) = self.scripted.get(class) {
+            if existing.version >= version {
+                return Ok(());
+            }
+        }
+        let script = Script::compile(source)
+            .map_err(|e| ClassError::invalid(format!("compile error: {e}")))?;
+        let mut interp = Interp::new();
+        install_object_natives(&mut interp);
+        // Run the top level once (declares the method functions).
+        let mut probe = ObjHost { obj: None };
+        interp
+            .load_with(&script, &mut probe)
+            .map_err(|e| ClassError::invalid(format!("load error: {e}")))?;
+        self.scripted.insert(
+            class.to_string(),
+            ScriptedClass {
+                version,
+                script,
+                interp: RefCell::new(interp),
+            },
+        );
+        Ok(())
+    }
+
+    /// The installed version of a scripted class, if any.
+    pub fn scripted_version(&self, class: &str) -> Option<u64> {
+        self.scripted.get(class).map(|c| c.version)
+    }
+
+    /// Number of scripted classes installed.
+    pub fn scripted_count(&self) -> usize {
+        self.scripted.len()
+    }
+
+    /// Whether `class.method` resolves, and if so its kind.
+    pub fn method_kind(&self, class: &str, method: &str) -> Option<MethodKind> {
+        if let Some((kind, _)) = self.native.get(&(class.to_string(), method.to_string())) {
+            return Some(*kind);
+        }
+        let cls = self.scripted.get(class)?;
+        let interp = cls.interp.borrow();
+        if !interp.has_function(method) {
+            return None;
+        }
+        // Scripted classes may declare read-only methods in a
+        // `__readonly = {\"m1\", ...}` global; default is read-write.
+        if let Value::Table(t) = interp.global("__readonly") {
+            let ro = t
+                .borrow()
+                .array()
+                .iter()
+                .any(|v| v.as_str() == Some(method));
+            if ro {
+                return Some(MethodKind::ReadOnly);
+            }
+        }
+        Some(MethodKind::ReadWrite)
+    }
+
+    /// Invokes `class.method` against `slot` with `input`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ops::OsdError::NoClass`] if unresolved, or the class error.
+    pub fn call(
+        &self,
+        class: &str,
+        method: &str,
+        slot: &mut Option<Object>,
+        input: &[u8],
+    ) -> Result<Vec<u8>, crate::ops::OsdError> {
+        if let Some((_, f)) = self.native.get(&(class.to_string(), method.to_string())) {
+            let mut ctx = ObjCtx { slot };
+            return f(&mut ctx, input).map_err(crate::ops::OsdError::Class);
+        }
+        let Some(cls) = self.scripted.get(class) else {
+            return Err(crate::ops::OsdError::NoClass(format!("{class}.{method}")));
+        };
+        let mut interp = cls.interp.borrow_mut();
+        if !interp.has_function(method) {
+            return Err(crate::ops::OsdError::NoClass(format!("{class}.{method}")));
+        }
+        // The host must be `'static` to travel as `&mut dyn Any`, so it
+        // temporarily owns the object; the slot is restored afterwards
+        // regardless of the outcome (outer transaction handling rolls back
+        // on error).
+        let mut host = ObjHost { obj: slot.take() };
+        let arg = Value::str(String::from_utf8_lossy(input));
+        let out = interp.call(method, &[arg], &mut host);
+        *slot = host.obj;
+        let out = out.map_err(|e| crate::ops::OsdError::Class(rt_to_class(e)))?;
+        let bytes = match out {
+            Value::Nil => Vec::new(),
+            Value::Str(s) => s.as_bytes().to_vec(),
+            other => other.display().into_bytes(),
+        };
+        Ok(bytes)
+    }
+
+    /// Names of all scripted classes, sorted.
+    pub fn scripted_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.scripted.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Re-runs a scripted class's top level (used after interpreter state
+    /// is suspected stale). Mostly useful in tests.
+    pub fn reload_scripted(&mut self, class: &str) -> Result<(), ClassError> {
+        let Some(cls) = self.scripted.get_mut(class) else {
+            return Err(ClassError::invalid(format!("no such class {class}")));
+        };
+        let mut interp = Interp::new();
+        install_object_natives(&mut interp);
+        let mut probe = ObjHost { obj: None };
+        interp
+            .load_with(&cls.script, &mut probe)
+            .map_err(|e| ClassError::invalid(format!("load error: {e}")))?;
+        cls.interp = RefCell::new(interp);
+        Ok(())
+    }
+}
+
+impl Default for ClassRegistry {
+    fn default() -> Self {
+        ClassRegistry::new()
+    }
+}
+
+fn rt_to_class(e: RtError) -> ClassError {
+    // Scripts raise `error("ESTALE: ...")` style messages; map the common
+    // prefixes onto errno-style codes so callers can dispatch.
+    let msg = e.message;
+    let code = if msg.starts_with("ESTALE") {
+        -116
+    } else if msg.starts_with("EBUSY") {
+        -16
+    } else if msg.starts_with("EEXIST") {
+        -17
+    } else if msg.starts_with("ENOENT") {
+        -2
+    } else if msg.starts_with("EROFS") {
+        -30
+    } else {
+        -22
+    };
+    ClassError { code, message: msg }
+}
+
+/// Host state given to scripted class methods. Owns the object for the
+/// duration of the call so it can be `'static` (a `dyn Any` requirement).
+struct ObjHost {
+    obj: Option<Object>,
+}
+
+/// Registers the object-access natives scripted classes use.
+fn install_object_natives(interp: &mut Interp) {
+    macro_rules! with_host {
+        ($ctx:expr, $h:ident, $body:expr) => {{
+            let $h = $ctx
+                .host
+                .downcast_mut::<ObjHost>()
+                .ok_or_else(|| RtError::new("object natives require an object host"))?;
+            $body
+        }};
+    }
+
+    interp.register(
+        "data_size",
+        Rc::new(|ctx, _args| {
+            with_host!(ctx, h, {
+                Ok(Value::Num(
+                    h.obj.as_ref().map(|o| o.size()).unwrap_or(0) as f64
+                ))
+            })
+        }),
+    );
+    interp.register(
+        "data_read",
+        Rc::new(|ctx, args| {
+            let off = args.first().and_then(Value::as_num).unwrap_or(0.0) as usize;
+            let len = args.get(1).and_then(Value::as_num).unwrap_or(f64::MAX);
+            with_host!(ctx, h, {
+                let Some(o) = h.obj.as_ref() else {
+                    return Err(RtError::new("ENOENT: no object"));
+                };
+                let len = if len.is_finite() {
+                    len as usize
+                } else {
+                    o.size()
+                };
+                Ok(Value::str(String::from_utf8_lossy(o.read(off, len))))
+            })
+        }),
+    );
+    interp.register(
+        "data_write",
+        Rc::new(|ctx, args| {
+            let off = args.first().and_then(Value::as_num).unwrap_or(0.0) as usize;
+            let data = args
+                .get(1)
+                .and_then(Value::as_str)
+                .ok_or_else(|| RtError::new("data_write: argument 2 must be a string"))?
+                .to_string();
+            with_host!(ctx, h, {
+                h.obj
+                    .get_or_insert_with(Object::new)
+                    .write(off, data.as_bytes());
+                Ok(Value::Nil)
+            })
+        }),
+    );
+    interp.register(
+        "data_append",
+        Rc::new(|ctx, args| {
+            let data = args
+                .first()
+                .and_then(Value::as_str)
+                .ok_or_else(|| RtError::new("data_append: argument 1 must be a string"))?
+                .to_string();
+            with_host!(ctx, h, {
+                h.obj
+                    .get_or_insert_with(Object::new)
+                    .append(data.as_bytes());
+                Ok(Value::Nil)
+            })
+        }),
+    );
+    interp.register(
+        "omap_get",
+        Rc::new(|ctx, args| {
+            let key = args
+                .first()
+                .and_then(Value::as_str)
+                .ok_or_else(|| RtError::new("omap_get: argument 1 must be a string"))?
+                .to_string();
+            with_host!(ctx, h, {
+                Ok(match h.obj.as_ref().and_then(|o| o.omap.get(&key)) {
+                    Some(v) => Value::str(String::from_utf8_lossy(v)),
+                    None => Value::Nil,
+                })
+            })
+        }),
+    );
+    interp.register(
+        "omap_set",
+        Rc::new(|ctx, args| {
+            let key = args
+                .first()
+                .and_then(Value::as_str)
+                .ok_or_else(|| RtError::new("omap_set: argument 1 must be a string"))?
+                .to_string();
+            let val = args
+                .get(1)
+                .and_then(Value::as_str)
+                .ok_or_else(|| RtError::new("omap_set: argument 2 must be a string"))?
+                .to_string();
+            with_host!(ctx, h, {
+                h.obj
+                    .get_or_insert_with(Object::new)
+                    .omap
+                    .insert(key, val.into_bytes());
+                Ok(Value::Nil)
+            })
+        }),
+    );
+    interp.register(
+        "omap_del",
+        Rc::new(|ctx, args| {
+            let key = args
+                .first()
+                .and_then(Value::as_str)
+                .ok_or_else(|| RtError::new("omap_del: argument 1 must be a string"))?
+                .to_string();
+            with_host!(ctx, h, {
+                if let Some(o) = h.obj.as_mut() {
+                    o.omap.remove(&key);
+                }
+                Ok(Value::Nil)
+            })
+        }),
+    );
+    interp.register(
+        "omap_max_key",
+        Rc::new(|ctx, _args| {
+            with_host!(ctx, h, {
+                Ok(
+                    match h.obj.as_ref().and_then(|o| o.omap.keys().next_back()) {
+                        Some(k) => Value::str(k.clone()),
+                        None => Value::Nil,
+                    },
+                )
+            })
+        }),
+    );
+    interp.register(
+        "omap_len",
+        Rc::new(|ctx, _args| {
+            with_host!(ctx, h, {
+                Ok(Value::Num(
+                    h.obj.as_ref().map(|o| o.omap.len()).unwrap_or(0) as f64,
+                ))
+            })
+        }),
+    );
+    interp.register(
+        "xattr_get",
+        Rc::new(|ctx, args| {
+            let key = args
+                .first()
+                .and_then(Value::as_str)
+                .ok_or_else(|| RtError::new("xattr_get: argument 1 must be a string"))?
+                .to_string();
+            with_host!(ctx, h, {
+                Ok(match h.obj.as_ref().and_then(|o| o.xattrs.get(&key)) {
+                    Some(v) => Value::str(String::from_utf8_lossy(v)),
+                    None => Value::Nil,
+                })
+            })
+        }),
+    );
+    interp.register(
+        "xattr_set",
+        Rc::new(|ctx, args| {
+            let key = args
+                .first()
+                .and_then(Value::as_str)
+                .ok_or_else(|| RtError::new("xattr_set: argument 1 must be a string"))?
+                .to_string();
+            let val = args
+                .get(1)
+                .and_then(Value::as_str)
+                .ok_or_else(|| RtError::new("xattr_set: argument 2 must be a string"))?
+                .to_string();
+            with_host!(ctx, h, {
+                h.obj
+                    .get_or_insert_with(Object::new)
+                    .xattrs
+                    .insert(key, val.into_bytes());
+                Ok(Value::Nil)
+            })
+        }),
+    );
+    interp.register(
+        "obj_exists",
+        Rc::new(|ctx, _args| with_host!(ctx, h, Ok(Value::Bool(h.obj.is_some())))),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER_CLS: &str = r#"
+        __readonly = {"get"}
+
+        function get(input)
+            local v = omap_get("counter")
+            if v == nil then return "0" end
+            return v
+        end
+
+        function incr(input)
+            local v = tonumber(omap_get("counter"))
+            if v == nil then v = 0 end
+            local by = tonumber(input)
+            if by == nil then by = 1 end
+            v = v + by
+            omap_set("counter", fmt(v))
+            return fmt(v)
+        end
+    "#;
+
+    #[test]
+    fn scripted_class_round_trip() {
+        let mut reg = ClassRegistry::new();
+        reg.install_scripted("counter", COUNTER_CLS, 1).unwrap();
+        let mut slot = None;
+        let out = reg.call("counter", "incr", &mut slot, b"5").unwrap();
+        assert_eq!(out, b"5");
+        let out = reg.call("counter", "incr", &mut slot, b"3").unwrap();
+        assert_eq!(out, b"8");
+        let out = reg.call("counter", "get", &mut slot, b"").unwrap();
+        assert_eq!(out, b"8");
+        assert_eq!(
+            slot.as_ref().unwrap().omap.get("counter").unwrap(),
+            &b"8".to_vec()
+        );
+    }
+
+    #[test]
+    fn readonly_declaration_respected() {
+        let mut reg = ClassRegistry::new();
+        reg.install_scripted("counter", COUNTER_CLS, 1).unwrap();
+        assert_eq!(
+            reg.method_kind("counter", "get"),
+            Some(MethodKind::ReadOnly)
+        );
+        assert_eq!(
+            reg.method_kind("counter", "incr"),
+            Some(MethodKind::ReadWrite)
+        );
+        assert_eq!(reg.method_kind("counter", "nope"), None);
+        assert_eq!(reg.method_kind("nope", "get"), None);
+    }
+
+    #[test]
+    fn version_upgrade_and_downgrade_protection() {
+        let mut reg = ClassRegistry::new();
+        reg.install_scripted("c", "function f(i) return \"v1\" end", 1)
+            .unwrap();
+        let mut slot = None;
+        assert_eq!(reg.call("c", "f", &mut slot, b"").unwrap(), b"v1");
+        // Upgrade.
+        reg.install_scripted("c", "function f(i) return \"v2\" end", 2)
+            .unwrap();
+        assert_eq!(reg.call("c", "f", &mut slot, b"").unwrap(), b"v2");
+        assert_eq!(reg.scripted_version("c"), Some(2));
+        // Stale re-install is ignored.
+        reg.install_scripted("c", "function f(i) return \"v1\" end", 1)
+            .unwrap();
+        assert_eq!(reg.call("c", "f", &mut slot, b"").unwrap(), b"v2");
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let mut reg = ClassRegistry::new();
+        let err = reg.install_scripted("bad", "function (", 1).unwrap_err();
+        assert!(err.message.contains("compile error"));
+    }
+
+    #[test]
+    fn script_errors_map_to_errno_codes() {
+        let mut reg = ClassRegistry::new();
+        reg.install_scripted(
+            "guard",
+            r#"function check(input) error("ESTALE: epoch too old") end"#,
+            1,
+        )
+        .unwrap();
+        let mut slot = None;
+        let err = reg.call("guard", "check", &mut slot, b"").unwrap_err();
+        let crate::ops::OsdError::Class(ce) = err else {
+            panic!()
+        };
+        assert_eq!(ce.code, -116);
+    }
+
+    #[test]
+    fn missing_class_or_method() {
+        let reg = ClassRegistry::new();
+        let mut slot = None;
+        assert!(matches!(
+            reg.call("nope", "m", &mut slot, b""),
+            Err(crate::ops::OsdError::NoClass(_))
+        ));
+    }
+
+    #[test]
+    fn natives_read_write_all_object_parts() {
+        let mut reg = ClassRegistry::new();
+        reg.install_scripted(
+            "full",
+            r#"
+            function exercise(input)
+                data_append("abc")
+                data_write(3, "def")
+                xattr_set("epoch", "7")
+                omap_set("k1", "v1")
+                omap_set("k2", "v2")
+                local parts = data_read(0, 6) .. "|" .. xattr_get("epoch")
+                parts = parts .. "|" .. fmt(omap_len()) .. "|" .. omap_max_key()
+                omap_del("k2")
+                parts = parts .. "|" .. fmt(omap_len()) .. "|" .. fmt(data_size())
+                if obj_exists() then parts = parts .. "|yes" end
+                return parts
+            end
+            "#,
+            1,
+        )
+        .unwrap();
+        let mut slot = None;
+        let out = reg.call("full", "exercise", &mut slot, b"").unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "abcdef|7|2|k2|1|6|yes");
+    }
+}

@@ -1,0 +1,276 @@
+//! A librados-like client: maps object names onto PG primaries, tags
+//! requests with its osdmap epoch, and retries transparently across map
+//! changes and primary failovers.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use mala_consensus::{MonMsg, SERVICE_MAP_OSD};
+use mala_sim::{Actor, Context, NodeId, Sim, SimDuration, SimTime};
+
+use crate::object::ObjectId;
+use crate::ops::{OpResult, OsdError, Transaction};
+use crate::osd::OsdMsg;
+use crate::osdmap::OsdMapView;
+
+/// A completed request surfaced to the harness.
+#[derive(Debug, Clone)]
+pub struct ClientEvent {
+    /// The request id returned by [`RadosClient::submit`].
+    pub reqid: u64,
+    /// Outcome.
+    pub result: Result<Vec<OpResult>, OsdError>,
+    /// Submission → completion latency.
+    pub latency: SimDuration,
+}
+
+struct InFlight {
+    oid: ObjectId,
+    txn: Transaction,
+    attempts: u32,
+    submitted_at: SimTime,
+    /// Waiting for a map with epoch > this before retrying.
+    blocked_on_epoch: Option<u64>,
+}
+
+/// The RADOS client actor.
+pub struct RadosClient {
+    monitor: NodeId,
+    map: OsdMapView,
+    next_reqid: u64,
+    inflight: HashMap<u64, InFlight>,
+    completed: HashMap<u64, ClientEvent>,
+    max_attempts: u32,
+}
+
+impl RadosClient {
+    /// Creates a client bootstrapping its maps from `monitor`.
+    pub fn new(monitor: NodeId) -> RadosClient {
+        RadosClient {
+            monitor,
+            map: OsdMapView::default(),
+            next_reqid: 1,
+            inflight: HashMap::new(),
+            completed: HashMap::new(),
+            max_attempts: 12,
+        }
+    }
+
+    /// The client's current osdmap epoch.
+    pub fn map_epoch(&self) -> u64 {
+        self.map.epoch
+    }
+
+    /// Submits a transaction; returns its request id. Drive the simulation
+    /// and collect the outcome with [`RadosClient::take_completed`] (or use
+    /// [`request`] for a synchronous harness call).
+    pub fn submit(&mut self, ctx: &mut Context<'_>, oid: ObjectId, txn: Transaction) -> u64 {
+        let reqid = self.next_reqid;
+        self.next_reqid += 1;
+        self.inflight.insert(
+            reqid,
+            InFlight {
+                oid,
+                txn,
+                attempts: 0,
+                submitted_at: ctx.now(),
+                blocked_on_epoch: None,
+            },
+        );
+        self.dispatch(ctx, reqid);
+        reqid
+    }
+
+    /// Removes and returns the completion for `reqid`, if present.
+    pub fn take_completed(&mut self, reqid: u64) -> Option<ClientEvent> {
+        self.completed.remove(&reqid)
+    }
+
+    /// Whether `reqid` has completed.
+    pub fn is_completed(&self, reqid: u64) -> bool {
+        self.completed.contains_key(&reqid)
+    }
+
+    fn dispatch(&mut self, ctx: &mut Context<'_>, reqid: u64) {
+        let Some(inflight) = self.inflight.get_mut(&reqid) else {
+            return;
+        };
+        if inflight.attempts >= self.max_attempts {
+            let event = ClientEvent {
+                reqid,
+                result: Err(OsdError::NotReady),
+                latency: ctx.now().since(inflight.submitted_at),
+            };
+            self.inflight.remove(&reqid);
+            self.completed.insert(reqid, event);
+            return;
+        }
+        inflight.attempts += 1;
+        let target = self
+            .map
+            .acting_set_for(&inflight.oid.pool, &inflight.oid.name)
+            .and_then(|acting| acting.first().copied())
+            .and_then(|primary| self.map.node_of(primary));
+        match target {
+            Some(node) => {
+                let msg = OsdMsg::ClientOp {
+                    reqid,
+                    oid: inflight.oid.clone(),
+                    txn: inflight.txn.clone(),
+                    map_epoch: self.map.epoch,
+                };
+                ctx.send(node, msg);
+            }
+            None => {
+                // No usable map yet: block until a newer epoch arrives.
+                inflight.blocked_on_epoch = Some(self.map.epoch);
+                ctx.send(
+                    self.monitor,
+                    MonMsg::Get {
+                        map: SERVICE_MAP_OSD.to_string(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_new_map(&mut self, ctx: &mut Context<'_>) {
+        let retry: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, f)| match f.blocked_on_epoch {
+                Some(epoch) => self.map.epoch > epoch,
+                None => false,
+            })
+            .map(|(reqid, _)| *reqid)
+            .collect();
+        for reqid in retry {
+            if let Some(f) = self.inflight.get_mut(&reqid) {
+                f.blocked_on_epoch = None;
+            }
+            self.dispatch(ctx, reqid);
+        }
+    }
+}
+
+impl Actor for RadosClient {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.send(
+            self.monitor,
+            MonMsg::Subscribe {
+                map: SERVICE_MAP_OSD.to_string(),
+            },
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: NodeId, msg: Box<dyn Any>) {
+        let msg = match msg.downcast::<MonMsg>() {
+            Ok(mon) => {
+                match *mon {
+                    MonMsg::Snapshot(snap)
+                        if snap.map == SERVICE_MAP_OSD && snap.epoch > self.map.epoch =>
+                    {
+                        self.map = OsdMapView::from_snapshot(&snap);
+                        self.on_new_map(ctx);
+                    }
+                    MonMsg::Changed { map, epoch, .. }
+                        if map == SERVICE_MAP_OSD
+                        // Deltas alone are not enough (we may have missed
+                        // epochs); fetch the full snapshot.
+                        && epoch > self.map.epoch =>
+                    {
+                        ctx.send(
+                            self.monitor,
+                            MonMsg::Get {
+                                map: SERVICE_MAP_OSD.to_string(),
+                            },
+                        );
+                    }
+                    _ => {}
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let Ok(msg) = msg.downcast::<OsdMsg>() else {
+            return;
+        };
+        let OsdMsg::ClientReply {
+            reqid,
+            result,
+            map_epoch,
+        } = *msg
+        else {
+            return;
+        };
+        let Some(inflight) = self.inflight.get_mut(&reqid) else {
+            return;
+        };
+        match result {
+            Err(OsdError::StaleEpoch { current }) => {
+                // Retry once we hold a map at least as new as the OSD's.
+                inflight.blocked_on_epoch = Some(current - 1);
+                ctx.send(
+                    self.monitor,
+                    MonMsg::Get {
+                        map: SERVICE_MAP_OSD.to_string(),
+                    },
+                );
+            }
+            Err(OsdError::NotPrimary) | Err(OsdError::NotReady) => {
+                // Mis-routed: our map disagrees with the cluster's (the OSD
+                // may be ahead of us, or we raced a failover). Refresh and
+                // retry on any newer epoch. `map_epoch` is informational.
+                let _ = map_epoch;
+                inflight.blocked_on_epoch = Some(self.map.epoch);
+                ctx.send(
+                    self.monitor,
+                    MonMsg::Get {
+                        map: SERVICE_MAP_OSD.to_string(),
+                    },
+                );
+            }
+            other => {
+                let latency = ctx.now().since(inflight.submitted_at);
+                let event = ClientEvent {
+                    reqid,
+                    result: other,
+                    latency,
+                };
+                self.inflight.remove(&reqid);
+                let now = ctx.now();
+                ctx.metrics()
+                    .observe("client.latency_us", now, latency.as_micros() as f64);
+                ctx.metrics().incr("client.completed", 1);
+                self.completed.insert(reqid, event);
+            }
+        }
+    }
+}
+
+/// Synchronous harness helper: submits `txn` from the client at
+/// `client_node` and drives the simulation until it completes or
+/// `timeout` elapses.
+///
+/// # Panics
+///
+/// Panics if the request does not complete within `timeout` — experiment
+/// harnesses treat a hung request as a bug, not a condition to handle.
+pub fn request(
+    sim: &mut Sim,
+    client_node: NodeId,
+    oid: ObjectId,
+    txn: Transaction,
+    timeout: SimDuration,
+) -> ClientEvent {
+    let reqid =
+        sim.with_actor::<RadosClient, _>(client_node, |client, ctx| client.submit(ctx, oid, txn));
+    let deadline = sim.now() + timeout;
+    let done = sim.run_until_pred(deadline, |s| {
+        s.actor::<RadosClient>(client_node).is_completed(reqid)
+    });
+    assert!(done, "rados request {reqid} timed out after {timeout}");
+    sim.actor_mut::<RadosClient>(client_node)
+        .take_completed(reqid)
+        .expect("completion present")
+}

@@ -1,0 +1,42 @@
+//! Simulated RADOS: the reliable, autonomous, distributed object store.
+//!
+//! Ceph's RADOS layer gives Malacology its Durability interface (paper
+//! §4.4) and its Data I/O interface (§4.2). This crate rebuilds the pieces
+//! the paper's services and experiments exercise:
+//!
+//! * **Objects** ([`object`]) — a byte stream plus a sorted key-value
+//!   database (omap) plus extended attributes, mutated through atomic
+//!   multi-op transactions ([`ops`]).
+//! * **Object classes** ([`class`]) — named method groups executed on the
+//!   OSD holding the object: native (Rust) classes mirroring Ceph's C++
+//!   classes, and *scripted* classes written in Cephalo that can be
+//!   installed cluster-wide at runtime through the monitor, reproducing the
+//!   paper's dynamic Lua interfaces.
+//! * **The shipped class catalog** ([`class_registry`]) — a census of
+//!   classes/methods by category, regenerating the paper's Figure 2 and
+//!   Table 1 statistics.
+//! * **Placement** ([`placement`]) — pools, placement groups, and
+//!   highest-random-weight (CRUSH-like) mapping of PGs onto OSDs.
+//! * **OSD daemons** ([`osd`]) — primary-copy replication, epoch-guarded
+//!   request admission, peer gossip of cluster maps (the gossip protocol
+//!   lives inside the OSD actor), scrubbing, and PG recovery after
+//!   failures.
+//! * **Client** ([`client`]) — a librados-like client actor that maps
+//!   object names to primaries and retries across map changes.
+
+pub mod class;
+pub mod class_registry;
+pub mod client;
+pub mod object;
+pub mod ops;
+pub mod osd;
+pub mod osdmap;
+pub mod placement;
+
+pub use class::{ClassError, ClassRegistry, MethodKind, ObjCtx};
+pub use client::{ClientEvent, RadosClient};
+pub use object::{Object, ObjectId};
+pub use ops::{Op, OpResult, OsdError, Transaction};
+pub use osd::{Osd, OsdConfig, OsdMsg};
+pub use osdmap::{OsdMapView, PoolInfo};
+pub use placement::{pg_of, primary_and_replicas, PgId};

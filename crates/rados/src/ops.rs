@@ -1,0 +1,465 @@
+//! Object operations and atomic transactions.
+//!
+//! RADOS executes a vector of operations against a single object
+//! atomically: either every mutation applies or none does. Object-class
+//! methods compose these native operations with application logic (paper
+//! §4.2: "native interfaces may be transactionally composed along with
+//! application specific logic").
+
+use crate::class::{ClassError, ClassRegistry};
+use crate::object::Object;
+
+/// One native operation against an object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Read `len` bytes at `offset` from the byte stream.
+    Read { offset: usize, len: usize },
+    /// Write `data` at `offset`.
+    Write { offset: usize, data: Vec<u8> },
+    /// Replace the whole byte stream.
+    WriteFull { data: Vec<u8> },
+    /// Append to the byte stream.
+    Append { data: Vec<u8> },
+    /// Truncate/extend the byte stream.
+    Truncate { size: usize },
+    /// Object size and existence.
+    Stat,
+    /// Create the object; errors if it exists and `exclusive`.
+    Create { exclusive: bool },
+    /// Remove the object.
+    Remove,
+    /// Read one omap value.
+    OmapGet { key: String },
+    /// Read all omap pairs in `[after, ...)`, up to `max` entries.
+    OmapList { after: String, max: usize },
+    /// Set one omap pair.
+    OmapSet { key: String, value: Vec<u8> },
+    /// Delete one omap key.
+    OmapDel { key: String },
+    /// Compare-and-swap an omap value: succeeds iff current == `expect`
+    /// (`None` = key absent).
+    OmapCmpXchg {
+        key: String,
+        expect: Option<Vec<u8>>,
+        value: Vec<u8>,
+    },
+    /// Read one xattr.
+    XattrGet { key: String },
+    /// Set one xattr.
+    XattrSet { key: String, value: Vec<u8> },
+    /// Invoke `class.method` with `input` (the exec/cls mechanism).
+    Call {
+        class: String,
+        method: String,
+        input: Vec<u8>,
+    },
+}
+
+impl Op {
+    /// Whether this op can mutate object state. Read-only transactions may
+    /// skip replication.
+    pub fn is_mutation(&self, registry: &ClassRegistry) -> bool {
+        match self {
+            Op::Read { .. }
+            | Op::Stat
+            | Op::OmapGet { .. }
+            | Op::OmapList { .. }
+            | Op::XattrGet { .. } => false,
+            Op::Call { class, method, .. } => registry
+                .method_kind(class, method)
+                .map(|k| k == crate::class::MethodKind::ReadWrite)
+                .unwrap_or(true),
+            _ => true,
+        }
+    }
+}
+
+/// Result of one [`Op`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpResult {
+    /// Mutation applied (no payload).
+    Done,
+    /// Bytes read.
+    Data(Vec<u8>),
+    /// Omap/xattr value (`None` = absent).
+    Maybe(Option<Vec<u8>>),
+    /// Key-value pairs from [`Op::OmapList`].
+    Pairs(Vec<(String, Vec<u8>)>),
+    /// `(size, exists)` from [`Op::Stat`].
+    Stat { size: u64, exists: bool },
+    /// Output of a class call.
+    CallOut(Vec<u8>),
+}
+
+/// Errors surfaced to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsdError {
+    /// Object does not exist (for ops requiring existence).
+    NoEnt,
+    /// `Create { exclusive: true }` on an existing object.
+    Exists,
+    /// An `OmapCmpXchg` comparison failed.
+    CmpFailed,
+    /// Class call failed with a class-defined code/message.
+    Class(ClassError),
+    /// Unknown class or method.
+    NoClass(String),
+    /// The request's map epoch was older than the OSD's.
+    StaleEpoch {
+        /// The OSD's current osdmap epoch, for client refresh.
+        current: u64,
+    },
+    /// Request reached a non-primary OSD for the object's PG.
+    NotPrimary,
+    /// The OSD is not serving (stopped/recovering).
+    NotReady,
+}
+
+impl std::fmt::Display for OsdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OsdError::NoEnt => write!(f, "no such object"),
+            OsdError::Exists => write!(f, "object exists"),
+            OsdError::CmpFailed => write!(f, "compare failed"),
+            OsdError::Class(e) => write!(f, "class error: {}", e.message),
+            OsdError::NoClass(name) => write!(f, "no such class/method: {name}"),
+            OsdError::StaleEpoch { current } => write!(f, "stale map epoch (osd at {current})"),
+            OsdError::NotPrimary => write!(f, "not primary"),
+            OsdError::NotReady => write!(f, "osd not ready"),
+        }
+    }
+}
+
+impl std::error::Error for OsdError {}
+
+/// An atomic multi-op transaction against one object.
+pub type Transaction = Vec<Op>;
+
+/// The store-side state a transaction runs against: the object slot
+/// (`None` = absent) and whether it existed beforehand.
+#[derive(Debug)]
+pub struct TxnTarget<'a> {
+    /// The object slot; transactions may create or remove the object.
+    pub slot: &'a mut Option<Object>,
+}
+
+/// Applies `txn` atomically against `target`.
+///
+/// On error the object is rolled back to its pre-transaction state and the
+/// error is returned; otherwise per-op results are returned in order.
+pub fn apply_transaction(
+    target: TxnTarget<'_>,
+    txn: &Transaction,
+    registry: &ClassRegistry,
+) -> Result<Vec<OpResult>, OsdError> {
+    let before = target.slot.clone();
+    match apply_inner(target.slot, txn, registry) {
+        Ok(results) => Ok(results),
+        Err(e) => {
+            *target.slot = before;
+            Err(e)
+        }
+    }
+}
+
+fn apply_inner(
+    slot: &mut Option<Object>,
+    txn: &Transaction,
+    registry: &ClassRegistry,
+) -> Result<Vec<OpResult>, OsdError> {
+    let mut results = Vec::with_capacity(txn.len());
+    for op in txn {
+        let res = match op {
+            Op::Create { exclusive } => {
+                if slot.is_some() {
+                    if *exclusive {
+                        return Err(OsdError::Exists);
+                    }
+                } else {
+                    *slot = Some(Object::new());
+                }
+                OpResult::Done
+            }
+            Op::Remove => {
+                if slot.take().is_none() {
+                    return Err(OsdError::NoEnt);
+                }
+                OpResult::Done
+            }
+            Op::Stat => match slot {
+                Some(o) => OpResult::Stat {
+                    size: o.size() as u64,
+                    exists: true,
+                },
+                None => OpResult::Stat {
+                    size: 0,
+                    exists: false,
+                },
+            },
+            // Writes implicitly create, as in RADOS.
+            Op::Write { offset, data } => {
+                slot.get_or_insert_with(Object::new).write(*offset, data);
+                OpResult::Done
+            }
+            Op::WriteFull { data } => {
+                let o = slot.get_or_insert_with(Object::new);
+                o.data = data.clone();
+                OpResult::Done
+            }
+            Op::Append { data } => {
+                slot.get_or_insert_with(Object::new).append(data);
+                OpResult::Done
+            }
+            Op::Truncate { size } => {
+                slot.get_or_insert_with(Object::new).truncate(*size);
+                OpResult::Done
+            }
+            Op::Read { offset, len } => {
+                let o = slot.as_ref().ok_or(OsdError::NoEnt)?;
+                OpResult::Data(o.read(*offset, *len).to_vec())
+            }
+            Op::OmapGet { key } => {
+                let o = slot.as_ref().ok_or(OsdError::NoEnt)?;
+                OpResult::Maybe(o.omap.get(key).cloned())
+            }
+            Op::OmapList { after, max } => {
+                let o = slot.as_ref().ok_or(OsdError::NoEnt)?;
+                let pairs: Vec<(String, Vec<u8>)> = o
+                    .omap
+                    .range::<String, _>((
+                        std::ops::Bound::Excluded(after.clone()),
+                        std::ops::Bound::Unbounded,
+                    ))
+                    .take(*max)
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                OpResult::Pairs(pairs)
+            }
+            Op::OmapSet { key, value } => {
+                let o = slot.get_or_insert_with(Object::new);
+                o.omap.insert(key.clone(), value.clone());
+                OpResult::Done
+            }
+            Op::OmapDel { key } => {
+                let o = slot.get_or_insert_with(Object::new);
+                o.omap.remove(key);
+                OpResult::Done
+            }
+            Op::OmapCmpXchg { key, expect, value } => {
+                let o = slot.get_or_insert_with(Object::new);
+                if o.omap.get(key).cloned() != *expect {
+                    return Err(OsdError::CmpFailed);
+                }
+                o.omap.insert(key.clone(), value.clone());
+                OpResult::Done
+            }
+            Op::XattrGet { key } => {
+                let o = slot.as_ref().ok_or(OsdError::NoEnt)?;
+                OpResult::Maybe(o.xattrs.get(key).cloned())
+            }
+            Op::XattrSet { key, value } => {
+                let o = slot.get_or_insert_with(Object::new);
+                o.xattrs.insert(key.clone(), value.clone());
+                OpResult::Done
+            }
+            Op::Call {
+                class,
+                method,
+                input,
+            } => {
+                let out = registry.call(class, method, slot, input)?;
+                OpResult::CallOut(out)
+            }
+        };
+        results.push(res);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> ClassRegistry {
+        ClassRegistry::with_builtins()
+    }
+
+    fn apply(slot: &mut Option<Object>, txn: Transaction) -> Result<Vec<OpResult>, OsdError> {
+        apply_transaction(TxnTarget { slot }, &txn, &reg())
+    }
+
+    #[test]
+    fn create_write_read() {
+        let mut slot = None;
+        let res = apply(
+            &mut slot,
+            vec![
+                Op::Create { exclusive: true },
+                Op::Write {
+                    offset: 0,
+                    data: b"hi".to_vec(),
+                },
+                Op::Read { offset: 0, len: 2 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(res[2], OpResult::Data(b"hi".to_vec()));
+    }
+
+    #[test]
+    fn exclusive_create_fails_on_existing() {
+        let mut slot = Some(Object::new());
+        let err = apply(&mut slot, vec![Op::Create { exclusive: true }]).unwrap_err();
+        assert_eq!(err, OsdError::Exists);
+        // Non-exclusive create is a no-op.
+        apply(&mut slot, vec![Op::Create { exclusive: false }]).unwrap();
+    }
+
+    #[test]
+    fn transaction_rolls_back_atomically() {
+        let mut slot = Some(Object::new());
+        let err = apply(
+            &mut slot,
+            vec![
+                Op::OmapSet {
+                    key: "a".into(),
+                    value: b"1".to_vec(),
+                },
+                Op::OmapCmpXchg {
+                    key: "missing".into(),
+                    expect: Some(b"x".to_vec()),
+                    value: b"y".to_vec(),
+                },
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, OsdError::CmpFailed);
+        assert!(
+            slot.as_ref().unwrap().omap.is_empty(),
+            "first op must be rolled back"
+        );
+    }
+
+    #[test]
+    fn cmpxchg_success_path() {
+        let mut slot = Some(Object::new());
+        apply(
+            &mut slot,
+            vec![Op::OmapCmpXchg {
+                key: "k".into(),
+                expect: None,
+                value: b"v1".to_vec(),
+            }],
+        )
+        .unwrap();
+        apply(
+            &mut slot,
+            vec![Op::OmapCmpXchg {
+                key: "k".into(),
+                expect: Some(b"v1".to_vec()),
+                value: b"v2".to_vec(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(slot.unwrap().omap["k"], b"v2".to_vec());
+    }
+
+    #[test]
+    fn omap_list_pagination() {
+        let mut slot = Some(Object::new());
+        for i in 0..10 {
+            apply(
+                &mut slot,
+                vec![Op::OmapSet {
+                    key: format!("k{i:02}"),
+                    value: vec![i],
+                }],
+            )
+            .unwrap();
+        }
+        let res = apply(
+            &mut slot,
+            vec![Op::OmapList {
+                after: "k04".into(),
+                max: 3,
+            }],
+        )
+        .unwrap();
+        let OpResult::Pairs(pairs) = &res[0] else {
+            panic!()
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["k05", "k06", "k07"]);
+    }
+
+    #[test]
+    fn reads_on_missing_object_error() {
+        let mut slot = None;
+        assert_eq!(
+            apply(&mut slot, vec![Op::Read { offset: 0, len: 1 }]).unwrap_err(),
+            OsdError::NoEnt
+        );
+        assert_eq!(
+            apply(&mut slot, vec![Op::OmapGet { key: "k".into() }]).unwrap_err(),
+            OsdError::NoEnt
+        );
+        // Stat reports absence without erroring.
+        let res = apply(&mut slot, vec![Op::Stat]).unwrap();
+        assert_eq!(
+            res[0],
+            OpResult::Stat {
+                size: 0,
+                exists: false
+            }
+        );
+    }
+
+    #[test]
+    fn remove_then_recreate() {
+        let mut slot = Some(Object::new());
+        apply(&mut slot, vec![Op::Remove]).unwrap();
+        assert!(slot.is_none());
+        assert_eq!(
+            apply(&mut slot, vec![Op::Remove]).unwrap_err(),
+            OsdError::NoEnt
+        );
+        apply(
+            &mut slot,
+            vec![Op::Append {
+                data: b"z".to_vec(),
+            }],
+        )
+        .unwrap();
+        assert!(slot.is_some());
+    }
+
+    #[test]
+    fn writes_implicitly_create() {
+        let mut slot = None;
+        apply(
+            &mut slot,
+            vec![Op::OmapSet {
+                key: "k".into(),
+                value: b"v".to_vec(),
+            }],
+        )
+        .unwrap();
+        assert!(slot.is_some());
+    }
+
+    #[test]
+    fn mutation_classification() {
+        let registry = reg();
+        assert!(!Op::Read { offset: 0, len: 1 }.is_mutation(&registry));
+        assert!(!Op::Stat.is_mutation(&registry));
+        assert!(Op::Append { data: vec![] }.is_mutation(&registry));
+        assert!(Op::Remove.is_mutation(&registry));
+        // Unknown classes are conservatively treated as mutations.
+        assert!(Op::Call {
+            class: "unknown".into(),
+            method: "m".into(),
+            input: vec![]
+        }
+        .is_mutation(&registry));
+    }
+}

@@ -1,0 +1,739 @@
+//! The object storage daemon (OSD).
+//!
+//! Reproduces the RADOS behaviours the paper's experiments lean on:
+//!
+//! * **Primary-copy replication** — clients address the PG primary; the
+//!   primary applies the transaction, replicates mutations to the acting
+//!   set, and acknowledges once all replicas ack.
+//! * **Epoch-guarded admission** — requests tagged with a stale osdmap
+//!   epoch are rejected so clients refresh (Ceph's map-epoch handshake);
+//!   this is the transport-level half of CORFU's seal protocol.
+//! * **Map propagation by subscription + gossip** — some OSDs subscribe to
+//!   the monitor; all OSDs push newly-learned maps to a random fan-out of
+//!   peers (epidemic dissemination). Figure 8 measures exactly this path
+//!   for dynamic interface installs.
+//! * **Recovery** — on map change, OSDs newly added to a PG's acting set
+//!   pull the PG's objects from the primary.
+//! * **Scrub** — primaries periodically compare replica fingerprints and
+//!   repair divergent copies.
+
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use mala_consensus::{MonMsg, SERVICE_MAP_INTERFACES, SERVICE_MAP_OSD};
+use mala_sim::{Actor, Context, NodeId, SimDuration};
+use rand::seq::SliceRandom;
+
+use crate::class::ClassRegistry;
+use crate::object::{Object, ObjectId};
+use crate::ops::{apply_transaction, OpResult, OsdError, Transaction, TxnTarget};
+use crate::osdmap::OsdMapView;
+use crate::placement::pg_of;
+
+/// OSD configuration.
+#[derive(Debug, Clone)]
+pub struct OsdConfig {
+    /// Local service time applied before replying to a client op (models
+    /// request processing; the paper's OSDs are in-memory for Fig. 8).
+    pub service_time: SimDuration,
+    /// Gossip fan-out when pushing newly-learned maps to peers. Push is
+    /// infect-and-die, so the fan-out controls what fraction of the
+    /// cluster the epidemic reaches before anti-entropy mops up
+    /// (~`1 - e^-f`; 4 ≈ 98%).
+    pub gossip_fanout: usize,
+    /// Anti-entropy period: how often an OSD re-offers its maps to random
+    /// peers, bounding the staleness of daemons the push missed.
+    pub gossip_interval: SimDuration,
+    /// Whether this OSD subscribes to the monitor for map changes (in Ceph
+    /// a subset of daemons hears from the monitor first; the rest learn by
+    /// gossip).
+    pub subscribe_to_monitor: bool,
+    /// Scrub period; `None` disables background scrubbing.
+    pub scrub_interval: Option<SimDuration>,
+}
+
+impl Default for OsdConfig {
+    fn default() -> Self {
+        OsdConfig {
+            service_time: SimDuration::from_micros(30),
+            gossip_fanout: 4,
+            gossip_interval: SimDuration::from_millis(100),
+            subscribe_to_monitor: true,
+            scrub_interval: None,
+        }
+    }
+}
+
+/// Wire protocol of the OSD.
+#[derive(Debug, Clone)]
+pub enum OsdMsg {
+    /// Client request: an atomic transaction against one object.
+    ClientOp {
+        /// Client-chosen request id, echoed in the reply.
+        reqid: u64,
+        /// Target object.
+        oid: ObjectId,
+        /// The transaction.
+        txn: Transaction,
+        /// The client's osdmap epoch (stale ⇒ rejected).
+        map_epoch: u64,
+    },
+    /// Reply to [`OsdMsg::ClientOp`].
+    ClientReply {
+        /// Echoed request id.
+        reqid: u64,
+        /// Per-op results or the first error.
+        result: Result<Vec<OpResult>, OsdError>,
+        /// The OSD's current map epoch (lets clients refresh lazily).
+        map_epoch: u64,
+    },
+    /// Primary → replica mutation shipping.
+    Repl {
+        /// Primary-chosen id for ack matching.
+        repl_id: u64,
+        /// Target object.
+        oid: ObjectId,
+        /// The (already-validated) transaction.
+        txn: Transaction,
+    },
+    /// Replica → primary acknowledgement.
+    ReplAck {
+        /// Echoed id.
+        repl_id: u64,
+    },
+    /// Peer gossip: full copies of maps newer than the receiver's.
+    Gossip {
+        /// The interfaces map `(epoch, entries)`, if carried.
+        interfaces: Option<(u64, BTreeMap<String, Vec<u8>>)>,
+        /// The osdmap `(epoch, entries)`, if carried.
+        osdmap: Option<(u64, BTreeMap<String, Vec<u8>>)>,
+    },
+    /// Recovery: a new acting-set member asks the primary for a PG's
+    /// objects.
+    PgPull {
+        /// Pool name.
+        pool: String,
+        /// PG index within the pool.
+        pg_index: u32,
+    },
+    /// Recovery or repair: objects of one PG.
+    PgPush {
+        /// The objects.
+        objects: Vec<(ObjectId, Object)>,
+        /// Repair pushes overwrite existing copies; recovery fills only
+        /// absent ones (a newcomer may already hold newer replicated
+        /// writes).
+        overwrite: bool,
+    },
+    /// Scrub: primary sends its fingerprints for a PG.
+    ScrubCheck {
+        /// Pool name.
+        pool: String,
+        /// PG index.
+        pg_index: u32,
+        /// Primary's `(object, fingerprint)` pairs.
+        fingerprints: Vec<(ObjectId, u64)>,
+    },
+    /// Scrub: replica reports objects that diverge from the primary.
+    ScrubDivergent {
+        /// Objects whose fingerprint mismatched (or were missing).
+        objects: Vec<ObjectId>,
+        /// Pool name (for re-push routing).
+        pool: String,
+    },
+}
+
+const TIMER_GOSSIP: u64 = 1;
+const TIMER_SCRUB: u64 = 2;
+
+struct PendingRepl {
+    client: NodeId,
+    reqid: u64,
+    results: Vec<OpResult>,
+    waiting_on: HashSet<u32>,
+}
+
+/// The OSD daemon actor.
+pub struct Osd {
+    /// This daemon's OSD id (index in the osdmap).
+    pub id: u32,
+    monitor: NodeId,
+    config: OsdConfig,
+    /// Local object store.
+    store: HashMap<ObjectId, Object>,
+    /// Parsed osdmap.
+    map: OsdMapView,
+    /// Interfaces map (scripted classes): epoch + raw entries.
+    interfaces_epoch: u64,
+    interfaces: BTreeMap<String, Vec<u8>>,
+    /// Class registry (builtins + installed scripted classes).
+    registry: ClassRegistry,
+    /// In-flight replicated writes, by repl_id.
+    pending: HashMap<u64, PendingRepl>,
+    next_repl_id: u64,
+}
+
+impl Osd {
+    /// Creates OSD `id` reporting to `monitor`.
+    pub fn new(id: u32, monitor: NodeId, config: OsdConfig) -> Osd {
+        Osd {
+            id,
+            monitor,
+            config,
+            store: HashMap::new(),
+            map: OsdMapView::default(),
+            interfaces_epoch: 0,
+            interfaces: BTreeMap::new(),
+            registry: ClassRegistry::with_builtins(),
+            pending: HashMap::new(),
+            next_repl_id: 1,
+        }
+    }
+
+    /// Read-only access to the object store (tests and scrub checks).
+    pub fn store(&self) -> &HashMap<ObjectId, Object> {
+        &self.store
+    }
+
+    /// Mutable access to the object store. Test-only backdoor used by the
+    /// scrub experiments to inject silent corruption ("bit rot") that the
+    /// daemon itself cannot see happening.
+    pub fn store_mut(&mut self) -> &mut HashMap<ObjectId, Object> {
+        &mut self.store
+    }
+
+    /// The osdmap epoch this OSD currently operates under.
+    pub fn map_epoch(&self) -> u64 {
+        self.map.epoch
+    }
+
+    /// The interfaces-map epoch currently live on this OSD.
+    pub fn interfaces_epoch(&self) -> u64 {
+        self.interfaces_epoch
+    }
+
+    /// The class registry (e.g. to check installed scripted classes).
+    pub fn registry(&self) -> &ClassRegistry {
+        &self.registry
+    }
+
+    fn peers(&self) -> Vec<(u32, NodeId)> {
+        self.map
+            .osds
+            .iter()
+            .filter(|(id, e)| **id != self.id && e.up)
+            .map(|(id, e)| (*id, e.node))
+            .collect()
+    }
+
+    fn install_interfaces(
+        &mut self,
+        ctx: &mut Context<'_>,
+        epoch: u64,
+        entries: BTreeMap<String, Vec<u8>>,
+    ) -> bool {
+        if epoch <= self.interfaces_epoch {
+            return false;
+        }
+        let prev_epoch = self.interfaces_epoch;
+        self.interfaces_epoch = epoch;
+        self.interfaces = entries;
+        for (class, source) in self.interfaces.clone() {
+            let source = String::from_utf8_lossy(&source).into_owned();
+            if let Err(e) = self.registry.install_scripted(&class, &source, epoch) {
+                ctx.metrics().incr("osd.iface_install_errors", 1);
+                let _ = e;
+            }
+        }
+        // Figure 8's measurement point: the update is now live here. An
+        // epoch jump makes every skipped update live transitively (the
+        // newer map subsumes the older ones), so record them all.
+        let now = ctx.now();
+        for e in (prev_epoch + 1)..=epoch {
+            ctx.metrics()
+                .observe(&format!("osd.iface_live.e{e}"), now, f64::from(self.id));
+        }
+        ctx.metrics().incr("osd.iface_installs", 1);
+        true
+    }
+
+    fn install_osdmap(
+        &mut self,
+        ctx: &mut Context<'_>,
+        epoch: u64,
+        entries: BTreeMap<String, Vec<u8>>,
+    ) -> bool {
+        if epoch <= self.map.epoch {
+            return false;
+        }
+        let old = std::mem::replace(
+            &mut self.map,
+            OsdMapView::from_snapshot(&mala_consensus::MapSnapshot {
+                map: SERVICE_MAP_OSD.to_string(),
+                epoch,
+                entries,
+            }),
+        );
+        self.on_map_change(ctx, &old);
+        true
+    }
+
+    /// Reacts to an osdmap change: resolve stuck replications and start
+    /// recovery pulls for newly-acquired PGs.
+    fn on_map_change(&mut self, ctx: &mut Context<'_>, old: &OsdMapView) {
+        // Re-evaluate pending replicated writes: replicas that left the up
+        // set can never ack.
+        let up: HashSet<u32> = self.map.up_osds().into_iter().collect();
+        let mut completed = Vec::new();
+        for (repl_id, pending) in self.pending.iter_mut() {
+            pending.waiting_on.retain(|osd| up.contains(osd));
+            if pending.waiting_on.is_empty() {
+                completed.push(*repl_id);
+            }
+        }
+        for repl_id in completed {
+            let pending = self.pending.remove(&repl_id).expect("just seen");
+            let epoch = self.map.epoch;
+            ctx.send_after(
+                self.config.service_time,
+                pending.client,
+                OsdMsg::ClientReply {
+                    reqid: pending.reqid,
+                    result: Ok(pending.results),
+                    map_epoch: epoch,
+                },
+            );
+        }
+        // Recovery: for every pool/PG where I am now acting but was not
+        // before, pull objects from the new primary (or, if I became
+        // primary, from any prior member still up).
+        for (pool, info) in self.map.pools.clone() {
+            let up_now = self.map.up_osds();
+            let up_before = old.up_osds();
+            for pg_index in 0..info.pg_num {
+                let pg = crate::placement::PgId {
+                    pool_hash: crate::placement::stable_hash(&pool),
+                    index: pg_index,
+                };
+                let now_set = crate::placement::acting_set(pg, &up_now, info.replicas as usize);
+                if !now_set.contains(&self.id) {
+                    continue;
+                }
+                let before_set =
+                    crate::placement::acting_set(pg, &up_before, info.replicas as usize);
+                if before_set.contains(&self.id) {
+                    continue;
+                }
+                // Pull from a surviving prior member, preferring its head.
+                let source = before_set
+                    .iter()
+                    .find(|osd| up.contains(osd) && **osd != self.id)
+                    .or_else(|| now_set.iter().find(|osd| **osd != self.id));
+                if let Some(source) = source {
+                    if let Some(node) = self.map.node_of(*source) {
+                        ctx.send(
+                            node,
+                            OsdMsg::PgPull {
+                                pool: pool.clone(),
+                                pg_index,
+                            },
+                        );
+                        ctx.metrics().incr("osd.recovery_pulls", 1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn gossip_payload(&self) -> OsdMsg {
+        OsdMsg::Gossip {
+            interfaces: Some((self.interfaces_epoch, self.interfaces.clone())),
+            osdmap: Some((
+                self.map.epoch,
+                // Re-encode the view we hold; fidelity is preserved because
+                // we keep raw entries only for interfaces. For the osdmap we
+                // rebuild entries from the typed view.
+                self.encode_osdmap_entries(),
+            )),
+        }
+    }
+
+    fn encode_osdmap_entries(&self) -> BTreeMap<String, Vec<u8>> {
+        let mut entries = BTreeMap::new();
+        for (id, e) in &self.map.osds {
+            entries.insert(
+                format!("osd.{id}"),
+                format!("node={},up={}", e.node.0, u8::from(e.up)).into_bytes(),
+            );
+        }
+        for (pool, info) in &self.map.pools {
+            entries.insert(
+                format!("pool.{pool}"),
+                format!("pg_num={},replicas={}", info.pg_num, info.replicas).into_bytes(),
+            );
+        }
+        entries
+    }
+
+    fn push_gossip(&mut self, ctx: &mut Context<'_>) {
+        let peers = self.peers();
+        if peers.is_empty() {
+            return;
+        }
+        let payload = self.gossip_payload();
+        let mut order: Vec<_> = peers;
+        order.shuffle(ctx.rng());
+        for (_, node) in order.into_iter().take(self.config.gossip_fanout) {
+            ctx.send(node, payload.clone());
+        }
+    }
+
+    fn handle_client_op(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        reqid: u64,
+        oid: ObjectId,
+        txn: Transaction,
+        map_epoch: u64,
+    ) {
+        let reply = |osd: &Osd, result: Result<Vec<OpResult>, OsdError>| OsdMsg::ClientReply {
+            reqid,
+            result,
+            map_epoch: osd.map.epoch,
+        };
+        if map_epoch < self.map.epoch {
+            let msg = reply(
+                self,
+                Err(OsdError::StaleEpoch {
+                    current: self.map.epoch,
+                }),
+            );
+            ctx.send(from, msg);
+            ctx.metrics().incr("osd.stale_epoch_rejects", 1);
+            return;
+        }
+        let Some(acting) = self.map.acting_set_for(&oid.pool, &oid.name) else {
+            let msg = reply(self, Err(OsdError::NotReady));
+            ctx.send(from, msg);
+            return;
+        };
+        if acting.first() != Some(&self.id) {
+            let msg = reply(self, Err(OsdError::NotPrimary));
+            ctx.send(from, msg);
+            ctx.metrics().incr("osd.not_primary_rejects", 1);
+            return;
+        }
+        let is_mutation = txn.iter().any(|op| op.is_mutation(&self.registry));
+        let mut slot = self.store.remove(&oid);
+        let result = apply_transaction(TxnTarget { slot: &mut slot }, &txn, &self.registry);
+        if let Some(obj) = slot {
+            self.store.insert(oid.clone(), obj);
+        }
+        ctx.metrics().incr("osd.ops", 1);
+        match result {
+            Ok(results) => {
+                let replicas: Vec<u32> = acting[1..]
+                    .iter()
+                    .copied()
+                    .filter(|osd| *osd != self.id)
+                    .collect();
+                if is_mutation && !replicas.is_empty() {
+                    let repl_id = self.next_repl_id;
+                    self.next_repl_id += 1;
+                    for osd in &replicas {
+                        if let Some(node) = self.map.node_of(*osd) {
+                            ctx.send(
+                                node,
+                                OsdMsg::Repl {
+                                    repl_id,
+                                    oid: oid.clone(),
+                                    txn: txn.clone(),
+                                },
+                            );
+                        }
+                    }
+                    self.pending.insert(
+                        repl_id,
+                        PendingRepl {
+                            client: from,
+                            reqid,
+                            results,
+                            waiting_on: replicas.into_iter().collect(),
+                        },
+                    );
+                } else {
+                    let msg = reply(self, Ok(results));
+                    ctx.send_after(self.config.service_time, from, msg);
+                }
+            }
+            Err(e) => {
+                let msg = reply(self, Err(e));
+                ctx.send_after(self.config.service_time, from, msg);
+            }
+        }
+    }
+
+    fn objects_in_pg(&self, pool: &str, pg_index: u32) -> Vec<(ObjectId, Object)> {
+        let Some(info) = self.map.pools.get(pool) else {
+            return Vec::new();
+        };
+        self.store
+            .iter()
+            .filter(|(oid, _)| {
+                oid.pool == pool && pg_of(&oid.pool, &oid.name, info.pg_num).index == pg_index
+            })
+            .map(|(oid, obj)| (oid.clone(), obj.clone()))
+            .collect()
+    }
+}
+
+impl Actor for Osd {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Every OSD needs the osdmap to route and gossip; the
+        // `subscribe_to_monitor` knob only controls whether *interface*
+        // updates arrive by subscription or exclusively by peer gossip
+        // (the Fig. 8 propagation path).
+        ctx.send(
+            self.monitor,
+            MonMsg::Subscribe {
+                map: SERVICE_MAP_OSD.to_string(),
+            },
+        );
+        if self.config.subscribe_to_monitor {
+            ctx.send(
+                self.monitor,
+                MonMsg::Subscribe {
+                    map: SERVICE_MAP_INTERFACES.to_string(),
+                },
+            );
+        }
+        ctx.set_timer(self.config.gossip_interval, TIMER_GOSSIP);
+        if let Some(interval) = self.config.scrub_interval {
+            ctx.set_timer(interval, TIMER_SCRUB);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Box<dyn Any>) {
+        // Monitor traffic.
+        let msg = match msg.downcast::<MonMsg>() {
+            Ok(mon) => {
+                match *mon {
+                    MonMsg::Snapshot(snap) => {
+                        if snap.map == SERVICE_MAP_OSD {
+                            self.install_osdmap(ctx, snap.epoch, snap.entries);
+                        } else if snap.map == SERVICE_MAP_INTERFACES
+                            && self.install_interfaces(ctx, snap.epoch, snap.entries)
+                        {
+                            self.push_gossip(ctx);
+                        }
+                    }
+                    MonMsg::Changed { map, epoch, delta } => {
+                        if map == SERVICE_MAP_OSD {
+                            let mut entries = self.encode_osdmap_entries();
+                            apply_delta(&mut entries, delta);
+                            if self.install_osdmap(ctx, epoch, entries) {
+                                self.push_gossip(ctx);
+                            }
+                        } else if map == SERVICE_MAP_INTERFACES {
+                            let mut entries = self.interfaces.clone();
+                            apply_delta(&mut entries, delta);
+                            if self.install_interfaces(ctx, epoch, entries) {
+                                self.push_gossip(ctx);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let Ok(msg) = msg.downcast::<OsdMsg>() else {
+            return;
+        };
+        match *msg {
+            OsdMsg::ClientOp {
+                reqid,
+                oid,
+                txn,
+                map_epoch,
+            } => self.handle_client_op(ctx, from, reqid, oid, txn, map_epoch),
+            OsdMsg::Repl { repl_id, oid, txn } => {
+                let mut slot = self.store.remove(&oid);
+                // Replicas apply unconditionally; the primary already
+                // validated the transaction.
+                let _ = apply_transaction(TxnTarget { slot: &mut slot }, &txn, &self.registry);
+                if let Some(obj) = slot {
+                    self.store.insert(oid, obj);
+                }
+                ctx.send_after(self.config.service_time, from, OsdMsg::ReplAck { repl_id });
+            }
+            OsdMsg::ReplAck { repl_id } => {
+                let from_osd = self
+                    .map
+                    .osds
+                    .iter()
+                    .find(|(_, e)| e.node == from)
+                    .map(|(id, _)| *id);
+                if let (Some(from_osd), Some(pending)) = (from_osd, self.pending.get_mut(&repl_id))
+                {
+                    pending.waiting_on.remove(&from_osd);
+                    if pending.waiting_on.is_empty() {
+                        let pending = self.pending.remove(&repl_id).expect("present");
+                        let epoch = self.map.epoch;
+                        ctx.send_after(
+                            self.config.service_time,
+                            pending.client,
+                            OsdMsg::ClientReply {
+                                reqid: pending.reqid,
+                                result: Ok(pending.results),
+                                map_epoch: epoch,
+                            },
+                        );
+                    }
+                }
+            }
+            OsdMsg::Gossip { interfaces, osdmap } => {
+                let mut fresh = false;
+                if let Some((epoch, entries)) = osdmap {
+                    fresh |= self.install_osdmap(ctx, epoch, entries);
+                }
+                if let Some((epoch, entries)) = interfaces {
+                    fresh |= self.install_interfaces(ctx, epoch, entries);
+                }
+                if fresh {
+                    // Epidemic push: forward news immediately.
+                    self.push_gossip(ctx);
+                }
+            }
+            OsdMsg::PgPull { pool, pg_index } => {
+                let objects = self.objects_in_pg(&pool, pg_index);
+                ctx.send(
+                    from,
+                    OsdMsg::PgPush {
+                        objects,
+                        overwrite: false,
+                    },
+                );
+            }
+            OsdMsg::PgPush { objects, overwrite } => {
+                for (oid, obj) in objects {
+                    if overwrite {
+                        self.store.insert(oid, obj);
+                    } else {
+                        self.store.entry(oid).or_insert(obj);
+                    }
+                }
+                ctx.metrics().incr("osd.recovery_pushes_applied", 1);
+            }
+            OsdMsg::ScrubCheck {
+                pool,
+                pg_index,
+                fingerprints,
+            } => {
+                let mine: HashMap<ObjectId, u64> = self
+                    .objects_in_pg(&pool, pg_index)
+                    .into_iter()
+                    .map(|(oid, obj)| (oid, obj.fingerprint()))
+                    .collect();
+                let divergent: Vec<ObjectId> = fingerprints
+                    .into_iter()
+                    .filter(|(oid, fp)| mine.get(oid) != Some(fp))
+                    .map(|(oid, _)| oid)
+                    .collect();
+                if !divergent.is_empty() {
+                    ctx.send(
+                        from,
+                        OsdMsg::ScrubDivergent {
+                            objects: divergent,
+                            pool,
+                        },
+                    );
+                }
+            }
+            OsdMsg::ScrubDivergent { objects, pool: _ } => {
+                // Repair: push the primary's copies to the reporting
+                // replica.
+                let repaired: Vec<(ObjectId, Object)> = objects
+                    .iter()
+                    .filter_map(|oid| self.store.get(oid).map(|o| (oid.clone(), o.clone())))
+                    .collect();
+                ctx.metrics()
+                    .incr("osd.scrub_repairs", repaired.len() as u64);
+                ctx.send(
+                    from,
+                    OsdMsg::PgPush {
+                        objects: repaired,
+                        overwrite: true,
+                    },
+                );
+            }
+            OsdMsg::ClientReply { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        match token {
+            TIMER_GOSSIP => {
+                // Anti-entropy: periodic background exchange, in addition to
+                // the epidemic push on fresh news.
+                self.push_gossip(ctx);
+                ctx.set_timer(self.config.gossip_interval, TIMER_GOSSIP);
+            }
+            TIMER_SCRUB => {
+                for (pool, info) in self.map.pools.clone() {
+                    let up = self.map.up_osds();
+                    for pg_index in 0..info.pg_num {
+                        let pg = crate::placement::PgId {
+                            pool_hash: crate::placement::stable_hash(&pool),
+                            index: pg_index,
+                        };
+                        let acting = crate::placement::acting_set(pg, &up, info.replicas as usize);
+                        if acting.first() != Some(&self.id) {
+                            continue;
+                        }
+                        let fingerprints: Vec<(ObjectId, u64)> = self
+                            .objects_in_pg(&pool, pg_index)
+                            .into_iter()
+                            .map(|(oid, obj)| (oid, obj.fingerprint()))
+                            .collect();
+                        if fingerprints.is_empty() {
+                            continue;
+                        }
+                        for osd in &acting[1..] {
+                            if let Some(node) = self.map.node_of(*osd) {
+                                ctx.send(
+                                    node,
+                                    OsdMsg::ScrubCheck {
+                                        pool: pool.clone(),
+                                        pg_index,
+                                        fingerprints: fingerprints.clone(),
+                                    },
+                                );
+                            }
+                        }
+                        ctx.metrics().incr("osd.scrubs", 1);
+                    }
+                }
+                if let Some(interval) = self.config.scrub_interval {
+                    ctx.set_timer(interval, TIMER_SCRUB);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn apply_delta(entries: &mut BTreeMap<String, Vec<u8>>, delta: Vec<(String, Option<Vec<u8>>)>) {
+    for (key, value) in delta {
+        match value {
+            Some(v) => {
+                entries.insert(key, v);
+            }
+            None => {
+                entries.remove(&key);
+            }
+        }
+    }
+}

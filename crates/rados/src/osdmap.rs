@@ -1,0 +1,263 @@
+//! The OSD cluster map: membership, liveness, and pool definitions.
+//!
+//! The authoritative copy lives in the monitor's `osdmap` service-metadata
+//! map as plain key-value entries; this module parses those entries into a
+//! typed view and builds the updates that mutate them. Values use a tiny
+//! `k=v` text codec so no serialization dependency is needed and map dumps
+//! stay human-readable (handy when debugging experiments).
+
+use std::collections::BTreeMap;
+
+use mala_consensus::{MapSnapshot, MapUpdate, SERVICE_MAP_OSD};
+use mala_sim::NodeId;
+
+/// One pool's placement parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolInfo {
+    /// Number of placement groups.
+    pub pg_num: u32,
+    /// Replication factor.
+    pub replicas: u32,
+}
+
+/// One OSD's map entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsdEntry {
+    /// Simulation node hosting the daemon.
+    pub node: NodeId,
+    /// Whether the OSD is in the up set.
+    pub up: bool,
+}
+
+/// A parsed, versioned view of the OSD map.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OsdMapView {
+    /// Map epoch (the monitor map's epoch).
+    pub epoch: u64,
+    /// OSD id → entry.
+    pub osds: BTreeMap<u32, OsdEntry>,
+    /// Pool name → parameters.
+    pub pools: BTreeMap<String, PoolInfo>,
+}
+
+impl OsdMapView {
+    /// Parses the monitor's `osdmap` snapshot.
+    ///
+    /// Unparseable entries are skipped: the map is operator-writable and a
+    /// bad entry must not wedge every daemon.
+    pub fn from_snapshot(snap: &MapSnapshot) -> OsdMapView {
+        let mut view = OsdMapView {
+            epoch: snap.epoch,
+            ..Default::default()
+        };
+        for (key, value) in &snap.entries {
+            let value = String::from_utf8_lossy(value);
+            if let Some(id) = key.strip_prefix("osd.") {
+                let Ok(id) = id.parse::<u32>() else { continue };
+                let mut node = None;
+                let mut up = None;
+                for part in value.split(',') {
+                    match part.split_once('=') {
+                        Some(("node", n)) => node = n.parse::<u32>().ok().map(NodeId),
+                        Some(("up", u)) => up = Some(u == "1"),
+                        _ => {}
+                    }
+                }
+                if let (Some(node), Some(up)) = (node, up) {
+                    view.osds.insert(id, OsdEntry { node, up });
+                }
+            } else if let Some(pool) = key.strip_prefix("pool.") {
+                let mut pg_num = None;
+                let mut replicas = None;
+                for part in value.split(',') {
+                    match part.split_once('=') {
+                        Some(("pg_num", v)) => pg_num = v.parse().ok(),
+                        Some(("replicas", v)) => replicas = v.parse().ok(),
+                        _ => {}
+                    }
+                }
+                if let (Some(pg_num), Some(replicas)) = (pg_num, replicas) {
+                    view.pools
+                        .insert(pool.to_string(), PoolInfo { pg_num, replicas });
+                }
+            }
+        }
+        view
+    }
+
+    /// Ids of OSDs currently up, ascending.
+    pub fn up_osds(&self) -> Vec<u32> {
+        self.osds
+            .iter()
+            .filter(|(_, e)| e.up)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// The node hosting `osd`, if known.
+    pub fn node_of(&self, osd: u32) -> Option<NodeId> {
+        self.osds.get(&osd).map(|e| e.node)
+    }
+
+    /// The acting set (primary first) for an object, given this map.
+    ///
+    /// Returns `None` when the pool is unknown.
+    pub fn acting_set_for(&self, pool: &str, object_name: &str) -> Option<Vec<u32>> {
+        let info = self.pools.get(pool)?;
+        Some(crate::placement::primary_and_replicas(
+            pool,
+            object_name,
+            info.pg_num,
+            &self.up_osds(),
+            info.replicas as usize,
+        ))
+    }
+
+    /// Builds the update registering (or re-marking) an OSD.
+    pub fn update_osd(id: u32, node: NodeId, up: bool) -> MapUpdate {
+        MapUpdate::set(
+            SERVICE_MAP_OSD,
+            &format!("osd.{id}"),
+            format!("node={},up={}", node.0, u8::from(up)).into_bytes(),
+        )
+    }
+
+    /// Builds the update creating (or resizing) a pool.
+    pub fn update_pool(name: &str, info: PoolInfo) -> MapUpdate {
+        MapUpdate::set(
+            SERVICE_MAP_OSD,
+            &format!("pool.{name}"),
+            format!("pg_num={},replicas={}", info.pg_num, info.replicas).into_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(entries: Vec<(&str, &str)>, epoch: u64) -> MapSnapshot {
+        MapSnapshot {
+            map: SERVICE_MAP_OSD.to_string(),
+            epoch,
+            entries: entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v.as_bytes().to_vec()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parse_round_trip_via_updates() {
+        let updates = vec![
+            OsdMapView::update_osd(0, NodeId(10), true),
+            OsdMapView::update_osd(1, NodeId(11), false),
+            OsdMapView::update_pool(
+                "meta",
+                PoolInfo {
+                    pg_num: 64,
+                    replicas: 3,
+                },
+            ),
+        ];
+        let snap = MapSnapshot {
+            map: SERVICE_MAP_OSD.to_string(),
+            epoch: 5,
+            entries: updates
+                .into_iter()
+                .map(|u| (u.key, u.value.unwrap()))
+                .collect(),
+        };
+        let view = OsdMapView::from_snapshot(&snap);
+        assert_eq!(view.epoch, 5);
+        assert_eq!(
+            view.osds[&0],
+            OsdEntry {
+                node: NodeId(10),
+                up: true
+            }
+        );
+        assert_eq!(
+            view.osds[&1],
+            OsdEntry {
+                node: NodeId(11),
+                up: false
+            }
+        );
+        assert_eq!(
+            view.pools["meta"],
+            PoolInfo {
+                pg_num: 64,
+                replicas: 3
+            }
+        );
+        assert_eq!(view.up_osds(), vec![0]);
+        assert_eq!(view.node_of(1), Some(NodeId(11)));
+        assert_eq!(view.node_of(9), None);
+    }
+
+    #[test]
+    fn malformed_entries_are_skipped() {
+        let snap = snapshot(
+            vec![
+                ("osd.x", "node=1,up=1"),
+                ("osd.2", "garbage"),
+                ("osd.3", "node=9,up=1"),
+                ("pool.p", "pg_num=zz,replicas=3"),
+                ("unrelated", "ignored"),
+            ],
+            1,
+        );
+        let view = OsdMapView::from_snapshot(&snap);
+        assert_eq!(view.osds.len(), 1);
+        assert!(view.osds.contains_key(&3));
+        assert!(view.pools.is_empty());
+    }
+
+    #[test]
+    fn acting_set_requires_known_pool() {
+        let snap = snapshot(
+            vec![
+                ("osd.0", "node=10,up=1"),
+                ("osd.1", "node=11,up=1"),
+                ("pool.data", "pg_num=32,replicas=2"),
+            ],
+            1,
+        );
+        let view = OsdMapView::from_snapshot(&snap);
+        let set = view.acting_set_for("data", "obj").unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(view.acting_set_for("nope", "obj").is_none());
+    }
+
+    #[test]
+    fn down_osds_leave_the_acting_set() {
+        let mut entries = vec![("pool.data", "pg_num=8,replicas=2".to_string())];
+        for i in 0..4u32 {
+            entries.push((
+                Box::leak(format!("osd.{i}").into_boxed_str()),
+                format!("node={},up=1", 10 + i),
+            ));
+        }
+        let snap = MapSnapshot {
+            map: SERVICE_MAP_OSD.to_string(),
+            epoch: 1,
+            entries: entries
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.as_bytes().to_vec()))
+                .collect(),
+        };
+        let view = OsdMapView::from_snapshot(&snap);
+        let before = view.acting_set_for("data", "victim-obj").unwrap();
+        // Mark the primary down and re-derive.
+        let mut snap2 = snap.clone();
+        snap2.entries.insert(
+            format!("osd.{}", before[0]),
+            format!("node={},up=0", 10 + before[0]).into_bytes(),
+        );
+        snap2.epoch = 2;
+        let view2 = OsdMapView::from_snapshot(&snap2);
+        let after = view2.acting_set_for("data", "victim-obj").unwrap();
+        assert!(!after.contains(&before[0]));
+    }
+}

@@ -1,0 +1,107 @@
+//! The actor abstraction and the per-dispatch context handed to actors.
+
+use std::any::Any;
+
+use rand::rngs::StdRng;
+
+use crate::sched::SimInner;
+use crate::{Metrics, NodeId, SimDuration, SimTime};
+
+/// A simulated daemon or client.
+///
+/// Actors own their state, communicate exclusively through messages, and
+/// observe time through timers. All callbacks run on the simulator thread;
+/// reentrancy is impossible.
+pub trait Actor: 'static {
+    /// Invoked once when the node is added to the simulation (or restarted
+    /// after a crash).
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Invoked for every message delivered to this node.
+    ///
+    /// `msg` is the boxed payload; actors `downcast` to the concrete message
+    /// types they understand and ignore the rest.
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Box<dyn Any>);
+
+    /// Invoked when a timer armed with [`Context::set_timer`] fires. `token`
+    /// is the actor-chosen discriminator passed at arm time.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: u64) {}
+}
+
+/// Handle for cancelling an armed timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerHandle(pub(crate) u64);
+
+/// Capabilities available to an actor during a callback.
+///
+/// A `Context` can send messages (routed through the network model), arm and
+/// cancel timers, read the virtual clock, draw deterministic randomness, and
+/// record metrics.
+pub struct Context<'a> {
+    pub(crate) me: NodeId,
+    pub(crate) inner: &'a mut SimInner,
+}
+
+impl Context<'_> {
+    /// The node this callback is running on.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// Sends `msg` to `to`, subject to the network model (latency, loss,
+    /// partitions). Self-sends use loopback latency and are never dropped.
+    pub fn send<M: Any>(&mut self, to: NodeId, msg: M) {
+        let me = self.me;
+        self.inner.send_from(me, to, Box::new(msg));
+    }
+
+    /// Sends `msg` to `to` after an additional local delay — used to model
+    /// service time before a reply leaves the node.
+    pub fn send_after<M: Any>(&mut self, delay: SimDuration, to: NodeId, msg: M) {
+        let me = self.me;
+        self.inner.send_from_after(me, to, Box::new(msg), delay);
+    }
+
+    /// Arms a one-shot timer firing after `delay`; `token` is handed back to
+    /// [`Actor::on_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerHandle {
+        let me = self.me;
+        self.inner.set_timer(me, delay, token)
+    }
+
+    /// Cancels an armed timer. Cancelling an already-fired timer is a no-op.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.inner.cancel_timer(handle);
+    }
+
+    /// The simulation-wide deterministic RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner.rng
+    }
+
+    /// The simulation-wide metric sink.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.inner.metrics
+    }
+}
+
+/// Object-safe wrapper that lets the simulator store heterogeneous actors
+/// and still hand typed references back to the harness.
+pub(crate) trait AnyActor: Actor {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Actor> AnyActor for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,212 @@
+//! Experiment metrics: counters, gauges, and raw sample series.
+//!
+//! The benchmark harness reconstructs every figure in the paper from these
+//! series (throughput-over-time, latency CDFs, per-client grant timelines),
+//! so the simulator records raw samples rather than pre-aggregated
+//! histograms.
+
+use std::collections::BTreeMap;
+
+use crate::SimTime;
+
+/// A single timestamped observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Virtual time at which the observation was made.
+    pub at: SimTime,
+    /// The observed value (unit depends on the series).
+    pub value: f64,
+}
+
+/// Metric sink shared by all actors in a simulation.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    series: BTreeMap<String, Vec<Sample>>,
+}
+
+impl Metrics {
+    /// Creates an empty sink.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn incr(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Reads a counter, zero if never written.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Reads a gauge, `None` if never set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Appends a timestamped sample to the named series.
+    pub fn observe(&mut self, name: &str, at: SimTime, value: f64) {
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .push(Sample { at, value });
+    }
+
+    /// Returns the samples recorded under `name` (empty slice if none).
+    pub fn series(&self, name: &str) -> &[Sample] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over all series names.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Iterates over all counter `(name, value)` pairs.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Drops every recorded metric. Used between experiment phases.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.series.clear();
+    }
+}
+
+/// Summary statistics over the values of a sample slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean of the values.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+/// Computes summary statistics over `samples`, `None` when empty.
+pub fn summarize(samples: &[Sample]) -> Option<Summary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().map(|s| s.value).sum::<f64>() / n;
+    let var = samples
+        .iter()
+        .map(|s| (s.value - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    let min = samples
+        .iter()
+        .map(|s| s.value)
+        .fold(f64::INFINITY, f64::min);
+    let max = samples
+        .iter()
+        .map(|s| s.value)
+        .fold(f64::NEG_INFINITY, f64::max);
+    Some(Summary {
+        count: samples.len(),
+        mean,
+        min,
+        max,
+        stddev: var.sqrt(),
+    })
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of the sample values by
+/// nearest-rank on the sorted values, `None` when empty.
+pub fn quantile(samples: &[Sample], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut values: Vec<f64> = samples.iter().map(|s| s.value).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let rank = ((q.clamp(0.0, 1.0)) * (values.len() - 1) as f64).round() as usize;
+    Some(values[rank])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(at: u64, v: f64) -> Sample {
+        Sample {
+            at: SimTime(at),
+            value: v,
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("ops", 2);
+        m.incr("ops", 3);
+        assert_eq!(m.counter("ops"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = Metrics::new();
+        m.set_gauge("load", 1.0);
+        m.set_gauge("load", 2.5);
+        assert_eq!(m.gauge("load"), Some(2.5));
+        assert_eq!(m.gauge("missing"), None);
+    }
+
+    #[test]
+    fn series_accumulate_in_order() {
+        let mut m = Metrics::new();
+        m.observe("lat", SimTime(1), 10.0);
+        m.observe("lat", SimTime(2), 20.0);
+        assert_eq!(m.series("lat").len(), 2);
+        assert_eq!(m.series("lat")[1].value, 20.0);
+        assert_eq!(m.series("nope"), &[]);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let samples = vec![s(0, 1.0), s(1, 2.0), s(2, 3.0), s(3, 4.0)];
+        let sum = summarize(&samples).unwrap();
+        assert_eq!(sum.count, 4);
+        assert_eq!(sum.mean, 2.5);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 4.0);
+        assert!((sum.stddev - 1.118).abs() < 1e-3);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn quantiles() {
+        let samples: Vec<Sample> = (0..101).map(|i| s(i, i as f64)).collect();
+        assert_eq!(quantile(&samples, 0.0), Some(0.0));
+        assert_eq!(quantile(&samples, 0.5), Some(50.0));
+        assert_eq!(quantile(&samples, 0.99), Some(99.0));
+        assert_eq!(quantile(&samples, 1.0), Some(100.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = Metrics::new();
+        m.incr("a", 1);
+        m.observe("b", SimTime(0), 1.0);
+        m.clear();
+        assert_eq!(m.counter("a"), 0);
+        assert!(m.series("b").is_empty());
+    }
+}

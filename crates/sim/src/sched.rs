@@ -1,0 +1,547 @@
+//! The simulator core: event queue, dispatch loop, and failure injection.
+
+use std::any::Any;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::actor::{Actor, AnyActor, Context, TimerHandle};
+use crate::net::{Delivery, Network};
+use crate::{Metrics, NodeId, SimDuration, SimTime};
+
+enum EventKind {
+    Start(NodeId),
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: Box<dyn Any>,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+        id: u64,
+    },
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // Ties break on insertion sequence for determinism.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The mutable guts of a simulation, split from the actor table so a
+/// dispatched actor can borrow both itself and this state.
+pub(crate) struct SimInner {
+    pub(crate) now: SimTime,
+    pub(crate) rng: StdRng,
+    pub(crate) metrics: Metrics,
+    pub(crate) net: Network,
+    queue: BinaryHeap<Event>,
+    seq: u64,
+    next_timer_id: u64,
+    cancelled_timers: HashSet<u64>,
+    crashed: HashSet<NodeId>,
+    /// Per ordered `(src, dst)` pair: the latest delivery time scheduled so
+    /// far. Messages between the same pair deliver FIFO, as over a TCP
+    /// session — jitter never reorders a connection.
+    last_delivery: HashMap<(NodeId, NodeId), SimTime>,
+}
+
+impl SimInner {
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    pub(crate) fn send_from(&mut self, from: NodeId, to: NodeId, msg: Box<dyn Any>) {
+        self.send_from_after(from, to, msg, SimDuration::ZERO);
+    }
+
+    pub(crate) fn send_from_after(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: Box<dyn Any>,
+        extra: SimDuration,
+    ) {
+        match self.net.route(from, to, &mut self.rng) {
+            Delivery::After(lat) => {
+                let mut at = self.now + lat + extra;
+                // FIFO per connection: never deliver before an earlier
+                // message on the same (src, dst) pair.
+                let key = (from, to);
+                if let Some(prev) = self.last_delivery.get(&key) {
+                    if at <= *prev {
+                        at = *prev + SimDuration::from_micros(1);
+                    }
+                }
+                self.last_delivery.insert(key, at);
+                self.push(at, EventKind::Deliver { from, to, msg });
+                self.metrics.incr("sim.messages_sent", 1);
+            }
+            Delivery::Drop => {
+                self.metrics.incr("sim.messages_dropped", 1);
+            }
+        }
+    }
+
+    pub(crate) fn set_timer(
+        &mut self,
+        node: NodeId,
+        delay: SimDuration,
+        token: u64,
+    ) -> TimerHandle {
+        let id = self.next_timer_id;
+        self.next_timer_id += 1;
+        let at = self.now + delay;
+        self.push(at, EventKind::Timer { node, token, id });
+        TimerHandle(id)
+    }
+
+    pub(crate) fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.cancelled_timers.insert(handle.0);
+    }
+}
+
+/// A deterministic discrete-event simulation of a storage cluster.
+///
+/// See the crate-level docs for an end-to-end example.
+pub struct Sim {
+    inner: SimInner,
+    actors: HashMap<NodeId, Box<dyn AnyActor>>,
+}
+
+impl Sim {
+    /// Creates an empty simulation seeded with `seed` and the default
+    /// network model.
+    pub fn new(seed: u64) -> Sim {
+        Sim::with_network(seed, Network::default())
+    }
+
+    /// Creates an empty simulation with an explicit network model.
+    pub fn with_network(seed: u64, net: Network) -> Sim {
+        Sim {
+            inner: SimInner {
+                now: SimTime::ZERO,
+                rng: StdRng::seed_from_u64(seed),
+                metrics: Metrics::new(),
+                net,
+                queue: BinaryHeap::new(),
+                seq: 0,
+                next_timer_id: 0,
+                cancelled_timers: HashSet::new(),
+                crashed: HashSet::new(),
+                last_delivery: HashMap::new(),
+            },
+            actors: HashMap::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// The metric sink (read side for harnesses).
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// The metric sink (write side, e.g. to clear between phases).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.inner.metrics
+    }
+
+    /// The network model, for partition/latency manipulation mid-run.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.inner.net
+    }
+
+    /// Adds a node running `actor`. Its [`Actor::on_start`] is scheduled at
+    /// the current virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already present.
+    pub fn add_node<A: Actor>(&mut self, id: NodeId, actor: A) {
+        assert!(
+            !self.actors.contains_key(&id),
+            "node {id} already exists in the simulation"
+        );
+        self.actors.insert(id, Box::new(actor));
+        self.inner.crashed.remove(&id);
+        let now = self.inner.now;
+        self.inner.push(now, EventKind::Start(id));
+    }
+
+    /// Crashes `node`: its state is dropped, in-flight messages to it are
+    /// discarded on delivery, and its timers never fire.
+    pub fn crash(&mut self, node: NodeId) {
+        self.actors.remove(&node);
+        self.inner.crashed.insert(node);
+        self.inner.metrics.incr("sim.crashes", 1);
+    }
+
+    /// Restarts `node` with fresh actor state (cold restart, as when a
+    /// daemon process is respawned).
+    pub fn restart<A: Actor>(&mut self, node: NodeId, actor: A) {
+        self.inner.crashed.remove(&node);
+        self.actors.remove(&node);
+        self.add_node(node, actor);
+    }
+
+    /// Returns whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.inner.crashed.contains(&node)
+    }
+
+    /// Injects a message from a fictitious external source into `to`'s
+    /// mailbox at the current time (no network latency).
+    pub fn inject<M: Any>(&mut self, to: NodeId, msg: M) {
+        let now = self.inner.now;
+        self.inner.push(
+            now,
+            EventKind::Deliver {
+                from: to,
+                to,
+                msg: Box::new(msg),
+            },
+        );
+    }
+
+    /// Typed shared access to a node's actor state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist or its actor is not a `T`.
+    pub fn actor<T: Actor>(&self, id: NodeId) -> &T {
+        self.actors
+            .get(&id)
+            .unwrap_or_else(|| panic!("no such node: {id}"))
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Typed exclusive access to a node's actor state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist or its actor is not a `T`.
+    pub fn actor_mut<T: Actor>(&mut self, id: NodeId) -> &mut T {
+        self.actors
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("no such node: {id}"))
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Runs a closure against a node's actor with a full [`Context`], as if
+    /// an external event had been dispatched to it. This is how harnesses
+    /// drive client actors synchronously.
+    pub fn with_actor<T: Actor, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Context<'_>) -> R,
+    ) -> R {
+        let mut actor = self
+            .actors
+            .remove(&id)
+            .unwrap_or_else(|| panic!("no such node: {id}"));
+        let mut ctx = Context {
+            me: id,
+            inner: &mut self.inner,
+        };
+        let typed = actor
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()));
+        let out = f(typed, &mut ctx);
+        self.actors.insert(id, actor);
+        out
+    }
+
+    /// Processes the next event, returning its timestamp, or `None` if the
+    /// queue is empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let ev = self.inner.queue.pop()?;
+        self.inner.now = ev.at;
+        match ev.kind {
+            EventKind::Start(node) => {
+                self.dispatch(node, |actor, ctx| actor.on_start(ctx));
+            }
+            EventKind::Deliver { from, to, msg } => {
+                self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { node, token, id } => {
+                if !self.inner.cancelled_timers.remove(&id) {
+                    self.dispatch(node, |actor, ctx| actor.on_timer(ctx, token));
+                }
+            }
+        }
+        Some(self.inner.now)
+    }
+
+    fn dispatch<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn AnyActor, &mut Context<'_>),
+    {
+        // Messages to crashed or never-created nodes vanish, as on a real
+        // network.
+        let Some(mut actor) = self.actors.remove(&node) else {
+            self.inner.metrics.incr("sim.messages_to_dead_nodes", 1);
+            return;
+        };
+        let mut ctx = Context {
+            me: node,
+            inner: &mut self.inner,
+        };
+        f(actor.as_mut(), &mut ctx);
+        // The actor may have been crashed from within its own callback via a
+        // harness hook; only put it back if it wasn't.
+        if !self.inner.crashed.contains(&node) {
+            self.actors.insert(node, actor);
+        }
+    }
+
+    /// Runs until the queue is empty or virtual time would exceed
+    /// `deadline`; the clock ends at `deadline` exactly.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(ev) = self.inner.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.inner.now < deadline {
+            self.inner.now = deadline;
+        }
+    }
+
+    /// Runs for `dur` of virtual time from now.
+    pub fn run_for(&mut self, dur: SimDuration) {
+        let deadline = self.inner.now + dur;
+        self.run_until(deadline);
+    }
+
+    /// Runs until the event queue drains completely.
+    ///
+    /// Beware: periodic timers keep a queue non-empty forever; prefer
+    /// [`Sim::run_until`] for systems with heartbeats.
+    pub fn run_until_idle(&mut self) {
+        while self.step().is_some() {}
+    }
+
+    /// Runs until `pred(self)` is true or `deadline` passes. Returns whether
+    /// the predicate was satisfied.
+    pub fn run_until_pred(
+        &mut self,
+        deadline: SimTime,
+        mut pred: impl FnMut(&Sim) -> bool,
+    ) -> bool {
+        loop {
+            if pred(self) {
+                return true;
+            }
+            match self.inner.queue.peek() {
+                Some(ev) if ev.at <= deadline => {
+                    self.step();
+                }
+                _ => {
+                    if self.inner.now < deadline {
+                        self.inner.now = deadline;
+                    }
+                    return pred(self);
+                }
+            }
+        }
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.inner.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetConfig;
+
+    #[derive(Debug)]
+    struct Tick;
+
+    /// Records the order and time of everything that happens to it.
+    struct Recorder {
+        log: Vec<(SimTime, String)>,
+    }
+
+    impl Actor for Recorder {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            self.log.push((ctx.now(), "start".into()));
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, _msg: Box<dyn Any>) {
+            self.log.push((ctx.now(), format!("msg from {from}")));
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+            self.log.push((ctx.now(), format!("timer {token}")));
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder { log: Vec::new() }
+    }
+
+    #[test]
+    fn start_event_fires() {
+        let mut sim = Sim::new(0);
+        sim.add_node(NodeId(0), recorder());
+        sim.run_until_idle();
+        assert_eq!(sim.actor::<Recorder>(NodeId(0)).log[0].1, "start");
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_tokens() {
+        let mut sim = Sim::new(0);
+        sim.add_node(NodeId(0), recorder());
+        sim.with_actor::<Recorder, _>(NodeId(0), |_, ctx| {
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+            ctx.set_timer(SimDuration::from_millis(5), 2);
+        });
+        sim.run_until_idle();
+        let log = &sim.actor::<Recorder>(NodeId(0)).log;
+        assert_eq!(log[1].1, "timer 2");
+        assert_eq!(log[2].1, "timer 1");
+        assert_eq!(log[1].0, SimTime(5_000));
+        assert_eq!(log[2].0, SimTime(10_000));
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut sim = Sim::new(0);
+        sim.add_node(NodeId(0), recorder());
+        sim.with_actor::<Recorder, _>(NodeId(0), |_, ctx| {
+            let h = ctx.set_timer(SimDuration::from_millis(10), 1);
+            ctx.cancel_timer(h);
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.actor::<Recorder>(NodeId(0)).log.len(), 1);
+    }
+
+    #[test]
+    fn messages_to_crashed_nodes_are_dropped() {
+        let mut sim = Sim::with_network(0, Network::new(NetConfig::instant()));
+        sim.add_node(NodeId(0), recorder());
+        sim.add_node(NodeId(1), recorder());
+        sim.run_until_idle();
+        sim.crash(NodeId(1));
+        sim.with_actor::<Recorder, _>(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), Tick);
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().counter("sim.messages_to_dead_nodes"), 1);
+    }
+
+    #[test]
+    fn restart_gets_fresh_state_and_on_start() {
+        let mut sim = Sim::new(0);
+        sim.add_node(NodeId(0), recorder());
+        sim.run_until_idle();
+        sim.crash(NodeId(0));
+        sim.restart(NodeId(0), recorder());
+        sim.run_until_idle();
+        let log = &sim.actor::<Recorder>(NodeId(0)).log;
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].1, "start");
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut sim = Sim::new(0);
+        sim.run_until(SimTime(123));
+        assert_eq!(sim.now(), SimTime(123));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> Vec<(SimTime, String)> {
+            let mut sim = Sim::new(seed);
+            sim.add_node(NodeId(0), recorder());
+            sim.add_node(NodeId(1), recorder());
+            for i in 0..20u64 {
+                sim.with_actor::<Recorder, _>(NodeId(0), |_, ctx| {
+                    ctx.set_timer(SimDuration::from_micros(i * 17 % 97), i);
+                    ctx.send(NodeId(1), Tick);
+                });
+            }
+            sim.run_until_idle();
+            let mut log = sim.actor::<Recorder>(NodeId(0)).log.clone();
+            log.extend(sim.actor::<Recorder>(NodeId(1)).log.clone());
+            log
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn run_until_pred_stops_early() {
+        let mut sim = Sim::new(0);
+        sim.add_node(NodeId(0), recorder());
+        sim.with_actor::<Recorder, _>(NodeId(0), |_, ctx| {
+            for i in 0..10 {
+                ctx.set_timer(SimDuration::from_millis(i), i);
+            }
+        });
+        let hit = sim.run_until_pred(SimTime(1_000_000), |s| {
+            s.actor::<Recorder>(NodeId(0)).log.len() >= 4
+        });
+        assert!(hit);
+        assert!(sim.now() < SimTime(1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_node_panics() {
+        let mut sim = Sim::new(0);
+        sim.add_node(NodeId(0), recorder());
+        sim.add_node(NodeId(0), recorder());
+    }
+
+    #[test]
+    fn latency_orders_remote_after_local() {
+        let mut sim = Sim::new(0);
+        sim.add_node(NodeId(0), recorder());
+        sim.add_node(NodeId(1), recorder());
+        sim.run_until_idle();
+        sim.with_actor::<Recorder, _>(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), Tick); // remote: >= 150us
+            ctx.send(NodeId(0), Tick); // loopback: 5us
+        });
+        sim.run_until_idle();
+        let local_at = sim.actor::<Recorder>(NodeId(0)).log[1].0;
+        let remote_at = sim.actor::<Recorder>(NodeId(1)).log[1].0;
+        assert!(local_at < remote_at);
+    }
+}

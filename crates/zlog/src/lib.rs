@@ -1,0 +1,29 @@
+//! ZLog: a high-performance distributed shared log (CORFU [Balakrishnan
+//! et al., NSDI '12]) built from Malacology's interfaces, as in the
+//! paper's §5.2.
+//!
+//! The mapping onto the storage system:
+//!
+//! * **Sequencer** — a [`mala_mds::FileType::Sequencer`] inode: the
+//!   64-bit log tail lives *in the inode* (File Type interface), and
+//!   exclusive access is arbitrated by the MDS capability system (Shared
+//!   Resource interface). Client machinery for both access modes lives in
+//!   [`sequencer`]: cached/batched (Figs. 5–7) and round-trip
+//!   (Figs. 9–12).
+//! * **Storage interface** — a *scripted* object class
+//!   ([`storage::ZLOG_CLASS_SOURCE`], installed cluster-wide through the
+//!   Service Metadata interface) providing the write-once, random-read
+//!   log-entry store with the epoch-based `seal` needed for sequencer
+//!   recovery.
+//! * **Recovery** — [`log::ZlogClient::recover`]: bump the epoch in the
+//!   monitor's service metadata, `seal` every stripe object (invalidating
+//!   stale clients), compute the maximum written position, and restart
+//!   the sequencer from it.
+
+pub mod log;
+pub mod sequencer;
+pub mod storage;
+
+pub use log::{AppendResult, ReadOutcome, ZlogClient, ZlogConfig};
+pub use sequencer::{SeqMode, SeqStats, SeqWorkload};
+pub use storage::{zlog_interface_update, ZLOG_CLASS, ZLOG_CLASS_SOURCE};

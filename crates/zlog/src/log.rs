@@ -1,0 +1,786 @@
+//! The ZLog client: append/read/fill/trim over striped storage objects,
+//! with CORFU's epoch protocol and sequencer recovery.
+//!
+//! A log named `L` with stripe width `K` stores position `p` in object
+//! `L.{p % K}` via the scripted [`crate::storage`] class. The current
+//! epoch lives in the monitor's `zlog` service-metadata map (key
+//! `epoch.L`), so it is durable and consistently propagated; requests
+//! tagged with an older epoch bounce off sealed objects with `ESTALE` and
+//! the client refreshes.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use mala_consensus::{MapUpdate, MonMsg};
+use mala_mds::types::{MdsError, MdsMsg};
+use mala_mds::{FileType, Ino};
+use mala_rados::{ObjectId, Op, OpResult, OsdError, RadosClient};
+use mala_sim::{Actor, Context, NodeId, Sim, SimDuration};
+
+use crate::storage::ZLOG_CLASS;
+
+/// Monitor map holding ZLog service metadata (per-log epochs).
+pub const ZLOG_MAP: &str = "zlog";
+
+/// Client configuration for one log.
+#[derive(Debug, Clone)]
+pub struct ZlogConfig {
+    /// Log name (also its namespace entry `/zlog/<name>`).
+    pub name: String,
+    /// RADOS pool storing stripe objects.
+    pub pool: String,
+    /// Number of stripe objects.
+    pub stripe_width: u32,
+    /// MDS rank → node.
+    pub mds_nodes: HashMap<u32, NodeId>,
+    /// Rank serving the sequencer inode.
+    pub home_rank: u32,
+    /// Monitor node.
+    pub monitor: NodeId,
+}
+
+/// Outcome of a read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Entry data.
+    Data(Vec<u8>),
+    /// Position was junk-filled.
+    Filled,
+    /// Position was trimmed.
+    Trimmed,
+    /// Nothing written there yet.
+    NotWritten,
+}
+
+/// Completed operation results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppendResult {
+    /// The op succeeded; payload depends on the op kind.
+    Ok(ZlogOut),
+    /// The op failed terminally.
+    Err(String),
+}
+
+/// Success payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZlogOut {
+    /// Append: the assigned position.
+    Pos(u64),
+    /// Read outcome.
+    Read(ReadOutcome),
+    /// Fill/trim acknowledgement.
+    Done,
+    /// `check_tail` result.
+    Tail(u64),
+    /// Recovery: the new epoch and restored tail.
+    Recovered {
+        /// New epoch installed everywhere.
+        epoch: u64,
+        /// Tail the sequencer restarts from.
+        tail: u64,
+    },
+    /// Namespace setup finished (sequencer inode).
+    SetUp(Ino),
+}
+
+enum Stage {
+    /// Waiting for `/zlog` mkdir.
+    SetupDir,
+    /// Waiting for sequencer create.
+    SetupSeq,
+    /// Waiting for a Resolve of the sequencer inode.
+    ResolveSeq,
+    /// Waiting for the sequencer position.
+    GetPos,
+    /// Waiting for the storage write at `pos`.
+    Write { pos: u64 },
+    /// Waiting for a storage read.
+    ReadEntry,
+    /// Waiting for fill/trim.
+    Mutate,
+    /// Waiting for the tail round trip.
+    Tail,
+    /// Recovery: waiting for the epoch commit ack (carries the epoch this
+    /// op submitted, so a racing map notification cannot double-bump it).
+    RecoverEpoch { new_epoch: u64 },
+    /// Recovery: sealing stripes; tracks outstanding rados reqids & max.
+    RecoverSeal {
+        outstanding: usize,
+        max_pos: i64,
+        new_epoch: u64,
+    },
+    /// Recovery: restarting the sequencer.
+    RecoverAdvance { new_epoch: u64, tail: u64 },
+}
+
+struct PendingOp {
+    kind: OpKind,
+    stage: Stage,
+    attempts: u32,
+}
+
+#[derive(Debug, Clone)]
+enum OpKind {
+    Setup,
+    Append { data: Vec<u8> },
+    Read { pos: u64 },
+    Fill { pos: u64 },
+    Trim { pos: u64 },
+    CheckTail,
+    Recover,
+}
+
+const TOKEN_RETRY_BASE: u64 = 1 << 32;
+
+/// The ZLog client actor.
+pub struct ZlogClient {
+    /// Embedded RADOS client (delegated object I/O).
+    rados: RadosClient,
+    config: ZlogConfig,
+    /// Current CORFU epoch for this log (from the `zlog` map).
+    epoch: u64,
+    seq_ino: Option<Ino>,
+    ops: HashMap<u64, PendingOp>,
+    results: HashMap<u64, AppendResult>,
+    next_op: u64,
+    next_seq: u64,
+    /// rados reqid → (op id) routing.
+    rados_waiting: HashMap<u64, u64>,
+    /// MDS reqid → op id routing.
+    mds_waiting: HashMap<u64, u64>,
+    /// Monitor submit seq → op id routing.
+    mon_waiting: HashMap<u64, u64>,
+    /// Ops blocked until a newer epoch arrives.
+    blocked_on_epoch: Vec<(u64, u64)>,
+}
+
+impl ZlogClient {
+    /// Creates a client for `config`.
+    pub fn new(config: ZlogConfig) -> ZlogClient {
+        ZlogClient {
+            rados: RadosClient::new(config.monitor),
+            config,
+            epoch: 0,
+            seq_ino: None,
+            ops: HashMap::new(),
+            results: HashMap::new(),
+            next_op: 1,
+            next_seq: 1,
+            rados_waiting: HashMap::new(),
+            mds_waiting: HashMap::new(),
+            mon_waiting: HashMap::new(),
+            blocked_on_epoch: Vec::new(),
+        }
+    }
+
+    /// The current epoch this client operates under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The sequencer inode, once resolved.
+    pub fn seq_ino(&self) -> Option<Ino> {
+        self.seq_ino
+    }
+
+    /// Takes a completed result.
+    pub fn take_result(&mut self, op: u64) -> Option<AppendResult> {
+        self.results.remove(&op)
+    }
+
+    /// Whether `op` completed.
+    pub fn is_done(&self, op: u64) -> bool {
+        self.results.contains_key(&op)
+    }
+
+    // ---- op starters ----
+
+    fn begin(&mut self, kind: OpKind, stage: Stage) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        self.ops.insert(
+            op,
+            PendingOp {
+                kind,
+                stage,
+                attempts: 0,
+            },
+        );
+        op
+    }
+
+    /// Creates `/zlog/<name>` (directory + sequencer inode) if needed.
+    pub fn setup(&mut self, ctx: &mut Context<'_>) -> u64 {
+        let op = self.begin(OpKind::Setup, Stage::SetupDir);
+        let reqid = self.mds_reqid(op);
+        ctx.send(
+            self.home_node(),
+            MdsMsg::Create {
+                reqid,
+                parent_path: "/".into(),
+                name: "zlog".into(),
+                ftype: FileType::Dir,
+            },
+        );
+        op
+    }
+
+    /// Appends `data`; resolves to [`ZlogOut::Pos`].
+    pub fn append(&mut self, ctx: &mut Context<'_>, data: Vec<u8>) -> u64 {
+        let op = self.begin(OpKind::Append { data }, Stage::GetPos);
+        self.step_get_pos(ctx, op);
+        op
+    }
+
+    /// Reads `pos`; resolves to [`ZlogOut::Read`].
+    pub fn read(&mut self, ctx: &mut Context<'_>, pos: u64) -> u64 {
+        let op = self.begin(OpKind::Read { pos }, Stage::ReadEntry);
+        self.step_storage_simple(ctx, op);
+        op
+    }
+
+    /// Junk-fills `pos`; resolves to [`ZlogOut::Done`].
+    pub fn fill(&mut self, ctx: &mut Context<'_>, pos: u64) -> u64 {
+        let op = self.begin(OpKind::Fill { pos }, Stage::Mutate);
+        self.step_storage_simple(ctx, op);
+        op
+    }
+
+    /// Trims `pos`; resolves to [`ZlogOut::Done`].
+    pub fn trim(&mut self, ctx: &mut Context<'_>, pos: u64) -> u64 {
+        let op = self.begin(OpKind::Trim { pos }, Stage::Mutate);
+        self.step_storage_simple(ctx, op);
+        op
+    }
+
+    /// Reads the sequencer tail without advancing it.
+    pub fn check_tail(&mut self, ctx: &mut Context<'_>) -> u64 {
+        let op = self.begin(OpKind::CheckTail, Stage::Tail);
+        self.step_tail(ctx, op);
+        op
+    }
+
+    /// Runs CORFU sequencer recovery: bump the epoch (durable, via the
+    /// monitor), seal every stripe object, and restart the sequencer at
+    /// the maximum written position + 1.
+    pub fn recover(&mut self, ctx: &mut Context<'_>) -> u64 {
+        let new_epoch = self.epoch + 1;
+        let op = self.begin(OpKind::Recover, Stage::RecoverEpoch { new_epoch });
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.mon_waiting.insert(seq, op);
+        ctx.send(
+            self.config.monitor,
+            MonMsg::Submit {
+                seq,
+                updates: vec![MapUpdate::set(
+                    ZLOG_MAP,
+                    &format!("epoch.{}", self.config.name),
+                    new_epoch.to_string().into_bytes(),
+                )],
+            },
+        );
+        op
+    }
+
+    // ---- plumbing ----
+
+    fn home_node(&self) -> NodeId {
+        self.config.mds_nodes[&self.config.home_rank]
+    }
+
+    fn mds_reqid(&mut self, op: u64) -> u64 {
+        let reqid = self.next_seq;
+        self.next_seq += 1;
+        self.mds_waiting.insert(reqid, op);
+        reqid
+    }
+
+    fn stripe_oid(&self, pos: u64) -> ObjectId {
+        ObjectId::new(
+            self.config.pool.clone(),
+            format!(
+                "{}.{}",
+                self.config.name,
+                pos % u64::from(self.config.stripe_width)
+            ),
+        )
+    }
+
+    fn finish(&mut self, op: u64, result: AppendResult) {
+        self.ops.remove(&op);
+        self.results.insert(op, result);
+    }
+
+    fn fail(&mut self, op: u64, msg: impl Into<String>) {
+        self.finish(op, AppendResult::Err(msg.into()));
+    }
+
+    fn call_class(
+        &mut self,
+        ctx: &mut Context<'_>,
+        op: u64,
+        oid: ObjectId,
+        method: &str,
+        input: String,
+    ) {
+        let reqid = self.rados.submit(
+            ctx,
+            oid,
+            vec![Op::Call {
+                class: ZLOG_CLASS.into(),
+                method: method.into(),
+                input: input.into_bytes(),
+            }],
+        );
+        self.rados_waiting.insert(reqid, op);
+    }
+
+    fn step_get_pos(&mut self, ctx: &mut Context<'_>, op: u64) {
+        let Some(ino) = self.seq_ino else {
+            // Resolve the sequencer first.
+            if let Some(p) = self.ops.get_mut(&op) {
+                p.stage = Stage::ResolveSeq;
+            }
+            let reqid = self.mds_reqid(op);
+            let path = format!("/zlog/{}", self.config.name);
+            ctx.send(self.home_node(), MdsMsg::Resolve { reqid, path });
+            return;
+        };
+        if let Some(p) = self.ops.get_mut(&op) {
+            p.stage = Stage::GetPos;
+        }
+        let reqid = self.mds_reqid(op);
+        ctx.send(
+            self.home_node(),
+            MdsMsg::TypeOp {
+                reqid,
+                ino,
+                op: "next".into(),
+            },
+        );
+    }
+
+    fn step_tail(&mut self, ctx: &mut Context<'_>, op: u64) {
+        let Some(ino) = self.seq_ino else {
+            if let Some(p) = self.ops.get_mut(&op) {
+                p.stage = Stage::ResolveSeq;
+            }
+            let reqid = self.mds_reqid(op);
+            let path = format!("/zlog/{}", self.config.name);
+            ctx.send(self.home_node(), MdsMsg::Resolve { reqid, path });
+            return;
+        };
+        let reqid = self.mds_reqid(op);
+        ctx.send(
+            self.home_node(),
+            MdsMsg::TypeOp {
+                reqid,
+                ino,
+                op: "read".into(),
+            },
+        );
+    }
+
+    fn step_storage_simple(&mut self, ctx: &mut Context<'_>, op: u64) {
+        let Some(pending) = self.ops.get(&op) else {
+            return;
+        };
+        let epoch = self.epoch;
+        match pending.kind.clone() {
+            OpKind::Read { pos } => {
+                let oid = self.stripe_oid(pos);
+                self.call_class(ctx, op, oid, "read", format!("{epoch}|{pos}"));
+            }
+            OpKind::Fill { pos } => {
+                let oid = self.stripe_oid(pos);
+                self.call_class(ctx, op, oid, "fill", format!("{epoch}|{pos}"));
+            }
+            OpKind::Trim { pos } => {
+                let oid = self.stripe_oid(pos);
+                self.call_class(ctx, op, oid, "trim", format!("{epoch}|{pos}"));
+            }
+            _ => {}
+        }
+    }
+
+    fn retry_blocked(&mut self, ctx: &mut Context<'_>) {
+        let blocked = std::mem::take(&mut self.blocked_on_epoch);
+        for (op, epoch_when_blocked) in blocked {
+            if self.epoch > epoch_when_blocked {
+                self.restart_op(ctx, op);
+            } else {
+                self.blocked_on_epoch.push((op, epoch_when_blocked));
+            }
+        }
+    }
+
+    fn restart_op(&mut self, ctx: &mut Context<'_>, op: u64) {
+        let Some(pending) = self.ops.get_mut(&op) else {
+            return;
+        };
+        pending.attempts += 1;
+        if pending.attempts > 10 {
+            self.fail(op, "too many retries");
+            return;
+        }
+        match pending.kind.clone() {
+            OpKind::Append { .. } => self.step_get_pos(ctx, op),
+            OpKind::Read { .. } | OpKind::Fill { .. } | OpKind::Trim { .. } => {
+                self.step_storage_simple(ctx, op)
+            }
+            OpKind::CheckTail => self.step_tail(ctx, op),
+            OpKind::Setup | OpKind::Recover => {
+                self.fail(op, "setup/recovery cannot be retried implicitly")
+            }
+        }
+    }
+
+    fn on_rados_done(
+        &mut self,
+        ctx: &mut Context<'_>,
+        op: u64,
+        result: Result<Vec<OpResult>, OsdError>,
+    ) {
+        let Some(pending) = self.ops.get_mut(&op) else {
+            return;
+        };
+        // Epoch guard: sealed object rejected our epoch.
+        if let Err(OsdError::Class(ce)) = &result {
+            if ce.code == -116 && !matches!(pending.stage, Stage::RecoverSeal { .. }) {
+                let epoch = self.epoch;
+                self.blocked_on_epoch.push((op, epoch));
+                ctx.send(
+                    self.config.monitor,
+                    MonMsg::Get {
+                        map: ZLOG_MAP.to_string(),
+                    },
+                );
+                return;
+            }
+        }
+        match &mut pending.stage {
+            Stage::Write { pos } => {
+                let pos = *pos;
+                match result {
+                    Ok(_) => self.finish(op, AppendResult::Ok(ZlogOut::Pos(pos))),
+                    Err(OsdError::Class(ce)) if ce.code == -17 => {
+                        // Someone holds this position (only possible after
+                        // recovery races): take a fresh one.
+                        self.restart_op(ctx, op);
+                    }
+                    Err(e) => self.fail(op, format!("write failed: {e}")),
+                }
+            }
+            Stage::ReadEntry => match result {
+                Ok(results) => {
+                    let Some(OpResult::CallOut(bytes)) = results.first() else {
+                        self.fail(op, "malformed read reply");
+                        return;
+                    };
+                    let outcome = match bytes.first() {
+                        Some(b'D') => ReadOutcome::Data(bytes[2..].to_vec()),
+                        Some(b'F') => ReadOutcome::Filled,
+                        Some(b'T') => ReadOutcome::Trimmed,
+                        _ => ReadOutcome::NotWritten,
+                    };
+                    self.finish(op, AppendResult::Ok(ZlogOut::Read(outcome)));
+                }
+                Err(OsdError::Class(ce)) if ce.code == -2 => {
+                    self.finish(op, AppendResult::Ok(ZlogOut::Read(ReadOutcome::NotWritten)));
+                }
+                Err(OsdError::NoEnt) => {
+                    self.finish(op, AppendResult::Ok(ZlogOut::Read(ReadOutcome::NotWritten)));
+                }
+                Err(e) => self.fail(op, format!("read failed: {e}")),
+            },
+            Stage::Mutate => match result {
+                Ok(_) => self.finish(op, AppendResult::Ok(ZlogOut::Done)),
+                Err(OsdError::Class(ce)) if ce.code == -17 => {
+                    self.fail(op, "position already written")
+                }
+                Err(e) => self.fail(op, format!("mutation failed: {e}")),
+            },
+            Stage::RecoverSeal {
+                outstanding,
+                max_pos,
+                new_epoch,
+            } => {
+                *outstanding -= 1;
+                if let Ok(results) = &result {
+                    if let Some(OpResult::CallOut(bytes)) = results.first() {
+                        if let Ok(v) = String::from_utf8_lossy(bytes).parse::<i64>() {
+                            *max_pos = (*max_pos).max(v);
+                        }
+                    }
+                }
+                // ESTALE from an already-sealed stripe is fine (idempotent
+                // recovery retry); other errors still count the stripe as
+                // sealed because the epoch xattr only moves forward.
+                if *outstanding == 0 {
+                    let tail = (*max_pos + 1) as u64;
+                    let new_epoch = *new_epoch;
+                    pending.stage = Stage::RecoverAdvance { new_epoch, tail };
+                    let Some(ino) = self.seq_ino else {
+                        // Resolve then advance.
+                        let reqid = self.mds_reqid(op);
+                        let path = format!("/zlog/{}", self.config.name);
+                        ctx.send(self.home_node(), MdsMsg::Resolve { reqid, path });
+                        return;
+                    };
+                    let reqid = self.mds_reqid(op);
+                    ctx.send(
+                        self.home_node(),
+                        MdsMsg::TypeOp {
+                            reqid,
+                            ino,
+                            op: format!("advance_to:{tail}"),
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_mds_reply(&mut self, ctx: &mut Context<'_>, op: u64, msg: MdsMsg) {
+        let Some(pending) = self.ops.get_mut(&op) else {
+            return;
+        };
+        match (&mut pending.stage, msg) {
+            (Stage::SetupDir, MdsMsg::Created { result, .. }) => match result {
+                Ok(_) | Err(MdsError::Exists) => {
+                    pending.stage = Stage::SetupSeq;
+                    let reqid = self.mds_reqid(op);
+                    let name = self.config.name.clone();
+                    ctx.send(
+                        self.home_node(),
+                        MdsMsg::Create {
+                            reqid,
+                            parent_path: "/zlog".into(),
+                            name,
+                            ftype: FileType::Sequencer,
+                        },
+                    );
+                }
+                Err(e) => self.fail(op, format!("mkdir /zlog failed: {e}")),
+            },
+            (Stage::SetupSeq, MdsMsg::Created { result, .. }) => match result {
+                Ok(ino) => {
+                    self.seq_ino = Some(ino);
+                    self.finish(op, AppendResult::Ok(ZlogOut::SetUp(ino)));
+                }
+                Err(MdsError::Exists) => {
+                    pending.stage = Stage::ResolveSeq;
+                    let reqid = self.mds_reqid(op);
+                    let path = format!("/zlog/{}", self.config.name);
+                    ctx.send(self.home_node(), MdsMsg::Resolve { reqid, path });
+                }
+                Err(e) => self.fail(op, format!("create sequencer failed: {e}")),
+            },
+            (Stage::ResolveSeq, MdsMsg::Resolved { result, .. }) => match result {
+                Ok((ino, _rank)) => {
+                    self.seq_ino = Some(ino);
+                    match pending.kind.clone() {
+                        OpKind::Setup => self.finish(op, AppendResult::Ok(ZlogOut::SetUp(ino))),
+                        OpKind::Append { .. } => self.step_get_pos(ctx, op),
+                        OpKind::CheckTail => self.step_tail(ctx, op),
+                        _ => {}
+                    }
+                }
+                Err(e) => self.fail(op, format!("sequencer resolve failed: {e}")),
+            },
+            (Stage::GetPos, MdsMsg::TypeOpReply { result, .. }) => match result {
+                Ok(pos) => {
+                    let OpKind::Append { data } = pending.kind.clone() else {
+                        return;
+                    };
+                    pending.stage = Stage::Write { pos };
+                    let epoch = self.epoch;
+                    let oid = self.stripe_oid(pos);
+                    let payload = String::from_utf8_lossy(&data).into_owned();
+                    self.call_class(ctx, op, oid, "write", format!("{epoch}|{pos}|{payload}"));
+                }
+                Err(MdsError::Frozen) => {
+                    let token = TOKEN_RETRY_BASE + op;
+                    ctx.set_timer(SimDuration::from_millis(5), token);
+                }
+                Err(e) => self.fail(op, format!("sequencer next failed: {e}")),
+            },
+            (Stage::Tail, MdsMsg::TypeOpReply { result, .. }) => match result {
+                Ok(tail) => self.finish(op, AppendResult::Ok(ZlogOut::Tail(tail))),
+                Err(e) => self.fail(op, format!("tail read failed: {e}")),
+            },
+            (Stage::RecoverAdvance { new_epoch, tail }, MdsMsg::TypeOpReply { result, .. }) => {
+                let (new_epoch, tail) = (*new_epoch, *tail);
+                match result {
+                    Ok(_) => self.finish(
+                        op,
+                        AppendResult::Ok(ZlogOut::Recovered {
+                            epoch: new_epoch,
+                            tail,
+                        }),
+                    ),
+                    Err(e) => self.fail(op, format!("sequencer restart failed: {e}")),
+                }
+            }
+            (Stage::RecoverAdvance { new_epoch, tail }, MdsMsg::Resolved { result, .. }) => {
+                let (new_epoch, tail) = (*new_epoch, *tail);
+                let _ = new_epoch;
+                match result {
+                    Ok((ino, _)) => {
+                        self.seq_ino = Some(ino);
+                        let reqid = self.mds_reqid(op);
+                        ctx.send(
+                            self.home_node(),
+                            MdsMsg::TypeOp {
+                                reqid,
+                                ino,
+                                op: format!("advance_to:{tail}"),
+                            },
+                        );
+                    }
+                    Err(e) => self.fail(op, format!("resolve during recovery failed: {e}")),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_epoch_committed(&mut self, ctx: &mut Context<'_>, op: u64) {
+        // Recovery stage 2: seal every stripe with the epoch this op
+        // committed (a racing map notification may already have delivered
+        // it; never bump twice).
+        let Some(pending) = self.ops.get_mut(&op) else {
+            return;
+        };
+        let Stage::RecoverEpoch { new_epoch } = pending.stage else {
+            return;
+        };
+        let width = self.config.stripe_width;
+        pending.stage = Stage::RecoverSeal {
+            outstanding: width as usize,
+            max_pos: -1,
+            new_epoch,
+        };
+        self.epoch = self.epoch.max(new_epoch);
+        for i in 0..u64::from(width) {
+            let oid = self.stripe_oid(i);
+            self.call_class(ctx, op, oid, "seal", format!("{new_epoch}"));
+        }
+    }
+}
+
+impl Actor for ZlogClient {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.rados.on_start(ctx);
+        ctx.send(
+            self.config.monitor,
+            MonMsg::Subscribe {
+                map: ZLOG_MAP.to_string(),
+            },
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Box<dyn Any>) {
+        // MDS replies.
+        let msg = match msg.downcast::<MdsMsg>() {
+            Ok(mds) => {
+                let reqid = match &*mds {
+                    MdsMsg::Resolved { reqid, .. }
+                    | MdsMsg::Created { reqid, .. }
+                    | MdsMsg::TypeOpReply { reqid, .. } => Some(*reqid),
+                    _ => None,
+                };
+                if let Some(reqid) = reqid {
+                    if let Some(op) = self.mds_waiting.remove(&reqid) {
+                        self.on_mds_reply(ctx, op, *mds);
+                    }
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        // Monitor traffic: zlog map is ours; everything else feeds the
+        // embedded rados client.
+        let msg = match msg.downcast::<MonMsg>() {
+            Ok(mon) => {
+                match &*mon {
+                    MonMsg::Snapshot(snap) if snap.map == ZLOG_MAP => {
+                        let key = format!("epoch.{}", self.config.name);
+                        if let Some(v) = snap.entries.get(&key) {
+                            if let Ok(e) = String::from_utf8_lossy(v).parse::<u64>() {
+                                if e > self.epoch {
+                                    self.epoch = e;
+                                    self.retry_blocked(ctx);
+                                }
+                            }
+                        }
+                        return;
+                    }
+                    MonMsg::Changed { map, delta, .. } if map == ZLOG_MAP => {
+                        let key = format!("epoch.{}", self.config.name);
+                        for (k, v) in delta {
+                            if k == &key {
+                                if let Some(v) = v {
+                                    if let Ok(e) = String::from_utf8_lossy(v).parse::<u64>() {
+                                        if e > self.epoch {
+                                            self.epoch = e;
+                                            self.retry_blocked(ctx);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        return;
+                    }
+                    MonMsg::SubmitAck { seq, .. } => {
+                        if let Some(op) = self.mon_waiting.remove(seq) {
+                            self.on_epoch_committed(ctx, op);
+                        }
+                        return;
+                    }
+                    _ => {}
+                }
+                self.rados.on_message(ctx, from, mon);
+                return;
+            }
+            Err(other) => other,
+        };
+        // OSD replies: feed the rados client, then collect completions.
+        self.rados.on_message(ctx, from, msg);
+        let waiting: Vec<u64> = self.rados_waiting.keys().copied().collect();
+        for reqid in waiting {
+            if let Some(event) = self.rados.take_completed(reqid) {
+                let op = self.rados_waiting.remove(&reqid).expect("present");
+                self.on_rados_done(ctx, op, event.result);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if token >= TOKEN_RETRY_BASE {
+            let op = token - TOKEN_RETRY_BASE;
+            if self.ops.contains_key(&op) {
+                self.restart_op(ctx, op);
+            }
+        }
+    }
+}
+
+/// Synchronous harness helper: runs `f` against the client at `node`, then
+/// drives the simulation until the returned op completes.
+pub fn run_op(
+    sim: &mut Sim,
+    node: NodeId,
+    timeout: SimDuration,
+    f: impl FnOnce(&mut ZlogClient, &mut Context<'_>) -> u64,
+) -> AppendResult {
+    let op = sim.with_actor::<ZlogClient, _>(node, f);
+    let deadline = sim.now() + timeout;
+    let done = sim.run_until_pred(deadline, |s| s.actor::<ZlogClient>(node).is_done(op));
+    assert!(done, "zlog op {op} timed out after {timeout}");
+    sim.actor_mut::<ZlogClient>(node)
+        .take_result(op)
+        .expect("completion present")
+}

@@ -1,0 +1,291 @@
+//! The CORFU storage interface, as a *scripted* object class.
+//!
+//! The paper implements ZLog's custom storage device interface as a
+//! dynamically-installed Lua object class; here it is Cephalo source
+//! installed through the monitor's interface map, so every OSD picks it up
+//! without a restart (§4.2, §6.1.2).
+//!
+//! Semantics (CORFU §3):
+//!
+//! * Entries are write-once: a position can hold data or a junk *fill*,
+//!   never be overwritten.
+//! * Every mutating request carries the client's epoch; requests below the
+//!   sealed epoch are rejected with `ESTALE` so stale clients refresh.
+//! * `seal(epoch)` atomically installs a higher epoch and returns the
+//!   maximum written position — the primitive sequencer recovery is built
+//!   from.
+//!
+//! Wire format (text, `|`-separated): `write`: `epoch|pos|payload`,
+//! `read`/`fill`/`trim`: `epoch|pos`, `seal`: `epoch`, `maxpos`: ``.
+
+use mala_consensus::{MapUpdate, SERVICE_MAP_INTERFACES};
+
+/// The class name, as registered in the interface map.
+pub const ZLOG_CLASS: &str = "zlog";
+
+/// Cephalo source of the storage interface.
+pub const ZLOG_CLASS_SOURCE: &str = r#"
+-- CORFU storage interface for one stripe object.
+-- Entry keys are zero-padded so omap order == position order.
+-- Entry values are tagged: "D|<payload>" data, "F|" filled junk,
+-- "T|" trimmed.
+
+__readonly = {"maxpos", "read"}
+
+function pad(pos)
+    local s = fmt(pos)
+    while #s < 20 do
+        s = "0" .. s
+    end
+    return "e" .. s
+end
+
+function check_epoch(e)
+    local sealed = tonumber(xattr_get("epoch"))
+    if sealed == nil then sealed = 0 end
+    if e < sealed then
+        error("ESTALE: request epoch " .. fmt(e) .. " below sealed " .. fmt(sealed))
+    end
+end
+
+function bump_maxpos(pos)
+    local cur = tonumber(xattr_get("maxpos"))
+    if cur == nil or pos > cur then
+        xattr_set("maxpos", fmt(pos))
+    end
+end
+
+function write(input)
+    local parts = split(input, "|")
+    local e = tonumber(parts[1])
+    local pos = tonumber(parts[2])
+    if e == nil or pos == nil then error("EINVAL: bad write input") end
+    check_epoch(e)
+    local key = pad(pos)
+    local cur = omap_get(key)
+    if cur ~= nil then
+        error("EEXIST: position " .. fmt(pos) .. " already written")
+    end
+    local payload = parts[3]
+    if payload == nil then payload = "" end
+    -- Re-join any payload containing the separator.
+    local i = 4
+    while parts[i] ~= nil do
+        payload = payload .. "|" .. parts[i]
+        i = i + 1
+    end
+    omap_set(key, "D|" .. payload)
+    bump_maxpos(pos)
+    return "ok"
+end
+
+function read(input)
+    local parts = split(input, "|")
+    local e = tonumber(parts[1])
+    local pos = tonumber(parts[2])
+    if e == nil or pos == nil then error("EINVAL: bad read input") end
+    check_epoch(e)
+    local v = omap_get(pad(pos))
+    if v == nil then
+        error("ENOENT: position " .. fmt(pos) .. " not written")
+    end
+    return v
+end
+
+function fill(input)
+    local parts = split(input, "|")
+    local e = tonumber(parts[1])
+    local pos = tonumber(parts[2])
+    if e == nil or pos == nil then error("EINVAL: bad fill input") end
+    check_epoch(e)
+    local key = pad(pos)
+    local cur = omap_get(key)
+    if cur ~= nil then
+        if sub(cur, 1, 1) == "F" then return "ok" end
+        error("EEXIST: position " .. fmt(pos) .. " already written")
+    end
+    omap_set(key, "F|")
+    bump_maxpos(pos)
+    return "ok"
+end
+
+function trim(input)
+    local parts = split(input, "|")
+    local e = tonumber(parts[1])
+    local pos = tonumber(parts[2])
+    if e == nil or pos == nil then error("EINVAL: bad trim input") end
+    check_epoch(e)
+    omap_set(pad(pos), "T|")
+    bump_maxpos(pos)
+    return "ok"
+end
+
+function seal(input)
+    local e = tonumber(input)
+    if e == nil then error("EINVAL: bad seal epoch") end
+    local sealed = tonumber(xattr_get("epoch"))
+    if sealed == nil then sealed = 0 end
+    if e <= sealed then
+        error("ESTALE: seal epoch " .. fmt(e) .. " not above " .. fmt(sealed))
+    end
+    xattr_set("epoch", fmt(e))
+    local m = xattr_get("maxpos")
+    if m == nil then return "-1" end
+    return m
+end
+
+function maxpos(input)
+    local m = xattr_get("maxpos")
+    if m == nil then return "-1" end
+    return m
+end
+"#;
+
+/// The monitor update that installs (or upgrades) the class cluster-wide.
+pub fn zlog_interface_update() -> MapUpdate {
+    MapUpdate::set(
+        SERVICE_MAP_INTERFACES,
+        ZLOG_CLASS,
+        ZLOG_CLASS_SOURCE.as_bytes().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mala_rados::{ClassRegistry, Object, OsdError};
+
+    fn reg() -> ClassRegistry {
+        let mut reg = ClassRegistry::new();
+        reg.install_scripted(ZLOG_CLASS, ZLOG_CLASS_SOURCE, 1)
+            .unwrap();
+        reg
+    }
+
+    fn call(
+        reg: &ClassRegistry,
+        slot: &mut Option<Object>,
+        method: &str,
+        input: &str,
+    ) -> Result<String, i32> {
+        match reg.call(ZLOG_CLASS, method, slot, input.as_bytes()) {
+            Ok(out) => Ok(String::from_utf8(out).unwrap()),
+            Err(OsdError::Class(e)) => Err(e.code),
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_once_semantics() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        assert_eq!(call(&reg, &mut slot, "write", "0|5|hello"), Ok("ok".into()));
+        // Same position again: EEXIST (-17).
+        assert_eq!(call(&reg, &mut slot, "write", "0|5|other"), Err(-17));
+        assert_eq!(call(&reg, &mut slot, "read", "0|5"), Ok("D|hello".into()));
+    }
+
+    #[test]
+    fn unwritten_reads_are_enoent() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        assert_eq!(call(&reg, &mut slot, "read", "0|3"), Err(-2));
+    }
+
+    #[test]
+    fn fill_junks_unwritten_only() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        assert_eq!(call(&reg, &mut slot, "fill", "0|2"), Ok("ok".into()));
+        assert_eq!(call(&reg, &mut slot, "fill", "0|2"), Ok("ok".into())); // idempotent
+        assert_eq!(call(&reg, &mut slot, "read", "0|2"), Ok("F|".into()));
+        call(&reg, &mut slot, "write", "0|7|data").unwrap();
+        assert_eq!(call(&reg, &mut slot, "fill", "0|7"), Err(-17));
+    }
+
+    #[test]
+    fn trim_overwrites_anything() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        call(&reg, &mut slot, "write", "0|1|x").unwrap();
+        assert_eq!(call(&reg, &mut slot, "trim", "0|1"), Ok("ok".into()));
+        assert_eq!(call(&reg, &mut slot, "read", "0|1"), Ok("T|".into()));
+    }
+
+    #[test]
+    fn seal_installs_epoch_and_returns_maxpos() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        assert_eq!(call(&reg, &mut slot, "seal", "1"), Ok("-1".into()));
+        call(&reg, &mut slot, "write", "1|4|a").unwrap();
+        call(&reg, &mut slot, "write", "1|9|b").unwrap();
+        assert_eq!(call(&reg, &mut slot, "seal", "2"), Ok("9".into()));
+        // Seal must be strictly monotone.
+        assert_eq!(call(&reg, &mut slot, "seal", "2"), Err(-116));
+        assert_eq!(call(&reg, &mut slot, "seal", "1"), Err(-116));
+    }
+
+    #[test]
+    fn stale_epoch_requests_rejected_after_seal() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        call(&reg, &mut slot, "write", "0|0|pre").unwrap();
+        call(&reg, &mut slot, "seal", "3").unwrap();
+        assert_eq!(call(&reg, &mut slot, "write", "2|1|stale"), Err(-116));
+        assert_eq!(call(&reg, &mut slot, "read", "2|0"), Err(-116));
+        assert_eq!(call(&reg, &mut slot, "fill", "0|1"), Err(-116));
+        // Current-epoch traffic flows.
+        assert_eq!(call(&reg, &mut slot, "write", "3|1|fresh"), Ok("ok".into()));
+        assert_eq!(call(&reg, &mut slot, "read", "3|0"), Ok("D|pre".into()));
+    }
+
+    #[test]
+    fn payload_may_contain_separator() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        call(&reg, &mut slot, "write", "0|0|a|b|c").unwrap();
+        assert_eq!(call(&reg, &mut slot, "read", "0|0"), Ok("D|a|b|c".into()));
+    }
+
+    #[test]
+    fn maxpos_tracks_all_mutations() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        assert_eq!(call(&reg, &mut slot, "maxpos", ""), Ok("-1".into()));
+        call(&reg, &mut slot, "write", "0|3|x").unwrap();
+        call(&reg, &mut slot, "fill", "0|10").unwrap();
+        call(&reg, &mut slot, "write", "0|6|y").unwrap();
+        assert_eq!(call(&reg, &mut slot, "maxpos", ""), Ok("10".into()));
+    }
+
+    #[test]
+    fn bad_inputs_are_einval() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        assert_eq!(call(&reg, &mut slot, "write", "garbage"), Err(-22));
+        assert_eq!(call(&reg, &mut slot, "read", ""), Err(-22));
+        assert_eq!(call(&reg, &mut slot, "seal", "x"), Err(-22));
+    }
+
+    #[test]
+    fn read_methods_declared_readonly() {
+        let reg = reg();
+        use mala_rados::MethodKind;
+        assert_eq!(
+            reg.method_kind(ZLOG_CLASS, "read"),
+            Some(MethodKind::ReadOnly)
+        );
+        assert_eq!(
+            reg.method_kind(ZLOG_CLASS, "maxpos"),
+            Some(MethodKind::ReadOnly)
+        );
+        assert_eq!(
+            reg.method_kind(ZLOG_CLASS, "write"),
+            Some(MethodKind::ReadWrite)
+        );
+        assert_eq!(
+            reg.method_kind(ZLOG_CLASS, "seal"),
+            Some(MethodKind::ReadWrite)
+        );
+    }
+}

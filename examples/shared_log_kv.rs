@@ -1,0 +1,144 @@
+//! A replicated key-value store materialized from the ZLog shared log —
+//! the Tango/Hyder pattern the paper cites as the motivation for
+//! high-performance shared logs (§5.2): "The shared-log is a powerful
+//! abstraction used to construct distributed systems".
+//!
+//! Two independent clients append `SET key=value` commands to one log;
+//! each client *materializes* its own map by replaying the log, and both
+//! converge to identical state because the sequencer imposes one total
+//! order. A crash of the metadata server mid-run exercises the CORFU
+//! recovery protocol (seal + tail restore) without losing a single
+//! committed command.
+//!
+//! Run with: `cargo run --example shared_log_kv`
+
+use std::collections::BTreeMap;
+
+use mala_mds::server::Mds;
+use mala_mds::{MdsConfig, NoBalancer};
+use mala_sim::{NodeId, Sim, SimDuration};
+use mala_zlog::log::{run_op, ZlogOut};
+use mala_zlog::{zlog_interface_update, AppendResult, ReadOutcome, ZlogClient, ZlogConfig};
+use malacology::cluster::ClusterBuilder;
+
+/// Replays the log from position 0 into a map.
+fn materialize(sim: &mut Sim, node: NodeId, until: u64) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for pos in 0..until {
+        let res = run_op(sim, node, SimDuration::from_secs(10), move |c, ctx| {
+            c.read(ctx, pos)
+        });
+        let AppendResult::Ok(ZlogOut::Read(outcome)) = res else {
+            panic!("read {pos} failed: {res:?}");
+        };
+        match outcome {
+            ReadOutcome::Data(bytes) => {
+                let cmd = String::from_utf8_lossy(&bytes).into_owned();
+                if let Some((key, value)) = cmd.split_once('=') {
+                    map.insert(key.to_string(), value.to_string());
+                }
+            }
+            // Junk-filled or trimmed positions carry no command.
+            ReadOutcome::Filled | ReadOutcome::Trimmed => {}
+            ReadOutcome::NotWritten => panic!("hole at {pos} below the tail"),
+        }
+    }
+    map
+}
+
+fn append(sim: &mut Sim, node: NodeId, cmd: &str) -> u64 {
+    let bytes = cmd.as_bytes().to_vec();
+    match run_op(sim, node, SimDuration::from_secs(10), move |c, ctx| {
+        c.append(ctx, bytes)
+    }) {
+        AppendResult::Ok(ZlogOut::Pos(pos)) => pos,
+        other => panic!("append failed: {other:?}"),
+    }
+}
+
+fn main() {
+    let mut cluster = ClusterBuilder::new()
+        .monitors(1)
+        .osds(4)
+        .mds_ranks(1)
+        .pool("kv", 32, 2)
+        .build(7);
+    cluster.commit_updates(vec![zlog_interface_update()]);
+
+    let cfg = |cluster: &malacology::Cluster| ZlogConfig {
+        name: "kvlog".to_string(),
+        pool: "kv".to_string(),
+        stripe_width: 4,
+        mds_nodes: cluster.mds_nodes(),
+        home_rank: 0,
+        monitor: cluster.mon(),
+    };
+    let alice = cluster.alloc_node();
+    let a_cfg = cfg(&cluster);
+    cluster.sim.add_node(alice, ZlogClient::new(a_cfg));
+    let bob = cluster.alloc_node();
+    let b_cfg = cfg(&cluster);
+    cluster.sim.add_node(bob, ZlogClient::new(b_cfg));
+    cluster.sim.run_for(SimDuration::from_secs(1));
+    run_op(
+        &mut cluster.sim,
+        alice,
+        SimDuration::from_secs(10),
+        |c, ctx| c.setup(ctx),
+    );
+
+    // Interleaved writers: last-writer-wins is decided by log order, i.e.
+    // by the sequencer, not by wall-clock races.
+    println!("two clients appending interleaved SET commands...");
+    append(&mut cluster.sim, alice, "owner=alice");
+    append(&mut cluster.sim, bob, "owner=bob");
+    append(&mut cluster.sim, alice, "color=green");
+    append(&mut cluster.sim, bob, "color=blue");
+    append(&mut cluster.sim, alice, "count=1");
+    let tail = append(&mut cluster.sim, bob, "count=2") + 1;
+
+    let view_a = materialize(&mut cluster.sim, alice, tail);
+    let view_b = materialize(&mut cluster.sim, bob, tail);
+    assert_eq!(view_a, view_b, "replicas diverged");
+    println!("both replicas materialized identically: {view_a:?}");
+
+    // Crash the MDS (losing the volatile sequencer tail), recover via the
+    // CORFU seal protocol, and keep going.
+    println!("\ncrashing the metadata server holding the sequencer...");
+    let mds0 = cluster.mds_node(0);
+    let mon = cluster.mon();
+    cluster.sim.crash(mds0);
+    cluster.sim.restart(
+        mds0,
+        Mds::new(0, mon, MdsConfig::default(), Box::new(NoBalancer)),
+    );
+    cluster.sim.run_for(SimDuration::from_secs(2));
+    run_op(
+        &mut cluster.sim,
+        bob,
+        SimDuration::from_secs(10),
+        |c, ctx| c.setup(ctx),
+    );
+    let res = run_op(
+        &mut cluster.sim,
+        bob,
+        SimDuration::from_secs(20),
+        |c, ctx| c.recover(ctx),
+    );
+    let AppendResult::Ok(ZlogOut::Recovered {
+        epoch,
+        tail: restored,
+    }) = res
+    else {
+        panic!("recovery failed: {res:?}");
+    };
+    println!("recovered: epoch {epoch}, sequencer restarted at {restored}");
+    assert_eq!(restored, tail, "recovery must find the true tail");
+
+    let pos = append(&mut cluster.sim, bob, "count=3");
+    assert_eq!(pos, tail, "no committed position may be reused");
+    let view = materialize(&mut cluster.sim, alice, pos + 1);
+    println!("post-recovery state: {view:?}");
+    assert_eq!(view.get("count").map(String::as_str), Some("3"));
+    println!("\nshared-log kv store survived sequencer failure with zero lost writes");
+}

@@ -1,0 +1,13 @@
+//! Top-level crate of the Malacology reproduction workspace: re-exports
+//! for the integration tests and examples under `tests/` and `examples/`.
+//!
+//! The substance lives in the member crates; see `DESIGN.md` for the map.
+
+pub use mala_consensus as consensus;
+pub use mala_dsl as dsl;
+pub use mala_mantle as mantle;
+pub use mala_mds as mds;
+pub use mala_rados as rados;
+pub use mala_sim as sim;
+pub use mala_zlog as zlog;
+pub use malacology as core;
