@@ -1,0 +1,7 @@
+//! Runs the nemesis availability experiment: append throughput/latency
+//! before, during, and after an OSD crash plus a sequencer failover.
+fn main() {
+    let config = mala_bench::exp::nemesis::Config::default();
+    let data = mala_bench::exp::nemesis::run(&config);
+    print!("{}", mala_bench::exp::nemesis::render(&data));
+}

@@ -1,0 +1,347 @@
+//! Availability under faults: zlog append throughput/latency before,
+//! during, and after an injected OSD crash plus a sequencer failover.
+//!
+//! A closed-loop client appends continuously. At `crash_at` the nemesis
+//! kills an OSD *without* marking it down in the osdmap — the worst case
+//! for the client, which must ride on retransmit/backoff until the daemon
+//! returns at `restart_at` and replays its write-ahead journal. At
+//! `failover_at` the MDS hosting the sequencer is killed and restarted;
+//! the client re-runs setup and CORFU recovery (seal, find tail) before
+//! appends resume. The report shows the throughput dip and latency spike
+//! around each event and the retry counters that absorbed them.
+
+use mala_mds::server::Mds;
+use mala_mds::{MdsConfig, NoBalancer};
+use mala_rados::{Osd, OsdConfig};
+use mala_sim::{Fault, FaultSchedule, Nemesis, SimDuration, SimTime};
+use mala_zlog::log::{run_op, ZlogOut};
+use mala_zlog::{zlog_interface_update, AppendResult, ZlogClient, ZlogConfig};
+use malacology::cluster::{Cluster, ClusterBuilder};
+
+use crate::report;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// OSD count.
+    pub osds: u32,
+    /// Stripe width of the log.
+    pub stripe_width: u32,
+    /// Total run length.
+    pub duration: SimDuration,
+    /// When the nemesis kills the OSD (no osdmap update).
+    pub crash_at: SimDuration,
+    /// When the OSD returns and replays its journal.
+    pub restart_at: SimDuration,
+    /// When the sequencer MDS is killed and restarted.
+    pub failover_at: SimDuration,
+    /// Throughput window for the rendered series.
+    pub window: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            osds: 5,
+            stripe_width: 4,
+            duration: SimDuration::from_secs(30),
+            crash_at: SimDuration::from_secs(10),
+            restart_at: SimDuration::from_secs(14),
+            failover_at: SimDuration::from_secs(18),
+            window: SimDuration::from_secs(1),
+            seed: 13,
+        }
+    }
+}
+
+/// Aggregates for one phase of the run.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Phase label.
+    pub label: String,
+    /// Appends completed in the phase.
+    pub appends: u64,
+    /// Mean append latency (ms).
+    pub mean_latency_ms: f64,
+    /// 99th-percentile append latency (ms).
+    pub p99_latency_ms: f64,
+    /// Appends per second over the phase.
+    pub rate: f64,
+}
+
+/// Run results.
+#[derive(Debug, Clone)]
+pub struct Data {
+    /// `(window_start_s, appends/s)`.
+    pub series: Vec<(f64, f64)>,
+    /// Before / OSD-outage / recovered / post-failover stats.
+    pub phases: Vec<PhaseStats>,
+    /// Client retransmits absorbed by the run.
+    pub retries: u64,
+    /// Journal replays performed by restarted OSDs.
+    pub journal_replays: u64,
+    /// Tail the sequencer recovery found (must equal appends so far).
+    pub recovered_tail: u64,
+    /// Appends that failed terminally (must be zero).
+    pub failures: u64,
+}
+
+fn phase_stats(label: &str, samples: &[(f64, f64)], from_s: f64, until_s: f64) -> PhaseStats {
+    let mut lat: Vec<f64> = samples
+        .iter()
+        .filter(|(t, _)| *t >= from_s && *t < until_s)
+        .map(|(_, l)| *l)
+        .collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let p99 = report::quantiles(&lat, &[99.0])[0].1;
+    PhaseStats {
+        label: label.to_string(),
+        appends: lat.len() as u64,
+        mean_latency_ms: report::mean(&lat),
+        p99_latency_ms: p99,
+        rate: lat.len() as f64 / (until_s - from_s).max(f64::EPSILON),
+    }
+}
+
+/// Runs the experiment.
+pub fn run(config: &Config) -> Data {
+    let mut cluster = ClusterBuilder::new()
+        .monitors(1)
+        .osds(config.osds)
+        .mds_ranks(1)
+        .pool("logpool", 16, 2)
+        .build(config.seed);
+    cluster.commit_updates(vec![zlog_interface_update()]);
+    let node = cluster.alloc_node();
+    cluster.sim.add_node(
+        node,
+        ZlogClient::new(ZlogConfig {
+            name: "avail".into(),
+            pool: "logpool".into(),
+            stripe_width: config.stripe_width,
+            mds_nodes: cluster.mds_nodes(),
+            home_rank: 0,
+            monitor: cluster.mon(),
+        }),
+    );
+    cluster.sim.run_for(SimDuration::from_secs(1));
+    run_op(
+        &mut cluster.sim,
+        node,
+        SimDuration::from_secs(10),
+        |c, ctx| c.setup(ctx),
+    );
+
+    let t0 = cluster.sim.now();
+    let victim = cluster.osd_node(0);
+    let schedule = FaultSchedule::new()
+        .at(t0 + config.crash_at, Fault::Crash(victim))
+        .at(t0 + config.restart_at, Fault::Restart(victim));
+    let journals = cluster.journals().clone();
+    let mon = cluster.mon();
+    let mut nemesis = Nemesis::new(schedule).on_restart(move |sim, n| {
+        sim.restart(
+            n,
+            Osd::with_journal(n.0 - 10, mon, OsdConfig::default(), journals.journal(n)),
+        );
+    });
+
+    // Closed-loop appends; each sample is (completion_s since t0, ms).
+    let mut samples: Vec<(f64, f64)> = Vec::new();
+    let mut failures = 0u64;
+    let mut seq = 0u64;
+    let append_until = |cluster: &mut Cluster,
+                        nemesis: &mut Nemesis,
+                        samples: &mut Vec<(f64, f64)>,
+                        failures: &mut u64,
+                        seq: &mut u64,
+                        until: SimTime| {
+        while cluster.sim.now() < until {
+            let started = cluster.sim.now();
+            let payload = format!("e{}", *seq).into_bytes();
+            *seq += 1;
+            let op = cluster
+                .sim
+                .with_actor::<ZlogClient, _>(node, move |c, ctx| c.append(ctx, payload));
+            let deadline = started + SimDuration::from_secs(90);
+            while !cluster.sim.actor::<ZlogClient>(node).is_done(op) {
+                if cluster.sim.now() >= deadline {
+                    break;
+                }
+                nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(20));
+            }
+            match cluster.sim.actor_mut::<ZlogClient>(node).take_result(op) {
+                Some(AppendResult::Ok(ZlogOut::Pos(_))) => {
+                    let done = cluster.sim.now();
+                    samples.push((
+                        done.since(t0).as_secs_f64(),
+                        done.since(started).as_micros() as f64 / 1000.0,
+                    ));
+                }
+                _ => *failures += 1,
+            }
+        }
+    };
+
+    append_until(
+        &mut cluster,
+        &mut nemesis,
+        &mut samples,
+        &mut failures,
+        &mut seq,
+        t0 + config.failover_at,
+    );
+
+    // Sequencer failover: kill the MDS, restart it cold, re-establish the
+    // namespace, and run CORFU recovery (seal the old epoch, find the
+    // tail) before appends resume.
+    let mds0 = cluster.mds_node(0);
+    cluster.sim.crash(mds0);
+    cluster.sim.restart(
+        mds0,
+        Mds::new(0, mon, MdsConfig::default(), Box::new(NoBalancer)),
+    );
+    cluster.sim.run_for(SimDuration::from_secs(1));
+    run_op(
+        &mut cluster.sim,
+        node,
+        SimDuration::from_secs(10),
+        |c, ctx| c.setup(ctx),
+    );
+    let recovered = run_op(
+        &mut cluster.sim,
+        node,
+        SimDuration::from_secs(30),
+        |c, ctx| c.recover(ctx),
+    );
+    let recovered_tail = match recovered {
+        AppendResult::Ok(ZlogOut::Recovered { tail, .. }) => tail,
+        other => panic!("sequencer recovery failed: {other:?}"),
+    };
+
+    append_until(
+        &mut cluster,
+        &mut nemesis,
+        &mut samples,
+        &mut failures,
+        &mut seq,
+        t0 + config.duration,
+    );
+
+    let events: Vec<(f64, f64)> = samples.iter().map(|(t, _)| (*t, 1.0)).collect();
+    let series = report::windowed_rate(
+        &events,
+        config.window.as_secs_f64(),
+        config.duration.as_secs_f64(),
+    );
+    let (crash_s, restart_s, failover_s, end_s) = (
+        config.crash_at.as_secs_f64(),
+        config.restart_at.as_secs_f64(),
+        config.failover_at.as_secs_f64(),
+        config.duration.as_secs_f64(),
+    );
+    let phases = vec![
+        phase_stats("healthy", &samples, 0.0, crash_s),
+        phase_stats("osd-outage", &samples, crash_s, restart_s),
+        phase_stats("osd-recovered", &samples, restart_s, failover_s),
+        phase_stats("post-failover", &samples, failover_s, end_s),
+    ];
+    let metrics = cluster.sim.metrics();
+    Data {
+        series,
+        phases,
+        retries: metrics.counter("client.retries") + metrics.counter("zlog.retries"),
+        journal_replays: metrics.counter("osd.journal_replays"),
+        recovered_tail,
+        failures,
+    }
+}
+
+/// Renders the availability timeline and phase table.
+pub fn render(data: &Data) -> String {
+    let mut out = String::from(
+        "Nemesis availability: zlog appends through an OSD crash (no map \
+         update) and a sequencer failover\n\n",
+    );
+    let rows: Vec<Vec<String>> = data
+        .series
+        .iter()
+        .map(|(t, r)| vec![format!("{t:.0}"), format!("{r:.0}")])
+        .collect();
+    out.push_str(&report::table(&["t (s)", "appends/s"], &rows));
+    out.push('\n');
+    let rows: Vec<Vec<String>> = data
+        .phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                p.appends.to_string(),
+                format!("{:.1}", p.rate),
+                format!("{:.2}", p.mean_latency_ms),
+                format!("{:.2}", p.p99_latency_ms),
+            ]
+        })
+        .collect();
+    out.push_str(&report::table(
+        &["phase", "appends", "ops/s", "mean ms", "p99 ms"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\nretries absorbed: {}   journal replays: {}   recovered tail: {}   \
+         terminal failures: {}\n",
+        data.retries, data.journal_replays, data.recovered_tail, data.failures
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_dips_and_recovers() {
+        let config = Config {
+            duration: SimDuration::from_secs(16),
+            crash_at: SimDuration::from_secs(5),
+            restart_at: SimDuration::from_secs(8),
+            failover_at: SimDuration::from_secs(10),
+            ..Default::default()
+        };
+        let data = run(&config);
+        assert_eq!(data.failures, 0, "appends must not fail terminally");
+        let [healthy, outage, recovered, post] = [
+            &data.phases[0],
+            &data.phases[1],
+            &data.phases[2],
+            &data.phases[3],
+        ];
+        assert!(healthy.rate > 0.0, "no baseline throughput");
+        assert!(
+            outage.rate < healthy.rate,
+            "outage {} !< healthy {}",
+            outage.rate,
+            healthy.rate
+        );
+        assert!(
+            recovered.rate > outage.rate,
+            "restart did not restore throughput"
+        );
+        assert!(post.rate > 0.0, "appends dead after sequencer failover");
+        assert!(data.journal_replays >= 1, "restarted OSD never replayed");
+        assert!(data.retries > 0, "outage should surface retransmits");
+        // Positions are burned (not reused) by attempts that timed out and
+        // retried, so the recovered tail bounds the acked appends from
+        // above; losing one would show as tail < acked.
+        assert!(
+            data.recovered_tail >= healthy.appends + outage.appends + recovered.appends,
+            "recovery lost acked appends: tail {} < {}",
+            data.recovered_tail,
+            healthy.appends + outage.appends + recovered.appends
+        );
+        let rendered = render(&data);
+        assert!(rendered.contains("recovered tail"));
+    }
+}

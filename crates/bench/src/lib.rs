@@ -26,5 +26,6 @@ pub mod exp {
     pub mod fig6;
     pub mod fig8;
     pub mod fig9;
+    pub mod nemesis;
     pub mod tables;
 }

@@ -158,6 +158,9 @@ impl Default for MonConfig {
     }
 }
 
+/// One key's change within a committed batch: `(key, new value | deleted)`.
+type MapDelta = (String, Option<Vec<u8>>);
+
 const TIMER_PROPOSAL: u64 = 1;
 const TIMER_HEARTBEAT: u64 = 2;
 const TIMER_ELECTION: u64 = 3;
@@ -220,6 +223,16 @@ impl Monitor {
         self.paxos.is_leader()
     }
 
+    /// The ballot this monitor leads with, if it currently leads. Two
+    /// monitors claiming the same ballot would be a Paxos safety violation.
+    pub fn leader_ballot(&self) -> Option<crate::paxos::Ballot> {
+        if self.paxos.is_leader() {
+            Some(self.paxos.ballot())
+        } else {
+            None
+        }
+    }
+
     fn ship(&self, ctx: &mut Context<'_>, out: Vec<Outbound<TxBatch>>) {
         for o in out {
             let to = self.peers[o.to as usize];
@@ -272,7 +285,7 @@ impl Monitor {
                 }
             }
         }
-        let mut touched: BTreeMap<String, Vec<(String, Option<Vec<u8>>)>> = BTreeMap::new();
+        let mut touched: BTreeMap<String, Vec<MapDelta>> = BTreeMap::new();
         for up in fresh_updates {
             let snap = self
                 .maps

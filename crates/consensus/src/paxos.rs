@@ -177,6 +177,13 @@ impl<C: Clone> PaxosNode<C> {
         matches!(self.proposer, ProposerState::Leading)
     }
 
+    /// The ballot this node campaigns or leads with. Safety check for
+    /// harnesses: two replicas may transiently both claim leadership, but
+    /// never with the same ballot.
+    pub fn ballot(&self) -> Ballot {
+        self.my_ballot
+    }
+
     /// The replica this node believes is leader, if any.
     pub fn leader_hint(&self) -> Option<ReplicaId> {
         if self.is_leader() {

@@ -98,5 +98,9 @@ fn duplicate_submissions_apply_once() {
     submit(&mut sim, NodeId(0), 7, "once");
     submit(&mut sim, NodeId(0), 7, "once");
     sim.run_for(SimDuration::from_secs(4));
-    assert_eq!(epoch_at(&sim, NodeId(0)), 1, "dedup must keep one epoch bump");
+    assert_eq!(
+        epoch_at(&sim, NodeId(0)),
+        1,
+        "dedup must keep one epoch bump"
+    );
 }

@@ -6,12 +6,19 @@ use std::any::Any;
 use std::collections::HashMap;
 
 use mala_consensus::{MonMsg, SERVICE_MAP_OSD};
-use mala_sim::{Actor, Context, NodeId, Sim, SimDuration, SimTime};
+use mala_sim::{Actor, Context, NodeId, Sim, SimDuration, SimTime, TimerHandle};
+use rand::Rng;
 
 use crate::object::ObjectId;
 use crate::ops::{OpResult, OsdError, Transaction};
 use crate::osd::OsdMsg;
 use crate::osdmap::OsdMapView;
+
+/// Timer-token namespace for per-request retransmit timers; the reqid is
+/// added to the base, keeping clear of small tokens other actors use.
+/// Public so actors embedding a [`RadosClient`] can route timer callbacks
+/// at or above this base to [`Actor::on_timer`] on the embedded client.
+pub const RETRY_TOKEN_BASE: u64 = 1 << 48;
 
 /// A completed request surfaced to the harness.
 #[derive(Debug, Clone)]
@@ -29,8 +36,34 @@ struct InFlight {
     txn: Transaction,
     attempts: u32,
     submitted_at: SimTime,
+    /// Hard per-request deadline; passing it completes with
+    /// [`OsdError::Timeout`].
+    deadline: SimTime,
     /// Waiting for a map with epoch > this before retrying.
     blocked_on_epoch: Option<u64>,
+    /// The pending retransmit timer, if armed.
+    retry_timer: Option<TimerHandle>,
+}
+
+/// Retry/timeout knobs for [`RadosClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// First retransmit delay; doubles each attempt.
+    pub base: SimDuration,
+    /// Cap on the backoff delay.
+    pub cap: SimDuration,
+    /// Per-request deadline (submission → [`OsdError::Timeout`]).
+    pub deadline: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: SimDuration::from_millis(10),
+            cap: SimDuration::from_secs(2),
+            deadline: SimDuration::from_secs(25),
+        }
+    }
 }
 
 /// The RADOS client actor.
@@ -40,7 +73,7 @@ pub struct RadosClient {
     next_reqid: u64,
     inflight: HashMap<u64, InFlight>,
     completed: HashMap<u64, ClientEvent>,
-    max_attempts: u32,
+    retry: RetryPolicy,
 }
 
 impl RadosClient {
@@ -52,7 +85,15 @@ impl RadosClient {
             next_reqid: 1,
             inflight: HashMap::new(),
             completed: HashMap::new(),
-            max_attempts: 12,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Creates a client with a custom retry policy.
+    pub fn with_retry(monitor: NodeId, retry: RetryPolicy) -> RadosClient {
+        RadosClient {
+            retry,
+            ..RadosClient::new(monitor)
         }
     }
 
@@ -74,7 +115,9 @@ impl RadosClient {
                 txn,
                 attempts: 0,
                 submitted_at: ctx.now(),
+                deadline: ctx.now() + self.retry.deadline,
                 blocked_on_epoch: None,
+                retry_timer: None,
             },
         );
         self.dispatch(ctx, reqid);
@@ -91,21 +134,61 @@ impl RadosClient {
         self.completed.contains_key(&reqid)
     }
 
+    /// Completes `reqid`, cancelling any pending retransmit timer.
+    fn complete(
+        &mut self,
+        ctx: &mut Context<'_>,
+        reqid: u64,
+        result: Result<Vec<OpResult>, OsdError>,
+    ) {
+        let Some(inflight) = self.inflight.remove(&reqid) else {
+            return;
+        };
+        if let Some(timer) = inflight.retry_timer {
+            ctx.cancel_timer(timer);
+        }
+        let latency = ctx.now().since(inflight.submitted_at);
+        let now = ctx.now();
+        ctx.metrics()
+            .observe("client.latency_us", now, latency.as_micros() as f64);
+        ctx.metrics().incr("client.completed", 1);
+        if matches!(result, Err(OsdError::Timeout)) {
+            ctx.metrics().incr("client.timeouts", 1);
+        }
+        self.completed.insert(
+            reqid,
+            ClientEvent {
+                reqid,
+                result,
+                latency,
+            },
+        );
+    }
+
+    /// Capped exponential backoff with jitter from the sim's seeded RNG,
+    /// so retry storms de-synchronize yet replay deterministically.
+    fn backoff(&self, ctx: &mut Context<'_>, attempts: u32) -> SimDuration {
+        let base = self.retry.base.as_micros().max(1);
+        let cap = self.retry.cap.as_micros().max(base);
+        let exp = base.saturating_mul(1u64 << attempts.saturating_sub(1).min(20));
+        let delay = exp.min(cap);
+        let jitter = ctx.rng().gen_range(0..=delay / 2);
+        SimDuration::from_micros(delay + jitter)
+    }
+
     fn dispatch(&mut self, ctx: &mut Context<'_>, reqid: u64) {
         let Some(inflight) = self.inflight.get_mut(&reqid) else {
             return;
         };
-        if inflight.attempts >= self.max_attempts {
-            let event = ClientEvent {
-                reqid,
-                result: Err(OsdError::NotReady),
-                latency: ctx.now().since(inflight.submitted_at),
-            };
-            self.inflight.remove(&reqid);
-            self.completed.insert(reqid, event);
+        if ctx.now() >= inflight.deadline {
+            self.complete(ctx, reqid, Err(OsdError::Timeout));
             return;
         }
         inflight.attempts += 1;
+        let attempts = inflight.attempts;
+        if attempts > 1 {
+            ctx.metrics().incr("client.retries", 1);
+        }
         let target = self
             .map
             .acting_set_for(&inflight.oid.pool, &inflight.oid.name)
@@ -130,6 +213,15 @@ impl RadosClient {
                         map: SERVICE_MAP_OSD.to_string(),
                     },
                 );
+            }
+        }
+        // Always arm a retransmit timer: the op, its reply, or the map
+        // fetch may be lost. The timer fires, backs off, and re-sends.
+        let delay = self.backoff(ctx, attempts);
+        let timer = ctx.set_timer(delay, RETRY_TOKEN_BASE + reqid);
+        if let Some(inflight) = self.inflight.get_mut(&reqid) {
+            if let Some(old) = inflight.retry_timer.replace(timer) {
+                ctx.cancel_timer(old);
             }
         }
     }
@@ -203,13 +295,18 @@ impl Actor for RadosClient {
         else {
             return;
         };
-        let Some(inflight) = self.inflight.get_mut(&reqid) else {
+        if !self.inflight.contains_key(&reqid) {
             return;
-        };
+        }
         match result {
             Err(OsdError::StaleEpoch { current }) => {
                 // Retry once we hold a map at least as new as the OSD's.
-                inflight.blocked_on_epoch = Some(current - 1);
+                // The retransmit timer stays armed in case the fetch is
+                // lost.
+                if let Some(inflight) = self.inflight.get_mut(&reqid) {
+                    inflight.blocked_on_epoch = Some(current - 1);
+                }
+                ctx.metrics().incr("client.stale_epoch_retries", 1);
                 ctx.send(
                     self.monitor,
                     MonMsg::Get {
@@ -222,7 +319,9 @@ impl Actor for RadosClient {
                 // may be ahead of us, or we raced a failover). Refresh and
                 // retry on any newer epoch. `map_epoch` is informational.
                 let _ = map_epoch;
-                inflight.blocked_on_epoch = Some(self.map.epoch);
+                if let Some(inflight) = self.inflight.get_mut(&reqid) {
+                    inflight.blocked_on_epoch = Some(self.map.epoch);
+                }
                 ctx.send(
                     self.monitor,
                     MonMsg::Get {
@@ -230,21 +329,23 @@ impl Actor for RadosClient {
                     },
                 );
             }
-            other => {
-                let latency = ctx.now().since(inflight.submitted_at);
-                let event = ClientEvent {
-                    reqid,
-                    result: other,
-                    latency,
-                };
-                self.inflight.remove(&reqid);
-                let now = ctx.now();
-                ctx.metrics()
-                    .observe("client.latency_us", now, latency.as_micros() as f64);
-                ctx.metrics().incr("client.completed", 1);
-                self.completed.insert(reqid, event);
-            }
+            other => self.complete(ctx, reqid, other),
         }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if token < RETRY_TOKEN_BASE {
+            return;
+        }
+        let reqid = token - RETRY_TOKEN_BASE;
+        let Some(inflight) = self.inflight.get_mut(&reqid) else {
+            return;
+        };
+        // The attempt (or its reply, or the map fetch) was lost or is too
+        // slow; unblock and go again. dispatch() enforces the deadline.
+        inflight.retry_timer = None;
+        inflight.blocked_on_epoch = None;
+        self.dispatch(ctx, reqid);
     }
 }
 

@@ -23,10 +23,14 @@
 //!   failures.
 //! * **Client** ([`client`]) — a librados-like client actor that maps
 //!   object names to primaries and retries across map changes.
+//! * **Journal** ([`journal`]) — a per-OSD write-ahead journal held
+//!   outside the actor so durable state survives [`mala_sim::Sim::crash`];
+//!   a restarted OSD replays it and serves exactly the writes it acked.
 
 pub mod class;
 pub mod class_registry;
 pub mod client;
+pub mod journal;
 pub mod object;
 pub mod ops;
 pub mod osd;
@@ -34,7 +38,8 @@ pub mod osdmap;
 pub mod placement;
 
 pub use class::{ClassError, ClassRegistry, MethodKind, ObjCtx};
-pub use client::{ClientEvent, RadosClient};
+pub use client::{ClientEvent, RadosClient, RetryPolicy};
+pub use journal::{Journal, JournalRecord, JournalSet, JournalSnapshot};
 pub use object::{Object, ObjectId};
 pub use ops::{Op, OpResult, OsdError, Transaction};
 pub use osd::{Osd, OsdConfig, OsdMsg};

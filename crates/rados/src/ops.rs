@@ -113,6 +113,9 @@ pub enum OsdError {
     NotPrimary,
     /// The OSD is not serving (stopped/recovering).
     NotReady,
+    /// The client gave up: the request deadline passed with no reply
+    /// despite retransmissions.
+    Timeout,
 }
 
 impl std::fmt::Display for OsdError {
@@ -126,6 +129,7 @@ impl std::fmt::Display for OsdError {
             OsdError::StaleEpoch { current } => write!(f, "stale map epoch (osd at {current})"),
             OsdError::NotPrimary => write!(f, "not primary"),
             OsdError::NotReady => write!(f, "osd not ready"),
+            OsdError::Timeout => write!(f, "request deadline exceeded"),
         }
     }
 }

@@ -25,6 +25,7 @@ use mala_sim::{Actor, Context, NodeId, SimDuration};
 use rand::seq::SliceRandom;
 
 use crate::class::ClassRegistry;
+use crate::journal::{Journal, JournalRecord, REPLY_CACHE_PER_CLIENT};
 use crate::object::{Object, ObjectId};
 use crate::ops::{apply_transaction, OpResult, OsdError, Transaction, TxnTarget};
 use crate::osdmap::OsdMapView;
@@ -95,6 +96,10 @@ pub enum OsdMsg {
         oid: ObjectId,
         /// The (already-validated) transaction.
         txn: Transaction,
+        /// Originating client, for replica-side dedup of retransmits.
+        origin_client: NodeId,
+        /// The client's reqid (monotonic per client).
+        origin_reqid: u64,
     },
     /// Replica → primary acknowledgement.
     ReplAck {
@@ -149,8 +154,18 @@ const TIMER_SCRUB: u64 = 2;
 struct PendingRepl {
     client: NodeId,
     reqid: u64,
+    oid: ObjectId,
+    txn: Transaction,
     results: Vec<OpResult>,
     waiting_on: HashSet<u32>,
+}
+
+/// Reply-cache entry: a request we have admitted but not yet answered, or
+/// the answer we already sent (resent verbatim on retransmit, so a
+/// non-idempotent op like `Append` is never applied twice).
+enum DupState {
+    InFlight,
+    Done(Result<Vec<OpResult>, OsdError>),
 }
 
 /// The OSD daemon actor.
@@ -171,6 +186,11 @@ pub struct Osd {
     /// In-flight replicated writes, by repl_id.
     pending: HashMap<u64, PendingRepl>,
     next_repl_id: u64,
+    /// Durable write-ahead journal; `None` runs the OSD memory-only (the
+    /// pre-journal behaviour, still used by latency-focused experiments).
+    journal: Option<Journal>,
+    /// Reply cache for client-op dedup, per client, keyed by reqid.
+    replies: HashMap<NodeId, BTreeMap<u64, DupState>>,
 }
 
 impl Osd {
@@ -187,7 +207,23 @@ impl Osd {
             registry: ClassRegistry::with_builtins(),
             pending: HashMap::new(),
             next_repl_id: 1,
+            journal: None,
+            replies: HashMap::new(),
         }
+    }
+
+    /// Creates OSD `id` backed by a durable journal: every applied
+    /// mutation and installed map is logged before acking, and a restart
+    /// with the same journal handle replays the durable state.
+    pub fn with_journal(id: u32, monitor: NodeId, config: OsdConfig, journal: Journal) -> Osd {
+        let mut osd = Osd::new(id, monitor, config);
+        osd.journal = Some(journal);
+        osd
+    }
+
+    /// The journal handle, if this OSD is durable.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
     }
 
     /// Read-only access to the object store (tests and scrub checks).
@@ -217,6 +253,107 @@ impl Osd {
         &self.registry
     }
 
+    /// Write-ahead: logs the current durable state of `oid` (present or
+    /// deleted). Called after a mutation is applied, before it is acked.
+    fn journal_object(&mut self, oid: &ObjectId) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        match self.store.get(oid) {
+            Some(obj) => journal.append(JournalRecord::PutObject(oid.clone(), obj.clone())),
+            None => journal.append(JournalRecord::DelObject(oid.clone())),
+        }
+    }
+
+    /// Rebuilds durable state from the journal after a restart.
+    fn replay_journal(&mut self, ctx: &mut Context<'_>) {
+        let Some(journal) = self.journal.clone() else {
+            return;
+        };
+        let snapshot = journal.replay();
+        if snapshot.store.is_empty()
+            && snapshot.interfaces.is_none()
+            && snapshot.osdmap.is_none()
+            && snapshot.replies.is_empty()
+        {
+            return;
+        }
+        self.store = snapshot.store;
+        if let Some((epoch, entries)) = snapshot.interfaces {
+            self.interfaces_epoch = epoch;
+            self.interfaces = entries;
+            for (class, source) in self.interfaces.clone() {
+                let source = String::from_utf8_lossy(&source).into_owned();
+                if self
+                    .registry
+                    .install_scripted(&class, &source, epoch)
+                    .is_err()
+                {
+                    ctx.metrics().incr("osd.iface_install_errors", 1);
+                }
+            }
+        }
+        if let Some((epoch, entries)) = snapshot.osdmap {
+            // Loaded directly, without the map-change reactions: recovery
+            // decisions belong to the *next* live map this OSD hears about,
+            // which install_osdmap will diff against this restored view.
+            self.map = OsdMapView::from_snapshot(&mala_consensus::MapSnapshot {
+                map: SERVICE_MAP_OSD.to_string(),
+                epoch,
+                entries,
+            });
+        }
+        self.replies = snapshot
+            .replies
+            .into_iter()
+            .map(|(client, window)| {
+                (
+                    client,
+                    window
+                        .into_iter()
+                        .map(|(reqid, result)| (reqid, DupState::Done(result)))
+                        .collect(),
+                )
+            })
+            .collect();
+        ctx.metrics().incr("osd.journal_replays", 1);
+        let now = ctx.now();
+        ctx.metrics()
+            .observe("osd.journal_replay_objects", now, self.store.len() as f64);
+    }
+
+    /// Records the final answer for `(client, reqid)` in the in-memory
+    /// cache and prunes the per-client window.
+    fn cache_reply(
+        &mut self,
+        client: NodeId,
+        reqid: u64,
+        result: &Result<Vec<OpResult>, OsdError>,
+    ) {
+        let window = self.replies.entry(client).or_default();
+        window.insert(reqid, DupState::Done(result.clone()));
+        while window.len() > REPLY_CACHE_PER_CLIENT {
+            window.pop_first();
+        }
+    }
+
+    /// Durably records the outcome of `(client, reqid)` so retransmits
+    /// after a restart are answered, never re-applied.
+    fn journal_reply(
+        &mut self,
+        client: NodeId,
+        reqid: u64,
+        result: &Result<Vec<OpResult>, OsdError>,
+    ) {
+        if let Some(journal) = &self.journal {
+            journal.append(JournalRecord::Reply {
+                client,
+                reqid,
+                result: result.clone(),
+            });
+        }
+    }
+
     fn peers(&self) -> Vec<(u32, NodeId)> {
         self.map
             .osds
@@ -238,6 +375,12 @@ impl Osd {
         let prev_epoch = self.interfaces_epoch;
         self.interfaces_epoch = epoch;
         self.interfaces = entries;
+        if let Some(journal) = &self.journal {
+            journal.append(JournalRecord::Interfaces {
+                epoch,
+                entries: self.interfaces.clone(),
+            });
+        }
         for (class, source) in self.interfaces.clone() {
             let source = String::from_utf8_lossy(&source).into_owned();
             if let Err(e) = self.registry.install_scripted(&class, &source, epoch) {
@@ -266,6 +409,12 @@ impl Osd {
         if epoch <= self.map.epoch {
             return false;
         }
+        if let Some(journal) = &self.journal {
+            journal.append(JournalRecord::OsdMap {
+                epoch,
+                entries: entries.clone(),
+            });
+        }
         let old = std::mem::replace(
             &mut self.map,
             OsdMapView::from_snapshot(&mala_consensus::MapSnapshot {
@@ -292,14 +441,18 @@ impl Osd {
             }
         }
         for repl_id in completed {
-            let pending = self.pending.remove(&repl_id).expect("just seen");
+            let Some(pending) = self.pending.remove(&repl_id) else {
+                continue;
+            };
             let epoch = self.map.epoch;
+            let result = Ok(pending.results);
+            self.cache_reply(pending.client, pending.reqid, &result);
             ctx.send_after(
                 self.config.service_time,
                 pending.client,
                 OsdMsg::ClientReply {
                     reqid: pending.reqid,
-                    result: Ok(pending.results),
+                    result,
                     map_epoch: epoch,
                 },
             );
@@ -402,6 +555,49 @@ impl Osd {
             result,
             map_epoch: osd.map.epoch,
         };
+        // Retransmit dedup: a request we already applied is answered from
+        // the reply cache (ops like Append are not idempotent); one that is
+        // still replicating stays pending and will be answered once.
+        match self.replies.get(&from).and_then(|w| w.get(&reqid)) {
+            Some(DupState::Done(result)) => {
+                let msg = reply(self, result.clone());
+                ctx.send_after(self.config.service_time, from, msg);
+                ctx.metrics().incr("osd.dup_requests", 1);
+                return;
+            }
+            Some(DupState::InFlight) => {
+                ctx.metrics().incr("osd.dup_requests", 1);
+                // Re-drive replication: the original Repl (or its ack) may
+                // have died with a crashed replica. Replicas dedup by
+                // (client, reqid), so re-sending is safe.
+                let resend: Vec<(NodeId, OsdMsg)> = self
+                    .pending
+                    .iter()
+                    .filter(|(_, p)| p.client == from && p.reqid == reqid)
+                    .flat_map(|(repl_id, p)| {
+                        p.waiting_on.iter().filter_map(|osd| {
+                            self.map.node_of(*osd).map(|node| {
+                                (
+                                    node,
+                                    OsdMsg::Repl {
+                                        repl_id: *repl_id,
+                                        oid: p.oid.clone(),
+                                        txn: p.txn.clone(),
+                                        origin_client: p.client,
+                                        origin_reqid: p.reqid,
+                                    },
+                                )
+                            })
+                        })
+                    })
+                    .collect();
+                for (node, msg) in resend {
+                    ctx.send(node, msg);
+                }
+                return;
+            }
+            None => {}
+        }
         if map_epoch < self.map.epoch {
             let msg = reply(
                 self,
@@ -430,6 +626,10 @@ impl Osd {
         if let Some(obj) = slot {
             self.store.insert(oid.clone(), obj);
         }
+        if is_mutation && result.is_ok() {
+            // Write-ahead: durable before replication and before the ack.
+            self.journal_object(&oid);
+        }
         ctx.metrics().incr("osd.ops", 1);
         match result {
             Ok(results) => {
@@ -449,26 +649,52 @@ impl Osd {
                                     repl_id,
                                     oid: oid.clone(),
                                     txn: txn.clone(),
+                                    origin_client: from,
+                                    origin_reqid: reqid,
                                 },
                             );
                         }
                     }
+                    // The outcome is fixed at apply time (the PG-log
+                    // analogue): journal it now so a restarted primary
+                    // answers retransmits instead of re-applying. The
+                    // in-memory state stays InFlight until the acks land.
+                    self.journal_reply(from, reqid, &Ok(results.clone()));
+                    self.replies
+                        .entry(from)
+                        .or_default()
+                        .insert(reqid, DupState::InFlight);
                     self.pending.insert(
                         repl_id,
                         PendingRepl {
                             client: from,
                             reqid,
+                            oid,
+                            txn,
                             results,
                             waiting_on: replicas.into_iter().collect(),
                         },
                     );
                 } else {
-                    let msg = reply(self, Ok(results));
+                    let result = Ok(results);
+                    if is_mutation {
+                        self.journal_reply(from, reqid, &result);
+                        self.cache_reply(from, reqid, &result);
+                    }
+                    let msg = reply(self, result);
                     ctx.send_after(self.config.service_time, from, msg);
                 }
             }
             Err(e) => {
-                let msg = reply(self, Err(e));
+                let result = Err(e);
+                if is_mutation {
+                    // A failed transaction rolled back, but replaying it
+                    // could succeed (e.g. exclusive create) — cache the
+                    // verdict so a retransmit sees the original outcome.
+                    self.journal_reply(from, reqid, &result);
+                    self.cache_reply(from, reqid, &result);
+                }
+                let msg = reply(self, result);
                 ctx.send_after(self.config.service_time, from, msg);
             }
         }
@@ -490,6 +716,9 @@ impl Osd {
 
 impl Actor for Osd {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Recover durable state first: a restarted OSD must serve exactly
+        // the writes it acked before crashing.
+        self.replay_journal(ctx);
         // Every OSD needs the osdmap to route and gossip; the
         // `subscribe_to_monitor` knob only controls whether *interface*
         // updates arrive by subscription or exclusively by peer gossip
@@ -559,13 +788,39 @@ impl Actor for Osd {
                 txn,
                 map_epoch,
             } => self.handle_client_op(ctx, from, reqid, oid, txn, map_epoch),
-            OsdMsg::Repl { repl_id, oid, txn } => {
-                let mut slot = self.store.remove(&oid);
-                // Replicas apply unconditionally; the primary already
-                // validated the transaction.
-                let _ = apply_transaction(TxnTarget { slot: &mut slot }, &txn, &self.registry);
-                if let Some(obj) = slot {
-                    self.store.insert(oid, obj);
+            OsdMsg::Repl {
+                repl_id,
+                oid,
+                txn,
+                origin_client,
+                origin_reqid,
+            } => {
+                // Dedup retransmitted replication: applying a non-idempotent
+                // transaction (Append) twice would corrupt the replica. A
+                // duplicate is acked without re-applying.
+                let applied = self
+                    .replies
+                    .get(&origin_client)
+                    .is_some_and(|w| w.contains_key(&origin_reqid));
+                if applied {
+                    ctx.metrics().incr("osd.dup_repls", 1);
+                } else {
+                    let mut slot = self.store.remove(&oid);
+                    // Replicas apply unconditionally; the primary already
+                    // validated the transaction. The locally-computed
+                    // result is identical to the primary's (deterministic
+                    // state machine), so recording it lets this replica
+                    // answer client retransmits correctly after a failover.
+                    let result =
+                        apply_transaction(TxnTarget { slot: &mut slot }, &txn, &self.registry);
+                    if let Some(obj) = slot {
+                        self.store.insert(oid.clone(), obj);
+                    }
+                    // Journal before acking: the primary counts this ack as
+                    // a durable replica.
+                    self.journal_object(&oid);
+                    self.journal_reply(origin_client, origin_reqid, &result);
+                    self.cache_reply(origin_client, origin_reqid, &result);
                 }
                 ctx.send_after(self.config.service_time, from, OsdMsg::ReplAck { repl_id });
             }
@@ -579,15 +834,17 @@ impl Actor for Osd {
                 if let (Some(from_osd), Some(pending)) = (from_osd, self.pending.get_mut(&repl_id))
                 {
                     pending.waiting_on.remove(&from_osd);
-                    if pending.waiting_on.is_empty() {
-                        let pending = self.pending.remove(&repl_id).expect("present");
+                    let done = pending.waiting_on.is_empty();
+                    if let Some(pending) = done.then(|| self.pending.remove(&repl_id)).flatten() {
                         let epoch = self.map.epoch;
+                        let result = Ok(pending.results);
+                        self.cache_reply(pending.client, pending.reqid, &result);
                         ctx.send_after(
                             self.config.service_time,
                             pending.client,
                             OsdMsg::ClientReply {
                                 reqid: pending.reqid,
-                                result: Ok(pending.results),
+                                result,
                                 map_epoch: epoch,
                             },
                         );
@@ -620,9 +877,13 @@ impl Actor for Osd {
             OsdMsg::PgPush { objects, overwrite } => {
                 for (oid, obj) in objects {
                     if overwrite {
-                        self.store.insert(oid, obj);
-                    } else {
-                        self.store.entry(oid).or_insert(obj);
+                        self.store.insert(oid.clone(), obj);
+                        self.journal_object(&oid);
+                    } else if let std::collections::hash_map::Entry::Vacant(e) =
+                        self.store.entry(oid.clone())
+                    {
+                        e.insert(obj);
+                        self.journal_object(&oid);
                     }
                 }
                 ctx.metrics().incr("osd.recovery_pushes_applied", 1);

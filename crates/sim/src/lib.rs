@@ -42,6 +42,7 @@
 //! ```
 
 pub mod metrics;
+pub mod nemesis;
 pub mod net;
 pub mod time;
 
@@ -50,6 +51,7 @@ mod sched;
 
 pub use actor::{Actor, Context, TimerHandle};
 pub use metrics::Metrics;
+pub use nemesis::{Fault, FaultSchedule, Nemesis};
 pub use net::{NetConfig, Network};
 pub use sched::Sim;
 pub use time::{SimDuration, SimTime};

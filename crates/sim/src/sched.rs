@@ -21,6 +21,10 @@ enum EventKind {
         node: NodeId,
         token: u64,
         id: u64,
+        /// Incarnation of the node when the timer was armed; a timer from
+        /// a previous incarnation (pre-crash) must not fire into the
+        /// restarted process.
+        incarnation: u64,
     },
 }
 
@@ -61,6 +65,9 @@ pub(crate) struct SimInner {
     next_timer_id: u64,
     cancelled_timers: HashSet<u64>,
     crashed: HashSet<NodeId>,
+    /// Bumped on every [`Sim::add_node`] for the node; lets the dispatcher
+    /// discard timers armed by a previous incarnation.
+    incarnations: HashMap<NodeId, u64>,
     /// Per ordered `(src, dst)` pair: the latest delivery time scheduled so
     /// far. Messages between the same pair deliver FIFO, as over a TCP
     /// session — jitter never reorders a connection.
@@ -115,7 +122,16 @@ impl SimInner {
         let id = self.next_timer_id;
         self.next_timer_id += 1;
         let at = self.now + delay;
-        self.push(at, EventKind::Timer { node, token, id });
+        let incarnation = self.incarnations.get(&node).copied().unwrap_or(0);
+        self.push(
+            at,
+            EventKind::Timer {
+                node,
+                token,
+                id,
+                incarnation,
+            },
+        );
         TimerHandle(id)
     }
 
@@ -152,6 +168,7 @@ impl Sim {
                 next_timer_id: 0,
                 cancelled_timers: HashSet::new(),
                 crashed: HashSet::new(),
+                incarnations: HashMap::new(),
                 last_delivery: HashMap::new(),
             },
             actors: HashMap::new(),
@@ -191,6 +208,7 @@ impl Sim {
         );
         self.actors.insert(id, Box::new(actor));
         self.inner.crashed.remove(&id);
+        *self.inner.incarnations.entry(id).or_insert(0) += 1;
         let now = self.inner.now;
         self.inner.push(now, EventKind::Start(id));
     }
@@ -295,8 +313,19 @@ impl Sim {
             EventKind::Deliver { from, to, msg } => {
                 self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
             }
-            EventKind::Timer { node, token, id } => {
-                if !self.inner.cancelled_timers.remove(&id) {
+            EventKind::Timer {
+                node,
+                token,
+                id,
+                incarnation,
+            } => {
+                if self.inner.cancelled_timers.remove(&id) {
+                    // Explicitly cancelled; nothing to do.
+                } else if self.inner.incarnations.get(&node).copied().unwrap_or(0) != incarnation {
+                    // Armed by a previous incarnation of the node: the
+                    // process that set it died, so the timer dies with it.
+                    self.inner.metrics.incr("sim.stale_timers_dropped", 1);
+                } else {
                     self.dispatch(node, |actor, ctx| actor.on_timer(ctx, token));
                 }
             }

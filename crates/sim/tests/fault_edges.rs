@@ -1,0 +1,179 @@
+//! Edge cases of failure injection in the scheduler and network model:
+//! messages in flight to a node that crashes, timers armed before a
+//! crash, and partition/isolation/heal interactions mid-traffic.
+
+use std::any::Any;
+
+use mala_sim::{Actor, Context, NetConfig, Network, NodeId, Sim, SimDuration, SimTime};
+
+#[derive(Debug)]
+struct Ping(u64);
+
+/// Counts everything delivered to it and echoes pings back.
+#[derive(Default)]
+struct Counter {
+    messages: Vec<u64>,
+    timers: Vec<u64>,
+    starts: u32,
+}
+
+impl Actor for Counter {
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {
+        self.starts += 1;
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, msg: Box<dyn Any>) {
+        if let Ok(ping) = msg.downcast::<Ping>() {
+            self.messages.push(ping.0);
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, token: u64) {
+        self.timers.push(token);
+    }
+}
+
+fn two_nodes() -> Sim {
+    let mut sim = Sim::with_network(0, Network::new(NetConfig::default()));
+    sim.add_node(NodeId(0), Counter::default());
+    sim.add_node(NodeId(1), Counter::default());
+    sim.run_until_idle();
+    sim
+}
+
+#[test]
+fn message_in_flight_when_target_crashes_is_dropped() {
+    let mut sim = two_nodes();
+    // The message is on the wire (150us base latency) when the target dies.
+    sim.with_actor::<Counter, _>(NodeId(0), |_, ctx| ctx.send(NodeId(1), Ping(1)));
+    sim.crash(NodeId(1));
+    sim.run_until_idle();
+    assert_eq!(sim.metrics().counter("sim.messages_to_dead_nodes"), 1);
+}
+
+#[test]
+fn message_in_flight_across_restart_reaches_new_incarnation() {
+    let mut sim = two_nodes();
+    sim.with_actor::<Counter, _>(NodeId(0), |_, ctx| ctx.send(NodeId(1), Ping(7)));
+    // Crash and restart before the packet lands: like a UDP datagram, it
+    // arrives at whatever process owns the address at delivery time.
+    sim.crash(NodeId(1));
+    sim.restart(NodeId(1), Counter::default());
+    sim.run_until_idle();
+    let counter = sim.actor::<Counter>(NodeId(1));
+    assert_eq!(counter.starts, 1);
+    assert_eq!(counter.messages, vec![7]);
+}
+
+#[test]
+fn timer_armed_before_crash_never_fires_after_restart() {
+    let mut sim = two_nodes();
+    sim.with_actor::<Counter, _>(NodeId(1), |_, ctx| {
+        ctx.set_timer(SimDuration::from_millis(10), 99);
+    });
+    sim.crash(NodeId(1));
+    sim.restart(NodeId(1), Counter::default());
+    sim.run_until_idle();
+    let counter = sim.actor::<Counter>(NodeId(1));
+    assert!(
+        counter.timers.is_empty(),
+        "stale timer leaked into the new incarnation: {:?}",
+        counter.timers
+    );
+    assert_eq!(sim.metrics().counter("sim.stale_timers_dropped"), 1);
+}
+
+#[test]
+fn timers_armed_by_new_incarnation_still_fire() {
+    let mut sim = two_nodes();
+    sim.crash(NodeId(1));
+    sim.restart(NodeId(1), Counter::default());
+    sim.with_actor::<Counter, _>(NodeId(1), |_, ctx| {
+        ctx.set_timer(SimDuration::from_millis(5), 3);
+    });
+    sim.run_until_idle();
+    assert_eq!(sim.actor::<Counter>(NodeId(1)).timers, vec![3]);
+}
+
+#[test]
+fn crash_during_own_callback_discards_the_actor() {
+    // A node whose callback crashes it (via harness hook) must not be
+    // reinserted into the actor table afterwards.
+    let mut sim = two_nodes();
+    sim.with_actor::<Counter, _>(NodeId(0), |_, ctx| ctx.send(NodeId(1), Ping(1)));
+    sim.run_until_idle();
+    sim.crash(NodeId(1));
+    assert!(sim.is_crashed(NodeId(1)));
+    sim.with_actor::<Counter, _>(NodeId(0), |_, ctx| ctx.send(NodeId(1), Ping(2)));
+    sim.run_until_idle();
+    assert_eq!(sim.metrics().counter("sim.messages_to_dead_nodes"), 1);
+}
+
+#[test]
+fn partition_drops_traffic_and_heal_restores_it() {
+    let mut sim = two_nodes();
+    sim.network_mut().sever(NodeId(0), NodeId(1));
+    sim.with_actor::<Counter, _>(NodeId(0), |_, ctx| ctx.send(NodeId(1), Ping(1)));
+    sim.run_until_idle();
+    assert!(sim.actor::<Counter>(NodeId(1)).messages.is_empty());
+    assert_eq!(sim.metrics().counter("sim.messages_dropped"), 1);
+
+    sim.network_mut().heal(NodeId(0), NodeId(1));
+    sim.with_actor::<Counter, _>(NodeId(0), |_, ctx| ctx.send(NodeId(1), Ping(2)));
+    sim.run_until_idle();
+    assert_eq!(sim.actor::<Counter>(NodeId(1)).messages, vec![2]);
+}
+
+#[test]
+fn isolation_blocks_both_directions_but_not_loopback() {
+    let mut sim = two_nodes();
+    sim.network_mut().isolate(NodeId(1));
+    sim.with_actor::<Counter, _>(NodeId(0), |_, ctx| ctx.send(NodeId(1), Ping(1)));
+    sim.with_actor::<Counter, _>(NodeId(1), |_, ctx| {
+        ctx.send(NodeId(0), Ping(2));
+        ctx.send(NodeId(1), Ping(3)); // loopback survives isolation
+    });
+    sim.run_until_idle();
+    assert_eq!(sim.actor::<Counter>(NodeId(0)).messages, Vec::<u64>::new());
+    assert_eq!(sim.actor::<Counter>(NodeId(1)).messages, vec![3]);
+
+    sim.network_mut().rejoin(NodeId(1));
+    sim.with_actor::<Counter, _>(NodeId(1), |_, ctx| ctx.send(NodeId(0), Ping(4)));
+    sim.run_until_idle();
+    assert_eq!(sim.actor::<Counter>(NodeId(0)).messages, vec![4]);
+}
+
+#[test]
+fn rejoin_does_not_clear_pairwise_severs() {
+    let mut sim = two_nodes();
+    sim.network_mut().sever(NodeId(0), NodeId(1));
+    sim.network_mut().isolate(NodeId(1));
+    sim.network_mut().rejoin(NodeId(1));
+    // The pairwise sever outlives the isolation window.
+    assert!(!sim.network_mut().connected(NodeId(0), NodeId(1)));
+    sim.network_mut().heal_all();
+    assert!(sim.network_mut().connected(NodeId(0), NodeId(1)));
+}
+
+#[test]
+fn repeated_crash_restart_cycles_accumulate_metrics() {
+    let mut sim = two_nodes();
+    for round in 0..5u64 {
+        sim.with_actor::<Counter, _>(NodeId(1), |_, ctx| {
+            ctx.set_timer(SimDuration::from_millis(50), round);
+        });
+        sim.crash(NodeId(1));
+        sim.restart(NodeId(1), Counter::default());
+        sim.run_for(SimDuration::from_millis(100));
+    }
+    assert_eq!(sim.metrics().counter("sim.crashes"), 5);
+    assert_eq!(sim.metrics().counter("sim.stale_timers_dropped"), 5);
+    assert_eq!(sim.actor::<Counter>(NodeId(1)).starts, 1);
+}
+
+#[test]
+fn clock_still_reaches_deadline_with_everything_down() {
+    let mut sim = two_nodes();
+    sim.crash(NodeId(0));
+    sim.crash(NodeId(1));
+    sim.run_until(SimTime(5_000_000));
+    assert_eq!(sim.now(), SimTime(5_000_000));
+}

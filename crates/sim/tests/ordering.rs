@@ -39,7 +39,13 @@ fn same_connection_messages_never_reorder() {
     let mut cfg = NetConfig::default();
     cfg.jitter = SimDuration::from_micros(5_000);
     let mut sim = Sim::with_network(3, Network::new(cfg));
-    sim.add_node(NodeId(0), Burst { to: NodeId(1), n: 200 });
+    sim.add_node(
+        NodeId(0),
+        Burst {
+            to: NodeId(1),
+            n: 200,
+        },
+    );
     sim.add_node(NodeId(1), Sink::default());
     sim.run_until_idle();
     let got = &sim.actor::<Sink>(NodeId(1)).got;
@@ -55,8 +61,20 @@ fn cross_connection_messages_may_interleave() {
     let mut cfg = NetConfig::default();
     cfg.jitter = SimDuration::from_micros(5_000);
     let mut sim = Sim::with_network(3, Network::new(cfg));
-    sim.add_node(NodeId(0), Burst { to: NodeId(2), n: 50 });
-    sim.add_node(NodeId(1), Burst { to: NodeId(2), n: 50 });
+    sim.add_node(
+        NodeId(0),
+        Burst {
+            to: NodeId(2),
+            n: 50,
+        },
+    );
+    sim.add_node(
+        NodeId(1),
+        Burst {
+            to: NodeId(2),
+            n: 50,
+        },
+    );
     sim.add_node(NodeId(2), Sink::default());
     sim.run_until_idle();
     assert_eq!(sim.actor::<Sink>(NodeId(2)).got.len(), 100);
@@ -65,7 +83,13 @@ fn cross_connection_messages_may_interleave() {
 #[test]
 fn partition_drops_and_heal_restores() {
     let mut sim = Sim::new(4);
-    sim.add_node(NodeId(0), Burst { to: NodeId(1), n: 0 });
+    sim.add_node(
+        NodeId(0),
+        Burst {
+            to: NodeId(1),
+            n: 0,
+        },
+    );
     sim.add_node(NodeId(1), Sink::default());
     sim.run_until_idle();
     sim.network_mut().sever(NodeId(0), NodeId(1));
@@ -82,7 +106,13 @@ fn partition_drops_and_heal_restores() {
 #[test]
 fn crash_then_restart_keeps_node_addressable() {
     let mut sim = Sim::new(5);
-    sim.add_node(NodeId(0), Burst { to: NodeId(1), n: 0 });
+    sim.add_node(
+        NodeId(0),
+        Burst {
+            to: NodeId(1),
+            n: 0,
+        },
+    );
     sim.add_node(NodeId(1), Sink::default());
     sim.run_until_idle();
     sim.crash(NodeId(1));

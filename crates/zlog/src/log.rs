@@ -14,8 +14,10 @@ use std::collections::HashMap;
 use mala_consensus::{MapUpdate, MonMsg};
 use mala_mds::types::{MdsError, MdsMsg};
 use mala_mds::{FileType, Ino};
+use mala_rados::client::RETRY_TOKEN_BASE as RADOS_RETRY_TOKEN_BASE;
 use mala_rados::{ObjectId, Op, OpResult, OsdError, RadosClient};
-use mala_sim::{Actor, Context, NodeId, Sim, SimDuration};
+use mala_sim::{Actor, Context, NodeId, Sim, SimDuration, SimTime, TimerHandle};
+use rand::Rng;
 
 use crate::storage::ZLOG_CLASS;
 
@@ -117,6 +119,10 @@ struct PendingOp {
     kind: OpKind,
     stage: Stage,
     attempts: u32,
+    /// Hard deadline; the watchdog fails the op past it.
+    deadline: SimTime,
+    /// Pending watchdog timer, replaced on each re-arm.
+    watch: Option<TimerHandle>,
 }
 
 #[derive(Debug, Clone)]
@@ -152,6 +158,14 @@ pub struct ZlogClient {
     mon_waiting: HashMap<u64, u64>,
     /// Ops blocked until a newer epoch arrives.
     blocked_on_epoch: Vec<(u64, u64)>,
+    /// First watchdog delay; doubles per attempt, capped.
+    retry_base: SimDuration,
+    /// Cap on the watchdog backoff.
+    retry_cap: SimDuration,
+    /// Per-op deadline (start → typed timeout failure).
+    op_deadline: SimDuration,
+    /// Retry backstop: ops failing this many attempts give up.
+    max_attempts: u32,
 }
 
 impl ZlogClient {
@@ -170,6 +184,10 @@ impl ZlogClient {
             mds_waiting: HashMap::new(),
             mon_waiting: HashMap::new(),
             blocked_on_epoch: Vec::new(),
+            retry_base: SimDuration::from_millis(20),
+            retry_cap: SimDuration::from_secs(2),
+            op_deadline: SimDuration::from_secs(60),
+            max_attempts: 16,
         }
     }
 
@@ -195,7 +213,7 @@ impl ZlogClient {
 
     // ---- op starters ----
 
-    fn begin(&mut self, kind: OpKind, stage: Stage) -> u64 {
+    fn begin(&mut self, ctx: &mut Context<'_>, kind: OpKind, stage: Stage) -> u64 {
         let op = self.next_op;
         self.next_op += 1;
         self.ops.insert(
@@ -204,14 +222,42 @@ impl ZlogClient {
                 kind,
                 stage,
                 attempts: 0,
+                deadline: ctx.now() + self.op_deadline,
+                watch: None,
             },
         );
+        // Every op runs under a watchdog: lost replies anywhere in the
+        // chain (MDS, monitor, OSD) re-drive it with backoff instead of
+        // hanging forever.
+        self.arm_watchdog(ctx, op);
         op
+    }
+
+    /// (Re-)arms the watchdog for `op` with capped exponential backoff and
+    /// jitter from the sim's seeded RNG.
+    fn arm_watchdog(&mut self, ctx: &mut Context<'_>, op: u64) {
+        let Some(pending) = self.ops.get(&op) else {
+            return;
+        };
+        let base = self.retry_base.as_micros().max(1);
+        let cap = self.retry_cap.as_micros().max(base);
+        let exp = base.saturating_mul(1u64 << pending.attempts.min(20));
+        let delay = exp.min(cap);
+        let jitter = ctx.rng().gen_range(0..=delay / 2);
+        let timer = ctx.set_timer(
+            SimDuration::from_micros(delay + jitter),
+            TOKEN_RETRY_BASE + op,
+        );
+        if let Some(pending) = self.ops.get_mut(&op) {
+            if let Some(old) = pending.watch.replace(timer) {
+                ctx.cancel_timer(old);
+            }
+        }
     }
 
     /// Creates `/zlog/<name>` (directory + sequencer inode) if needed.
     pub fn setup(&mut self, ctx: &mut Context<'_>) -> u64 {
-        let op = self.begin(OpKind::Setup, Stage::SetupDir);
+        let op = self.begin(ctx, OpKind::Setup, Stage::SetupDir);
         let reqid = self.mds_reqid(op);
         ctx.send(
             self.home_node(),
@@ -227,35 +273,35 @@ impl ZlogClient {
 
     /// Appends `data`; resolves to [`ZlogOut::Pos`].
     pub fn append(&mut self, ctx: &mut Context<'_>, data: Vec<u8>) -> u64 {
-        let op = self.begin(OpKind::Append { data }, Stage::GetPos);
+        let op = self.begin(ctx, OpKind::Append { data }, Stage::GetPos);
         self.step_get_pos(ctx, op);
         op
     }
 
     /// Reads `pos`; resolves to [`ZlogOut::Read`].
     pub fn read(&mut self, ctx: &mut Context<'_>, pos: u64) -> u64 {
-        let op = self.begin(OpKind::Read { pos }, Stage::ReadEntry);
+        let op = self.begin(ctx, OpKind::Read { pos }, Stage::ReadEntry);
         self.step_storage_simple(ctx, op);
         op
     }
 
     /// Junk-fills `pos`; resolves to [`ZlogOut::Done`].
     pub fn fill(&mut self, ctx: &mut Context<'_>, pos: u64) -> u64 {
-        let op = self.begin(OpKind::Fill { pos }, Stage::Mutate);
+        let op = self.begin(ctx, OpKind::Fill { pos }, Stage::Mutate);
         self.step_storage_simple(ctx, op);
         op
     }
 
     /// Trims `pos`; resolves to [`ZlogOut::Done`].
     pub fn trim(&mut self, ctx: &mut Context<'_>, pos: u64) -> u64 {
-        let op = self.begin(OpKind::Trim { pos }, Stage::Mutate);
+        let op = self.begin(ctx, OpKind::Trim { pos }, Stage::Mutate);
         self.step_storage_simple(ctx, op);
         op
     }
 
     /// Reads the sequencer tail without advancing it.
     pub fn check_tail(&mut self, ctx: &mut Context<'_>) -> u64 {
-        let op = self.begin(OpKind::CheckTail, Stage::Tail);
+        let op = self.begin(ctx, OpKind::CheckTail, Stage::Tail);
         self.step_tail(ctx, op);
         op
     }
@@ -265,7 +311,7 @@ impl ZlogClient {
     /// the maximum written position + 1.
     pub fn recover(&mut self, ctx: &mut Context<'_>) -> u64 {
         let new_epoch = self.epoch + 1;
-        let op = self.begin(OpKind::Recover, Stage::RecoverEpoch { new_epoch });
+        let op = self.begin(ctx, OpKind::Recover, Stage::RecoverEpoch { new_epoch });
         let seq = self.next_seq;
         self.next_seq += 1;
         self.mon_waiting.insert(seq, op);
@@ -404,6 +450,19 @@ impl ZlogClient {
         }
     }
 
+    /// Collects completions from the embedded RADOS client and routes them
+    /// into the owning ops.
+    fn drain_rados(&mut self, ctx: &mut Context<'_>) {
+        let waiting: Vec<u64> = self.rados_waiting.keys().copied().collect();
+        for reqid in waiting {
+            if let Some(event) = self.rados.take_completed(reqid) {
+                if let Some(op) = self.rados_waiting.remove(&reqid) {
+                    self.on_rados_done(ctx, op, event.result);
+                }
+            }
+        }
+    }
+
     fn retry_blocked(&mut self, ctx: &mut Context<'_>) {
         let blocked = std::mem::take(&mut self.blocked_on_epoch);
         for (op, epoch_when_blocked) in blocked {
@@ -416,24 +475,66 @@ impl ZlogClient {
     }
 
     fn restart_op(&mut self, ctx: &mut Context<'_>, op: u64) {
+        // Drop any stale epoch-block entry and abandon outstanding
+        // requests from earlier attempts: their late replies must not be
+        // routed into the fresh attempt's state machine.
+        self.blocked_on_epoch.retain(|(o, _)| *o != op);
+        self.rados_waiting.retain(|_, o| *o != op);
+        self.mds_waiting.retain(|_, o| *o != op);
+        self.mon_waiting.retain(|_, o| *o != op);
         let Some(pending) = self.ops.get_mut(&op) else {
             return;
         };
         pending.attempts += 1;
-        if pending.attempts > 10 {
+        if pending.attempts > self.max_attempts {
             self.fail(op, "too many retries");
             return;
         }
+        ctx.metrics().incr("zlog.retries", 1);
         match pending.kind.clone() {
             OpKind::Append { .. } => self.step_get_pos(ctx, op),
             OpKind::Read { .. } | OpKind::Fill { .. } | OpKind::Trim { .. } => {
                 self.step_storage_simple(ctx, op)
             }
             OpKind::CheckTail => self.step_tail(ctx, op),
-            OpKind::Setup | OpKind::Recover => {
-                self.fail(op, "setup/recovery cannot be retried implicitly")
+            OpKind::Setup => {
+                // Idempotent: mkdir/create tolerate Exists, so replaying
+                // from the top is safe.
+                pending.stage = Stage::SetupDir;
+                let reqid = self.mds_reqid(op);
+                ctx.send(
+                    self.home_node(),
+                    MdsMsg::Create {
+                        reqid,
+                        parent_path: "/".into(),
+                        name: "zlog".into(),
+                        ftype: FileType::Dir,
+                    },
+                );
+            }
+            OpKind::Recover => {
+                // Replay recovery from scratch under a fresh epoch: sealing
+                // is idempotent and the epoch only moves forward, so a
+                // half-finished earlier attempt cannot corrupt anything.
+                let new_epoch = self.epoch + 1;
+                pending.stage = Stage::RecoverEpoch { new_epoch };
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.mon_waiting.insert(seq, op);
+                ctx.send(
+                    self.config.monitor,
+                    MonMsg::Submit {
+                        seq,
+                        updates: vec![MapUpdate::set(
+                            ZLOG_MAP,
+                            &format!("epoch.{}", self.config.name),
+                            new_epoch.to_string().into_bytes(),
+                        )],
+                    },
+                );
             }
         }
+        self.arm_watchdog(ctx, op);
     }
 
     fn on_rados_done(
@@ -442,6 +543,17 @@ impl ZlogClient {
         op: u64,
         result: Result<Vec<OpResult>, OsdError>,
     ) {
+        if !self.ops.contains_key(&op) {
+            return;
+        }
+        // A timed-out RADOS request (the embedded client exhausted its
+        // retransmit deadline) is retryable at this level: re-drive the
+        // whole op rather than surfacing a hang.
+        if matches!(result, Err(OsdError::Timeout)) {
+            ctx.metrics().incr("zlog.rados_timeouts", 1);
+            self.restart_op(ctx, op);
+            return;
+        }
         let Some(pending) = self.ops.get_mut(&op) else {
             return;
         };
@@ -449,6 +561,7 @@ impl ZlogClient {
         if let Err(OsdError::Class(ce)) = &result {
             if ce.code == -116 && !matches!(pending.stage, Stage::RecoverSeal { .. }) {
                 let epoch = self.epoch;
+                ctx.metrics().incr("zlog.estale_retries", 1);
                 self.blocked_on_epoch.push((op, epoch));
                 ctx.send(
                     self.config.monitor,
@@ -749,21 +862,29 @@ impl Actor for ZlogClient {
         };
         // OSD replies: feed the rados client, then collect completions.
         self.rados.on_message(ctx, from, msg);
-        let waiting: Vec<u64> = self.rados_waiting.keys().copied().collect();
-        for reqid in waiting {
-            if let Some(event) = self.rados.take_completed(reqid) {
-                let op = self.rados_waiting.remove(&reqid).expect("present");
-                self.on_rados_done(ctx, op, event.result);
-            }
-        }
+        self.drain_rados(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        // Retransmit timers of the embedded RADOS client (its token
+        // namespace sits above ours).
+        if token >= RADOS_RETRY_TOKEN_BASE {
+            self.rados.on_timer(ctx, token);
+            // A fired retransmit timer can complete a request (Timeout).
+            self.drain_rados(ctx);
+            return;
+        }
         if token >= TOKEN_RETRY_BASE {
             let op = token - TOKEN_RETRY_BASE;
-            if self.ops.contains_key(&op) {
-                self.restart_op(ctx, op);
+            let Some(pending) = self.ops.get(&op) else {
+                return;
+            };
+            if ctx.now() >= pending.deadline {
+                ctx.metrics().incr("zlog.timeouts", 1);
+                self.fail(op, "op deadline exceeded");
+                return;
             }
+            self.restart_op(ctx, op);
         }
     }
 }

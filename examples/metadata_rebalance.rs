@@ -20,8 +20,10 @@ use malacology::interfaces::{durability, load_balancing};
 fn main() {
     // Three MDS ranks, each running a Mantle balancer with NO policy yet:
     // until a policy is published, nothing migrates.
-    let mut mds_config = mala_mds::MdsConfig::default();
-    mds_config.balance_interval = SimDuration::from_secs(5);
+    let mds_config = mala_mds::MdsConfig {
+        balance_interval: SimDuration::from_secs(5),
+        ..mala_mds::MdsConfig::default()
+    };
     let mut cluster = ClusterBuilder::new()
         .monitors(1)
         .osds(4)

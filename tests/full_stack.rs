@@ -131,8 +131,10 @@ fn zlog_survives_osd_and_mds_failures() {
 /// policy keeps running.
 #[test]
 fn mantle_policy_lifecycle_with_bad_upgrade() {
-    let mut mds_config = MdsConfig::default();
-    mds_config.balance_interval = SimDuration::from_secs(2);
+    let mds_config = MdsConfig {
+        balance_interval: SimDuration::from_secs(2),
+        ..MdsConfig::default()
+    };
     let mut cluster = ClusterBuilder::new()
         .monitors(1)
         .osds(3)

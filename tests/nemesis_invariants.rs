@@ -1,0 +1,582 @@
+//! Nemesis invariant suite: randomized-but-seeded fault schedules drive
+//! the full stack while the system's safety invariants are checked.
+//!
+//! * **Write-once under faults** — concurrent zlog appends interleaved
+//!   with a random crash/partition/loss schedule still yield unique
+//!   positions, and every acked append reads back intact afterwards.
+//! * **Sealed epoch never accepts writes** — once `seal(e)` commits, any
+//!   request below `e` is rejected with `-116` and the cell contents are
+//!   untouched, including under message loss.
+//! * **Leader safety** — monitors partitioned and healed at random never
+//!   present two leaders with the same ballot, never regress a map epoch,
+//!   and never disagree on map contents at the same epoch.
+//! * **Recovery exactness** — OSDs crashed and restarted mid-workload
+//!   (and finally all at once) serve exactly the acked writes from their
+//!   journals: nothing acked is lost, nothing phantom appears.
+//!
+//! Every case derives its cluster seed and fault schedule from the
+//! proptest-drawn `seed`; a failure reproduces bit-for-bit from the
+//! `PROPTEST_SEED` the runner prints.
+
+use proptest::prelude::*;
+
+mod zlog_fault_props {
+    use super::*;
+    use mala_rados::{Osd, OsdConfig};
+    use mala_sim::{Fault, FaultSchedule, Nemesis, NodeId, SimDuration};
+    use mala_zlog::log::{run_op, ZlogOut};
+    use mala_zlog::{zlog_interface_update, AppendResult, ReadOutcome, ZlogClient, ZlogConfig};
+    use malacology::cluster::ClusterBuilder;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// Ten seeded random schedules (crash+restart, partition+heal,
+        /// isolation, loss bursts, delay spikes over the OSD set) play out
+        /// while a zlog client appends. Invariants: every append that
+        /// completes gets a position no other append got, and after the
+        /// cluster heals every acked payload reads back verbatim — even
+        /// when the only copy of a stripe rode through an OSD crash on
+        /// the write-ahead journal.
+        #[test]
+        fn appends_stay_unique_and_durable_under_random_faults(seed in 0u64..100_000) {
+            let mut cluster = ClusterBuilder::new()
+                .monitors(1)
+                .osds(4)
+                .mds_ranks(1)
+                .pool("p", 16, 2)
+                .build(seed);
+            cluster.commit_updates(vec![zlog_interface_update()]);
+            let node = cluster.alloc_node();
+            let config = ZlogConfig {
+                name: "nemesis".into(),
+                pool: "p".into(),
+                stripe_width: 4,
+                mds_nodes: cluster.mds_nodes(),
+                home_rank: 0,
+                monitor: cluster.mon(),
+            };
+            cluster.sim.add_node(node, ZlogClient::new(config));
+            cluster.sim.run_for(SimDuration::from_secs(1));
+            run_op(&mut cluster.sim, node, SimDuration::from_secs(10), |c, ctx| c.setup(ctx));
+
+            let osd_nodes: Vec<NodeId> = (0..4).map(|i| cluster.osd_node(i)).collect();
+            let schedule =
+                FaultSchedule::random(seed, &osd_nodes, SimDuration::from_secs(8), 4);
+            let crashes = schedule
+                .entries()
+                .iter()
+                .filter(|(_, f)| matches!(f, Fault::Crash(_)))
+                .count() as u64;
+            let journals = cluster.journals().clone();
+            let mon = cluster.mon();
+            let mut nemesis = Nemesis::new(schedule).on_restart(move |sim, n| {
+                let osd = Osd::with_journal(
+                    n.0 - 10,
+                    mon,
+                    OsdConfig::default(),
+                    journals.journal(n),
+                );
+                sim.restart(n, osd);
+            });
+
+            // Appends interleave with the schedule: the driver advances the
+            // sim in slices, applying faults at their timestamps, while we
+            // poll the op for completion.
+            let mut positions: Vec<(u64, Vec<u8>)> = Vec::new();
+            for k in 0..10u32 {
+                let payload = format!("s{seed}-k{k}").into_bytes();
+                let op = cluster.sim.with_actor::<ZlogClient, _>(node, {
+                    let p = payload.clone();
+                    move |c, ctx| c.append(ctx, p)
+                });
+                let deadline = cluster.sim.now() + SimDuration::from_secs(90);
+                while !cluster.sim.actor::<ZlogClient>(node).is_done(op) {
+                    if cluster.sim.now() >= deadline {
+                        return Err(TestCaseError::fail(format!(
+                            "append {k} hung past its deadline (seed {seed})"
+                        )));
+                    }
+                    nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(200));
+                }
+                let result = cluster
+                    .sim
+                    .actor_mut::<ZlogClient>(node)
+                    .take_result(op)
+                    .expect("op is done");
+                match result {
+                    AppendResult::Ok(ZlogOut::Pos(pos)) => positions.push((pos, payload)),
+                    other => {
+                        return Err(TestCaseError::fail(format!(
+                            "append {k} failed terminally: {other:?} (seed {seed})"
+                        )))
+                    }
+                }
+            }
+            // Let the rest of the schedule close its windows, then settle.
+            while !nemesis.finished() {
+                nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(500));
+            }
+            cluster.sim.run_for(SimDuration::from_secs(2));
+
+            // Write-once: no two appends ever share a cell. (Density is
+            // not guaranteed under faults — a timed-out attempt may burn a
+            // position — but uniqueness must hold.)
+            let mut seen: Vec<u64> = positions.iter().map(|(p, _)| *p).collect();
+            seen.sort_unstable();
+            let before = seen.len();
+            seen.dedup();
+            prop_assert_eq!(before, seen.len(), "duplicate positions (seed {})", seed);
+
+            // Durability: every acked payload reads back from the healed
+            // cluster, restored OSDs included.
+            for (pos, payload) in &positions {
+                let pos = *pos;
+                let res = run_op(
+                    &mut cluster.sim,
+                    node,
+                    SimDuration::from_secs(30),
+                    move |c, ctx| c.read(ctx, pos),
+                );
+                let AppendResult::Ok(ZlogOut::Read(ReadOutcome::Data(data))) = res else {
+                    return Err(TestCaseError::fail(format!(
+                        "read of acked pos {pos} failed: {res:?} (seed {seed})"
+                    )));
+                };
+                prop_assert_eq!(&data, payload, "payload mismatch at {} (seed {})", pos, seed);
+            }
+            if crashes > 0 {
+                prop_assert!(
+                    cluster.sim.metrics().counter("osd.journal_replays") >= crashes,
+                    "schedule crashed {} OSDs but only {} journal replays ran (seed {})",
+                    crashes,
+                    cluster.sim.metrics().counter("osd.journal_replays"),
+                    seed
+                );
+            }
+        }
+    }
+}
+
+mod seal_props {
+    use super::*;
+    use mala_rados::{ObjectId, OpResult, OsdError};
+    use mala_sim::{NetConfig, SimDuration};
+    use mala_zlog::zlog_interface_update;
+    use malacology::cluster::ClusterBuilder;
+    use malacology::interfaces::data_io;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// After `seal(e)` commits on a stripe object, every request below
+        /// `e` bounces with `-116` and leaves the cells untouched — across
+        /// random seal epochs, stale epochs, positions, and message-drop
+        /// rates (the retry layer must deliver the *rejection*, not mask
+        /// it or let a stale write slip through on a retransmit).
+        #[test]
+        fn sealed_epoch_never_accepts_stale_writes(
+            seed in 0u64..100_000,
+            seal_epoch in 2u64..40,
+            pos in 0u64..64,
+            drop_pct in 0u8..10,
+        ) {
+            let mut cluster = ClusterBuilder::new()
+                .osds(3)
+                .pool("p", 16, 2)
+                .net_config(NetConfig {
+                    drop_probability: f64::from(drop_pct) / 100.0,
+                    ..NetConfig::default()
+                })
+                .build(seed);
+            cluster.commit_updates(vec![zlog_interface_update()]);
+            cluster.sim.run_for(SimDuration::from_secs(2));
+            let oid = ObjectId::new("p", "sealed-stripe");
+            let stale = seed % seal_epoch; // strictly below the seal
+
+            let wrote = cluster.rados(oid.clone(), data_io::call("zlog", "write", format!("0|{pos}|pre")));
+            prop_assert!(wrote.is_ok(), "pre-seal write failed: {:?}", wrote);
+            let sealed = cluster.rados(oid.clone(), data_io::call("zlog", "seal", format!("{seal_epoch}")));
+            match sealed {
+                Ok(out) => prop_assert_eq!(
+                    &out[0],
+                    &OpResult::CallOut(pos.to_string().into_bytes()),
+                    "seal reported wrong maxpos"
+                ),
+                Err(e) => return Err(TestCaseError::fail(format!("seal failed: {e:?}"))),
+            }
+
+            // Stale writes — to the written cell and to a fresh one — must
+            // both be rejected with ESTALE.
+            for target in [pos, pos + 1] {
+                let res = cluster.rados(
+                    oid.clone(),
+                    data_io::call("zlog", "write", format!("{stale}|{target}|evil")),
+                );
+                match res {
+                    Err(OsdError::Class(e)) => prop_assert_eq!(
+                        e.code, -116,
+                        "stale write to {} got wrong errno (seed {})", target, seed
+                    ),
+                    other => {
+                        return Err(TestCaseError::fail(format!(
+                            "stale write to {target} not rejected: {other:?} (seed {seed})"
+                        )))
+                    }
+                }
+            }
+            // The written cell is intact, the fresh cell still unwritten.
+            let read = cluster.rados(oid.clone(), data_io::call("zlog", "read", format!("{seal_epoch}|{pos}")));
+            prop_assert_eq!(
+                read.map(|out| out[0].clone()),
+                Ok(OpResult::CallOut(b"D|pre".to_vec())),
+                "sealed cell was clobbered (seed {})", seed
+            );
+            let unwritten = cluster.rados(
+                oid.clone(),
+                data_io::call("zlog", "read", format!("{seal_epoch}|{}", pos + 1)),
+            );
+            match unwritten {
+                Err(OsdError::Class(e)) => prop_assert_eq!(e.code, -2, "expected ENOENT"),
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "rejected stale write left residue: {other:?} (seed {seed})"
+                    )))
+                }
+            }
+            // Sanity liveness: the current epoch still writes fine.
+            let ok = cluster.rados(
+                oid,
+                data_io::call("zlog", "write", format!("{seal_epoch}|{}|good", pos + 1)),
+            );
+            prop_assert!(ok.is_ok(), "current-epoch write failed: {:?}", ok);
+        }
+    }
+}
+
+mod leader_props {
+    use super::*;
+    use mala_consensus::{MonMsg, Monitor};
+    use mala_rados::OsdMapView;
+    use mala_sim::{Fault, FaultSchedule, Nemesis, NodeId, SimDuration, SimTime};
+    use malacology::cluster::ClusterBuilder;
+    use std::collections::BTreeMap;
+
+    /// A seeded schedule over the monitor quorum: isolations, minority
+    /// partitions, loss bursts, and delay spikes (no crashes — the monitor
+    /// models a process whose Paxos promises live in memory, so killing
+    /// one is out of scope for this invariant).
+    fn monitor_schedule(seed: u64, mons: &[NodeId]) -> FaultSchedule {
+        let mut schedule = FaultSchedule::new();
+        for k in 0..4u64 {
+            let start = SimTime(500_000 + k * 1_500_000);
+            let end = SimTime(start.0 + 700_000);
+            let pick = mons[((seed >> k) % mons.len() as u64) as usize];
+            match (seed >> (2 * k)) % 4 {
+                0 => {
+                    schedule = schedule
+                        .at(start, Fault::Isolate(pick))
+                        .at(end, Fault::Rejoin(pick));
+                }
+                1 => {
+                    let a = vec![pick];
+                    let b: Vec<NodeId> = mons.iter().copied().filter(|m| *m != pick).collect();
+                    schedule = schedule
+                        .at(start, Fault::Partition(a.clone(), b.clone()))
+                        .at(end, Fault::HealPartition(a, b));
+                }
+                2 => {
+                    schedule = schedule.at(
+                        start,
+                        Fault::LossBurst {
+                            probability: 0.3,
+                            duration: SimDuration::from_micros(700_000),
+                        },
+                    );
+                }
+                _ => {
+                    schedule = schedule.at(
+                        start,
+                        Fault::DelaySpike {
+                            extra: SimDuration::from_millis(3),
+                            duration: SimDuration::from_micros(700_000),
+                        },
+                    );
+                }
+            }
+        }
+        schedule
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// While the quorum is partitioned, isolated, and lossy at random
+        /// (with map-update traffic flowing), at every observation point:
+        /// concurrent leadership claims carry distinct ballots, no monitor
+        /// ever regresses a map epoch, and two monitors holding the same
+        /// epoch of a map hold identical contents (Paxos log safety
+        /// projected onto the replicated maps). After healing, the quorum
+        /// reconverges to one leader and identical maps.
+        #[test]
+        fn partitioned_monitors_keep_leader_and_state_safety(seed in 0u64..100_000) {
+            let mut cluster = ClusterBuilder::new()
+                .monitors(3)
+                .osds(1)
+                .pool("p", 8, 1)
+                .build(seed);
+            let mons: Vec<NodeId> = (0..3).map(NodeId).collect();
+            let mut nemesis = Nemesis::new(monitor_schedule(seed, &mons));
+
+            let mut last_epoch: BTreeMap<u32, u64> = BTreeMap::new();
+            let mut seq = 1000;
+            for step in 0..80u32 {
+                // Keep commit traffic flowing, aimed round-robin so both
+                // majority and minority sides see submissions.
+                if step % 5 == 0 {
+                    seq += 1;
+                    let target = mons[(step as usize / 5) % mons.len()];
+                    let up = step % 10 == 0;
+                    cluster.sim.inject(
+                        target,
+                        MonMsg::Submit {
+                            seq,
+                            updates: vec![OsdMapView::update_osd(0, NodeId(10), up)],
+                        },
+                    );
+                }
+                nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(100));
+
+                let mut ballots = Vec::new();
+                for rank in 0..3u32 {
+                    let m = cluster.sim.actor::<Monitor>(NodeId(rank));
+                    if let Some(ballot) = m.leader_ballot() {
+                        ballots.push(ballot);
+                    }
+                    if let Some(snap) = m.map("osdmap") {
+                        let prev = last_epoch.insert(rank, snap.epoch).unwrap_or(0);
+                        prop_assert!(
+                            snap.epoch >= prev,
+                            "monitor {} regressed osdmap {} -> {} (seed {})",
+                            rank, prev, snap.epoch, seed
+                        );
+                    }
+                }
+                for i in 0..ballots.len() {
+                    for j in (i + 1)..ballots.len() {
+                        prop_assert!(
+                            ballots[i] != ballots[j],
+                            "two leaders share ballot {:?} (seed {})", ballots[i], seed
+                        );
+                    }
+                }
+                // Same epoch ⇒ same contents, pairwise.
+                for i in 0..3u32 {
+                    for j in (i + 1)..3u32 {
+                        let (a, b) = (
+                            cluster.sim.actor::<Monitor>(NodeId(i)).map("osdmap").cloned(),
+                            cluster.sim.actor::<Monitor>(NodeId(j)).map("osdmap").cloned(),
+                        );
+                        if let (Some(a), Some(b)) = (a, b) {
+                            if a.epoch == b.epoch {
+                                prop_assert_eq!(
+                                    &a.entries, &b.entries,
+                                    "monitors {} and {} diverge at epoch {} (seed {})",
+                                    i, j, a.epoch, seed
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+
+            // All windows are closed by construction; reconverge.
+            cluster.sim.network_mut().heal_all();
+            let deadline = cluster.sim.now() + SimDuration::from_secs(30);
+            let converged = cluster.sim.run_until_pred(deadline, |s| {
+                let leaders = (0..3).filter(|r| s.actor::<Monitor>(NodeId(*r)).is_leader()).count();
+                let snaps: Vec<_> = (0..3)
+                    .filter_map(|r| s.actor::<Monitor>(NodeId(r)).map("osdmap"))
+                    .collect();
+                leaders == 1
+                    && snaps.len() == 3
+                    && snaps.windows(2).all(|w| {
+                        w[0].epoch == w[1].epoch && w[0].entries == w[1].entries
+                    })
+            });
+            prop_assert!(converged, "quorum did not reconverge after healing (seed {})", seed);
+        }
+    }
+}
+
+mod durability_props {
+    use super::*;
+    use mala_rados::{ObjectId, OpResult, Osd};
+    use mala_sim::SimDuration;
+    use malacology::cluster::ClusterBuilder;
+    use malacology::interfaces::durability;
+    use std::collections::HashMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// OSDs crash and restart *mid-workload* (one at a time, then all
+        /// at once at the end, wiping every in-memory store). Afterwards
+        /// the cluster serves exactly the acked writes: each object reads
+        /// back its last acked payload, and no restarted OSD holds an
+        /// object that was never written.
+        #[test]
+        fn recovered_osds_serve_exactly_the_acked_writes(
+            seed in 0u64..100_000,
+            ops in prop::collection::vec((0usize..6, any::<u8>()), 6..18),
+            crash_every in 3usize..6,
+        ) {
+            let mut cluster = ClusterBuilder::new().osds(3).pool("data", 16, 2).build(seed);
+            let mut expected: HashMap<String, Vec<u8>> = HashMap::new();
+            let mut down: Option<u32> = None;
+            for (k, (idx, byte)) in ops.iter().enumerate() {
+                if k % crash_every == crash_every - 1 {
+                    match down.take() {
+                        None => {
+                            let victim = (k / crash_every) as u32 % 3;
+                            cluster.crash_osd(victim);
+                            down = Some(victim);
+                        }
+                        Some(v) => cluster.restart_osd(v),
+                    }
+                }
+                let name = format!("obj{idx}");
+                let payload = vec![*byte; 8 + idx];
+                let res = cluster.rados(
+                    ObjectId::new("data", &name),
+                    durability::put_blob(payload.clone()),
+                );
+                match res {
+                    Ok(_) => {
+                        expected.insert(name, payload);
+                    }
+                    Err(e) => {
+                        return Err(TestCaseError::fail(format!(
+                            "write {k} failed: {e:?} (seed {seed})"
+                        )))
+                    }
+                }
+            }
+            if let Some(v) = down.take() {
+                cluster.restart_osd(v);
+            }
+            // Wipe every in-memory store; only the journals survive.
+            for i in 0..3 {
+                cluster.crash_osd(i);
+            }
+            for i in 0..3 {
+                cluster.restart_osd(i);
+            }
+            cluster.sim.run_for(SimDuration::from_secs(2));
+
+            for (name, payload) in &expected {
+                let res = cluster.rados(ObjectId::new("data", name), durability::get_blob());
+                match res {
+                    Ok(out) => prop_assert_eq!(
+                        &out[0],
+                        &OpResult::Data(payload.clone()),
+                        "{} lost its acked payload (seed {})", name, seed
+                    ),
+                    Err(e) => {
+                        return Err(TestCaseError::fail(format!(
+                            "acked object {name} unreadable after recovery: {e:?} (seed {seed})"
+                        )))
+                    }
+                }
+            }
+            // Nothing phantom: restarted stores hold only written objects.
+            for i in 0..3 {
+                let store = cluster.sim.actor::<Osd>(cluster.osd_node(i)).store();
+                for oid in store.keys() {
+                    prop_assert!(
+                        expected.contains_key(&oid.name),
+                        "osd {} holds phantom object {:?} (seed {})", i, oid, seed
+                    );
+                }
+            }
+            prop_assert!(
+                cluster.sim.metrics().counter("osd.journal_replays") >= 3,
+                "final full-cluster restart should replay every journal"
+            );
+        }
+    }
+}
+
+mod retry_integration {
+    use mala_sim::{NetConfig, SimDuration};
+    use mala_zlog::log::{run_op, ZlogOut};
+    use mala_zlog::{zlog_interface_update, AppendResult, ReadOutcome, ZlogClient, ZlogConfig};
+    use malacology::cluster::ClusterBuilder;
+
+    /// Acceptance check: with 5% of all messages silently dropped, zlog
+    /// append and read still complete via retransmit/backoff, and the
+    /// retries show up in the sim metrics.
+    #[test]
+    fn zlog_completes_under_five_percent_message_drop() {
+        let mut cluster = ClusterBuilder::new()
+            .monitors(1)
+            .osds(3)
+            .mds_ranks(1)
+            .pool("p", 16, 2)
+            .net_config(NetConfig {
+                drop_probability: 0.05,
+                ..NetConfig::default()
+            })
+            .build(42);
+        cluster.commit_updates(vec![zlog_interface_update()]);
+        let node = cluster.alloc_node();
+        let config = ZlogConfig {
+            name: "lossy".into(),
+            pool: "p".into(),
+            stripe_width: 3,
+            mds_nodes: cluster.mds_nodes(),
+            home_rank: 0,
+            monitor: cluster.mon(),
+        };
+        cluster.sim.add_node(node, ZlogClient::new(config));
+        cluster.sim.run_for(SimDuration::from_secs(1));
+        run_op(
+            &mut cluster.sim,
+            node,
+            SimDuration::from_secs(30),
+            |c, ctx| c.setup(ctx),
+        );
+
+        let mut entries = Vec::new();
+        for k in 0..12u32 {
+            let payload = format!("lossy-{k}").into_bytes();
+            let res = run_op(&mut cluster.sim, node, SimDuration::from_secs(60), {
+                let p = payload.clone();
+                move |c, ctx| c.append(ctx, p)
+            });
+            let AppendResult::Ok(ZlogOut::Pos(pos)) = res else {
+                panic!("append {k} failed under 5% drop: {res:?}");
+            };
+            entries.push((pos, payload));
+        }
+        for (pos, payload) in entries {
+            let res = run_op(
+                &mut cluster.sim,
+                node,
+                SimDuration::from_secs(60),
+                move |c, ctx| c.read(ctx, pos),
+            );
+            assert_eq!(
+                res,
+                AppendResult::Ok(ZlogOut::Read(ReadOutcome::Data(payload))),
+                "read of pos {pos} wrong under 5% drop"
+            );
+        }
+        let metrics = cluster.sim.metrics();
+        let retries = metrics.counter("client.retries") + metrics.counter("zlog.retries");
+        assert!(
+            retries > 0,
+            "5% drop over dozens of round trips must surface retries in metrics"
+        );
+    }
+}

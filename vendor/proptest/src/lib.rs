@@ -1,0 +1,132 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates-io access, so this workspace vendors
+//! the proptest API subset its property tests use. Differences from the
+//! real crate, by design:
+//!
+//! * **No shrinking.** A failing case is reported with the seed that
+//!   produced it; rerun with `PROPTEST_SEED=<seed>` to replay exactly that
+//!   input deterministically.
+//! * **Deterministic by default.** Each test derives its base seed from
+//!   its own path, so CI runs are reproducible. Set `PROPTEST_SEED` to
+//!   explore a different region, `PROPTEST_CASES` to scale case counts.
+//! * **Regression replay.** Seeds listed in
+//!   `<crate>/proptest-regressions/<test_name>.seeds` (one decimal `u64`
+//!   per line, `#` comments) run before the generated cases.
+//!
+//! Supported surface: `proptest!`, `prop_oneof!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`, [`Strategy`]
+//! (`prop_map`, `prop_filter`, `prop_flat_map`, `prop_recursive`,
+//! `boxed`), [`Just`], `any`, ranges and `&str` regexes as strategies,
+//! tuples up to 6, `prop::collection::{vec, btree_set}`,
+//! `prop::option::of`, [`ProptestConfig::with_cases`].
+
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    pub mod prop {
+        //! Mirrors the real crate's `prelude::prop` module alias.
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Runs the body as a property test over generated inputs.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u32..100, v in prop::collection::vec(any::<bool>(), 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // Internal expansion — must precede the catch-all rule, which would
+    // otherwise re-wrap `@cfg` invocations forever.
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run_cases(
+                env!("CARGO_MANIFEST_DIR"),
+                concat!(module_path!(), "::", stringify!($name)),
+                stringify!($name),
+                &__config,
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let __out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { { $body } ::std::result::Result::Ok(()) })();
+                    __out
+                },
+            );
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted or unweighted union of strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts within a property test (no shrinking, so plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Discards the current case (counts as neither pass nor failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

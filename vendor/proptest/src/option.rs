@@ -1,0 +1,47 @@
+//! Option strategies (`prop::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Option<S::Value>`, `Some` three times out of four
+/// (the real crate's default weighting).
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// Generates `Option`s over `inner`'s values.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_some_and_none() {
+        let mut rng = TestRng::new(11);
+        let strat = of(0u8..100);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..400 {
+            match strat.generate(&mut rng) {
+                Some(_) => some += 1,
+                None => none += 1,
+            }
+        }
+        assert!(some > 200 && none > 40, "some={some} none={none}");
+    }
+}

@@ -1,0 +1,528 @@
+//! Strategies: composable deterministic value generators (no shrinking).
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of test values.
+///
+/// Unlike the real crate there is no value tree: a strategy simply draws a
+/// value from the seeded [`TestRng`]. Failures replay by seed, not by
+/// shrinking.
+pub trait Strategy: 'static {
+    /// The generated type.
+    type Value: Debug + Clone + 'static;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Debug + Clone + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`. Panics if 1000 consecutive
+    /// draws are rejected (matching the real crate's global-reject abort).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Chains a dependent strategy.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + 'static,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds recursive structures: `recurse` receives the strategy for
+    /// the previous depth level and returns the composite level. `levels`
+    /// bounds nesting depth; the size hints are accepted for API
+    /// compatibility but depth alone bounds generation here.
+    fn prop_recursive<S2, F>(
+        self,
+        levels: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        S2: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..levels {
+            // Mix the leaf back in at every level so generated trees have
+            // plenty of terminals and bounded expected size.
+            level = Union::new(vec![(2, leaf.clone()), (1, recurse(level).boxed())]).boxed();
+        }
+        level
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe inner vtable for [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug + Clone + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Debug + Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug + Clone + 'static,
+    F: Fn(S::Value) -> U + 'static,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + 'static,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted 1000 draws: {}", self.reason);
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2 + 'static,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Weighted choice between strategies of one value type (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: Debug + Clone + 'static> Union<T> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof: all weights are zero");
+        Union { arms, total }
+    }
+}
+
+impl<T: Debug + Clone + 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, strat) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return strat.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+// ---- primitive strategies ----
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*}
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Debug + Clone + 'static {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T` (`any::<bool>()`, `any::<u64>()`...).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---- tuples ----
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                $(let $v = $s.generate(rng);)+
+                ($($v,)+)
+            }
+        }
+    }
+}
+impl_tuple_strategy!(S1 / v1);
+impl_tuple_strategy!(S1 / v1, S2 / v2);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5, S6 / v6);
+
+// ---- string regex strategies ----
+
+/// A `&'static str` is interpreted as a generation pattern over a small
+/// regex subset: literal characters, classes `[a-z0-9_]` (ranges and
+/// literals), and quantifiers `{m,n}`, `{n}`, `?`, `*`, `+` (the
+/// unbounded forms cap at 8 repeats).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+enum PatAtom {
+    Lit(char),
+    Class(Vec<(char, char)>),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut pending: Vec<char> = Vec::new();
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => {
+                for p in pending {
+                    ranges.push((p, p));
+                }
+                return ranges;
+            }
+            '-' if !pending.is_empty() && chars.peek().is_some_and(|n| *n != ']') => {
+                let lo = pending.pop().expect("peeked");
+                let hi = chars.next().expect("peeked");
+                ranges.push((lo, hi));
+            }
+            '\\' => {
+                let esc = chars.next().expect("dangling escape in pattern");
+                pending.push(esc);
+            }
+            other => pending.push(other),
+        }
+    }
+    panic!("unterminated character class in pattern");
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => PatAtom::Class(parse_class(&mut chars)),
+            '\\' => PatAtom::Lit(chars.next().expect("dangling escape in pattern")),
+            other => PatAtom::Lit(other),
+        };
+        let (lo, hi) = parse_quantifier(&mut chars);
+        let count = if lo == hi {
+            lo
+        } else {
+            rng.usize_in(lo, hi + 1)
+        };
+        for _ in 0..count {
+            match &atom {
+                PatAtom::Lit(ch) => out.push(*ch),
+                PatAtom::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(a, b)| u64::from(*b as u32) - u64::from(*a as u32) + 1)
+                        .sum();
+                    let mut pick = rng.below(total.max(1));
+                    for (a, b) in ranges {
+                        let span = u64::from(*b as u32) - u64::from(*a as u32) + 1;
+                        if pick < span {
+                            out.push(char::from_u32(*a as u32 + pick as u32).expect("class range"));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn ranges_and_just() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = (3u32..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            assert_eq!(Just(7u8).generate(&mut r), 7);
+        }
+    }
+
+    #[test]
+    fn map_filter_flat_map() {
+        let mut r = rng();
+        let even = (0u32..100).prop_map(|v| v * 2);
+        assert!(even.generate(&mut r) % 2 == 0);
+        let nonzero = (0u32..10).prop_filter("nonzero", |v| *v != 0);
+        for _ in 0..50 {
+            assert_ne!(nonzero.generate(&mut r), 0);
+        }
+        let dependent = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..10, n..n + 1));
+        for _ in 0..20 {
+            let v = dependent.generate(&mut r);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight_arms() {
+        let mut r = rng();
+        let u = Union::new(vec![(1, Just(1u8).boxed()), (3, Just(2u8).boxed())]);
+        let mut saw = [0u32; 3];
+        for _ in 0..200 {
+            saw[u.generate(&mut r) as usize] += 1;
+        }
+        assert!(saw[1] > 0 && saw[2] > saw[1]);
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().expect("nonempty").is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            let t = "[ -~]{0,8}".generate(&mut r);
+            assert!(t.len() <= 8);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn recursive_bounds_depth() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut r)) <= 4);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c) = ((0u8..4), Just("x"), (10i64..12)).generate(&mut r);
+        assert!(a < 4);
+        assert_eq!(b, "x");
+        assert!((10..12).contains(&c));
+    }
+}

@@ -1,0 +1,203 @@
+//! Case generation, seeding, and the failure/replay protocol.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Non-panicking test-case outcome: a discarded input (`prop_assume!`) or
+/// an explicit failure (`TestCaseError::fail`, usable with `?`).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The input does not apply; the case counts as neither pass nor fail.
+    Reject,
+    /// The property failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An explicit failure carrying `reason`.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+/// Per-test configuration (subset of the real crate's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic generator handed to strategies (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `n` (`n` must be non-zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty size range");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a over the test path: the deterministic base seed.
+fn base_seed(test_path: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn regression_seeds(manifest_dir: &str, test_name: &str) -> Vec<u64> {
+    let path = format!("{manifest_dir}/proptest-regressions/{test_name}.seeds");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| l.parse::<u64>().ok())
+        .collect()
+}
+
+/// Drives one property test: regression seeds first, then `cases`
+/// generated seeds (or exactly `PROPTEST_SEED` when set). On failure the
+/// seed is printed and the panic is rethrown, so the harness still reports
+/// the test as failed and the seed reproduces the input deterministically.
+pub fn run_cases<F>(
+    manifest_dir: &str,
+    test_path: &str,
+    test_name: &str,
+    config: &ProptestConfig,
+    mut case: F,
+) where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut run_one = |seed: u64, origin: &str| {
+        let mut rng = TestRng::new(seed);
+        let replay_note = || {
+            eprintln!(
+                "proptest: {test_path} failed ({origin}, seed = {seed}); \
+                 rerun with PROPTEST_SEED={seed} to replay this exact input"
+            );
+        };
+        match catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+            Ok(Ok(())) | Ok(Err(TestCaseError::Reject)) => {}
+            Ok(Err(TestCaseError::Fail(reason))) => {
+                replay_note();
+                panic!("property failed: {reason}");
+            }
+            Err(panic) => {
+                replay_note();
+                resume_unwind(panic);
+            }
+        }
+    };
+
+    if let Ok(fixed) = std::env::var("PROPTEST_SEED") {
+        let seed: u64 = fixed
+            .trim()
+            .parse()
+            .expect("PROPTEST_SEED must be a decimal u64");
+        run_one(seed, "PROPTEST_SEED");
+        return;
+    }
+
+    for seed in regression_seeds(manifest_dir, test_name) {
+        run_one(seed, "regression file");
+    }
+
+    let cases = match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v
+            .trim()
+            .parse::<u32>()
+            .expect("PROPTEST_CASES must be a u32"),
+        Err(_) => config.cases,
+    };
+    let base = base_seed(test_path);
+    for i in 0..u64::from(cases) {
+        // Spread seeds so neighbouring cases are uncorrelated.
+        run_one(
+            base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            "generated",
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(5);
+        let mut b = TestRng::new(5);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.usize_in(3, 9), b.usize_in(3, 9));
+    }
+
+    #[test]
+    fn base_seed_differs_by_path() {
+        assert_ne!(base_seed("a::b"), base_seed("a::c"));
+    }
+
+    #[test]
+    fn run_cases_runs_requested_count() {
+        let mut n = 0;
+        run_cases(
+            env!("CARGO_MANIFEST_DIR"),
+            "x::y",
+            "y",
+            &ProptestConfig::with_cases(17),
+            |_| {
+                n += 1;
+                Ok(())
+            },
+        );
+        // PROPTEST_CASES may scale this in exotic environments; by default
+        // it must be exactly the configured count.
+        if std::env::var("PROPTEST_CASES").is_err() && std::env::var("PROPTEST_SEED").is_err() {
+            assert_eq!(n, 17);
+        }
+    }
+}
