@@ -16,4 +16,7 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> nemesis smoke (fixed seed: MDS failover + OSD crash/replay)"
+cargo test -q --test nemesis_invariants smoke_fixed_seed
+
 echo "CI gate passed."

@@ -1,9 +1,11 @@
 //! Regenerates Figure 6 (sequencer throughput vs. quota).
 use mala_sim::SimDuration;
 fn main() {
-    let mut config = mala_bench::exp::fig6::Config::default();
     // Paper runs each configuration for two minutes.
-    config.duration = SimDuration::from_secs(120);
+    let config = mala_bench::exp::fig6::Config {
+        duration: SimDuration::from_secs(120),
+        ..Default::default()
+    };
     let data = mala_bench::exp::fig6::run(&config);
     print!("{}", mala_bench::exp::fig6::render(&data));
 }

@@ -1,8 +1,10 @@
 //! Regenerates Figure 7 (latency CDFs; same sweep as Figure 6).
 use mala_sim::SimDuration;
 fn main() {
-    let mut config = mala_bench::exp::fig6::Config::default();
-    config.duration = SimDuration::from_secs(120);
+    let config = mala_bench::exp::fig6::Config {
+        duration: SimDuration::from_secs(120),
+        ..Default::default()
+    };
     let data = mala_bench::exp::fig6::run(&config);
     print!("{}", mala_bench::exp::fig6::render_fig7(&data));
 }

@@ -1,8 +1,10 @@
 //! Regenerates Figure 8 (interface-update propagation latency CDF).
 fn main() {
-    let mut config = mala_bench::exp::fig8::Config::default();
     // Paper: 1000 updates observed.
-    config.updates = 1000;
+    let config = mala_bench::exp::fig8::Config {
+        updates: 1000,
+        ..Default::default()
+    };
     let data = mala_bench::exp::fig8::run(&config);
     print!("{}", mala_bench::exp::fig8::render(&data, &config));
 }

@@ -1,7 +1,23 @@
-//! Runs the nemesis availability experiment: append throughput/latency
-//! before, during, and after an OSD crash plus a sequencer failover.
+//! Runs the nemesis availability experiments: append throughput/latency
+//! through an OSD crash plus a manual sequencer failover, then through an
+//! unannounced MDS crash recovered by beacon detection and standby
+//! takeover (`sequencer-failover` scenario).
 fn main() {
-    let config = mala_bench::exp::nemesis::Config::default();
-    let data = mala_bench::exp::nemesis::run(&config);
-    print!("{}", mala_bench::exp::nemesis::render(&data));
+    let scenario = std::env::args().nth(1);
+    match scenario.as_deref() {
+        Some("sequencer-failover") => {
+            let config = mala_bench::exp::nemesis::FailoverConfig::default();
+            let data = mala_bench::exp::nemesis::run_failover(&config);
+            print!("{}", mala_bench::exp::nemesis::render_failover(&data));
+        }
+        Some("availability") | None => {
+            let config = mala_bench::exp::nemesis::Config::default();
+            let data = mala_bench::exp::nemesis::run(&config);
+            print!("{}", mala_bench::exp::nemesis::render(&data));
+        }
+        Some(other) => {
+            eprintln!("unknown scenario {other:?}; use availability or sequencer-failover");
+            std::process::exit(2);
+        }
+    }
 }

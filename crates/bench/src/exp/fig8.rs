@@ -63,8 +63,10 @@ pub struct Data {
 }
 
 fn build(config: &Config, proposal_interval: SimDuration) -> Cluster {
-    let mut mon_config = MonConfig::default();
-    mon_config.proposal_interval = proposal_interval;
+    let mon_config = MonConfig {
+        proposal_interval,
+        ..MonConfig::default()
+    };
     let subscribe_cutoff = (f64::from(config.osds) * config.subscriber_fraction).ceil() as u32;
     // ClusterBuilder applies one OsdConfig to all OSDs; for split
     // subscription we build the cluster with subscribers disabled and
@@ -77,8 +79,10 @@ fn build(config: &Config, proposal_interval: SimDuration) -> Cluster {
     // ON for everyone when the fraction is 1.0, otherwise OFF for
     // everyone and manually subscribe the first group by injecting
     // subscription messages (equivalent wire behaviour).
-    let mut osd_config = OsdConfig::default();
-    osd_config.subscribe_to_monitor = false;
+    let osd_config = OsdConfig {
+        subscribe_to_monitor: false,
+        ..OsdConfig::default()
+    };
     let mut cluster = ClusterBuilder::new()
         .monitors(3)
         .osds(config.osds)

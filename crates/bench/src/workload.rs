@@ -111,8 +111,10 @@ impl SeqBench {
     /// does not start) the workload clients.
     pub fn build(cfg: SeqBenchCfg) -> SeqBench {
         let balancer = cfg.balancer.clone();
-        let mut mds_config = MdsConfig::default();
-        mds_config.balance_interval = cfg.balance_interval;
+        let mds_config = MdsConfig {
+            balance_interval: cfg.balance_interval,
+            ..MdsConfig::default()
+        };
         let mut builder = ClusterBuilder::new()
             .monitors(1)
             .osds(cfg.osds)

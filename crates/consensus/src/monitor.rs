@@ -130,6 +130,14 @@ pub enum MonMsg {
         /// The message.
         line: String,
     },
+    /// Periodic MDS liveness beacon. Active ranks send `Some(rank)`;
+    /// standby daemons send `None`, which doubles as standby registration:
+    /// the leader commits a `standby.<node>` entry into the MDS map so a
+    /// later failover can promote the node into a vacant rank.
+    MdsBeacon {
+        /// The rank the sender currently serves, or `None` for a standby.
+        rank: Option<u32>,
+    },
 }
 
 /// Peer-to-peer wrapper so the sim can route Paxos traffic.
@@ -146,6 +154,9 @@ pub struct MonConfig {
     pub heartbeat_interval: SimDuration,
     /// Follower patience before campaigning.
     pub election_timeout: SimDuration,
+    /// How long an MDS may go without beaconing before the leader marks
+    /// its rank down and promotes a standby.
+    pub mds_beacon_grace: SimDuration,
 }
 
 impl Default for MonConfig {
@@ -154,6 +165,7 @@ impl Default for MonConfig {
             proposal_interval: SimDuration::from_secs(1),
             heartbeat_interval: SimDuration::from_millis(250),
             election_timeout: SimDuration::from_millis(1500),
+            mds_beacon_grace: SimDuration::from_millis(1000),
         }
     }
 }
@@ -164,6 +176,12 @@ type MapDelta = (String, Option<Vec<u8>>);
 const TIMER_PROPOSAL: u64 = 1;
 const TIMER_HEARTBEAT: u64 = 2;
 const TIMER_ELECTION: u64 = 3;
+const TIMER_MDS_LIVENESS: u64 = 4;
+
+/// Seq namespace for transactions the leader originates itself (MDS
+/// liveness actions); keeps their txids clear of harness-injected seqs,
+/// which share the monitor's own NodeId as submitter.
+const SELF_SEQ_BASE: u64 = 1 << 32;
 
 /// The monitor daemon actor.
 pub struct Monitor {
@@ -186,6 +204,16 @@ pub struct Monitor {
     last_leader_contact: SimTime,
     /// The central cluster log: `(when, source, line)`.
     cluster_log: Vec<(SimTime, String, String)>,
+    /// Last beacon received per MDS node. Only nodes that have beaconed at
+    /// least once are subject to liveness reaping, so harnesses that build
+    /// synthetic MDS maps without live daemons are left alone.
+    mds_beacons: HashMap<NodeId, SimTime>,
+    /// Per-mdsmap-key proposal debounce: when the reaper last proposed a
+    /// change for this key (avoids re-proposing while a commit is in
+    /// flight).
+    mds_proposed: HashMap<String, SimTime>,
+    /// Next self-originated seq (see [`SELF_SEQ_BASE`]).
+    self_seq: u64,
 }
 
 impl Monitor {
@@ -205,6 +233,9 @@ impl Monitor {
             subs: HashMap::new(),
             last_leader_contact: SimTime::ZERO,
             cluster_log: Vec::new(),
+            mds_beacons: HashMap::new(),
+            mds_proposed: HashMap::new(),
+            self_seq: SELF_SEQ_BASE,
         }
     }
 
@@ -354,6 +385,142 @@ impl Monitor {
             entries: BTreeMap::new(),
         })
     }
+
+    /// Queues a self-originated transaction (MDS liveness action) for the
+    /// next proposal interval. Acks come back to this monitor and are
+    /// ignored.
+    fn submit_self(&mut self, updates: Vec<MapUpdate>) {
+        let me = self.peers[self.rank as usize];
+        let seq = self.self_seq;
+        self.self_seq += 1;
+        self.pending.push((me, seq, updates));
+    }
+
+    /// MDS liveness reaping (leader only): ranks whose daemons have gone
+    /// silent past the beacon grace are marked down with a Paxos-committed
+    /// MDS-map epoch bump, and a registered standby — if one is alive — is
+    /// promoted into the vacant rank.
+    fn reap_mds(&mut self, ctx: &mut Context<'_>) {
+        if !self.paxos.is_leader() {
+            return;
+        }
+        let now = ctx.now();
+        let grace = self.config.mds_beacon_grace;
+        let fresh = |beacons: &HashMap<NodeId, SimTime>, node: NodeId| {
+            beacons
+                .get(&node)
+                .is_some_and(|at| now.saturating_since(*at) < grace)
+        };
+        // Parse the committed mdsmap (same wire format as MdsMapView, which
+        // lives upstack in mala-mds): `mds.<rank>` -> `node=<N>,up=<0|1>`,
+        // `standby.<node>` -> registered standby daemons.
+        let snap = self.snapshot_or_empty(SERVICE_MAP_MDS);
+        let mut ranks: Vec<(u32, NodeId, bool)> = Vec::new();
+        let mut standbys: Vec<NodeId> = Vec::new();
+        for (key, value) in &snap.entries {
+            if let Some(rank) = key.strip_prefix("mds.").and_then(|r| r.parse().ok()) {
+                let text = String::from_utf8_lossy(value);
+                let mut node = None;
+                let mut up = false;
+                for field in text.split(',') {
+                    match field.split_once('=') {
+                        Some(("node", n)) => node = n.parse().ok().map(NodeId),
+                        Some(("up", u)) => up = u == "1",
+                        _ => {}
+                    }
+                }
+                if let Some(node) = node {
+                    ranks.push((rank, node, up));
+                }
+            } else if let Some(node) = key.strip_prefix("standby.").and_then(|n| n.parse().ok()) {
+                standbys.push(NodeId(node));
+            }
+        }
+        standbys.retain(|n| fresh(&self.mds_beacons, *n));
+        let mut actions: Vec<(u32, Vec<MapUpdate>, String)> = Vec::new();
+        for (rank, node, up) in ranks {
+            let key = format!("mds.{rank}");
+            if self
+                .mds_proposed
+                .get(&key)
+                .is_some_and(|at| now.saturating_since(*at) < grace)
+            {
+                continue;
+            }
+            let silent = self.mds_beacons.contains_key(&node) && !fresh(&self.mds_beacons, node);
+            if up && !silent {
+                continue;
+            }
+            if !up && standbys.is_empty() {
+                continue;
+            }
+            let mut updates = Vec::new();
+            let line;
+            if let Some(standby) = standbys.pop() {
+                updates.push(MapUpdate::set(
+                    SERVICE_MAP_MDS,
+                    &key,
+                    format!("node={},up=1", standby.0).into_bytes(),
+                ));
+                updates.push(MapUpdate::del(
+                    SERVICE_MAP_MDS,
+                    &format!("standby.{}", standby.0),
+                ));
+                line = format!("mds.{rank} on {node} failed; promoting standby {standby}");
+                ctx.metrics().incr("mon.mds_failovers", 1);
+            } else {
+                updates.push(MapUpdate::set(
+                    SERVICE_MAP_MDS,
+                    &key,
+                    format!("node={},up=0", node.0).into_bytes(),
+                ));
+                line = format!("mds.{rank} on {node} missed beacons; marked down (no standby)");
+                ctx.metrics().incr("mon.mds_marked_down", 1);
+            }
+            actions.push((rank, updates, line));
+        }
+        for (rank, updates, line) in actions {
+            self.mds_proposed.insert(format!("mds.{rank}"), now);
+            self.cluster_log
+                .push((now, format!("mon.{}", self.rank), line));
+            self.submit_self(updates);
+        }
+    }
+
+    /// Standby registration: a beaconing standby not yet in the map gets a
+    /// `standby.<node>` entry committed (leader only).
+    fn register_standby(&mut self, ctx: &mut Context<'_>, node: NodeId) {
+        if !self.paxos.is_leader() {
+            return;
+        }
+        let now = ctx.now();
+        let key = format!("standby.{}", node.0);
+        if self
+            .mds_proposed
+            .get(&key)
+            .is_some_and(|at| now.saturating_since(*at) < self.config.mds_beacon_grace)
+        {
+            return;
+        }
+        let snap = self.snapshot_or_empty(SERVICE_MAP_MDS);
+        if snap.entries.contains_key(&key) {
+            return;
+        }
+        // A node already holding a rank (e.g. just promoted, beacon not yet
+        // switched over) must not be double-registered as a standby.
+        let holds_rank = snap.entries.iter().any(|(k, v)| {
+            k.starts_with("mds.")
+                && String::from_utf8_lossy(v)
+                    .split(',')
+                    .any(|f| f == format!("node={}", node.0))
+        });
+        if holds_rank {
+            return;
+        }
+        self.mds_proposed.insert(key.clone(), now);
+        self.submit_self(vec![MapUpdate::set(SERVICE_MAP_MDS, &key, b"1".to_vec())]);
+        ctx.metrics().incr("mon.mds_standbys_registered", 1);
+    }
 }
 
 impl Actor for Monitor {
@@ -369,6 +536,7 @@ impl Actor for Monitor {
             self.ship(ctx, out);
         }
         ctx.set_timer(patience, TIMER_ELECTION);
+        ctx.set_timer(self.config.mds_beacon_grace.div(2), TIMER_MDS_LIVENESS);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Box<dyn Any>) {
@@ -412,6 +580,13 @@ impl Actor for Monitor {
             MonMsg::ClusterLog { source, line } => {
                 ctx.metrics().incr("mon.cluster_log_lines", 1);
                 self.cluster_log.push((ctx.now(), source, line));
+            }
+            MonMsg::MdsBeacon { rank } => {
+                ctx.metrics().incr("mon.mds_beacons", 1);
+                self.mds_beacons.insert(from, ctx.now());
+                if rank.is_none() {
+                    self.register_standby(ctx, from);
+                }
             }
             MonMsg::SubmitAck { .. } | MonMsg::Snapshot(_) | MonMsg::Changed { .. } => {}
         }
@@ -469,6 +644,10 @@ impl Actor for Monitor {
                 }
                 ctx.set_timer(patience, TIMER_ELECTION);
             }
+            TIMER_MDS_LIVENESS => {
+                self.reap_mds(ctx);
+                ctx.set_timer(self.config.mds_beacon_grace.div(2), TIMER_MDS_LIVENESS);
+            }
             _ => {}
         }
     }
@@ -484,8 +663,11 @@ mod tests {
     struct TestClient {
         acks: Vec<(u64, Vec<(String, u64)>)>,
         snapshots: Vec<MapSnapshot>,
-        changes: Vec<(String, u64, Vec<(String, Option<Vec<u8>>)>)>,
+        changes: Vec<ChangedNotice>,
     }
+
+    /// `(map, epoch, delta)` from a `MonMsg::Changed` notification.
+    type ChangedNotice = (String, u64, Vec<(String, Option<Vec<u8>>)>);
 
     impl Actor for TestClient {
         fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, msg: Box<dyn Any>) {
@@ -713,8 +895,10 @@ mod tests {
     #[test]
     fn shorter_proposal_interval_lowers_commit_latency() {
         let commit_latency = |interval_ms: u64| -> f64 {
-            let mut config = MonConfig::default();
-            config.proposal_interval = SimDuration::from_millis(interval_ms);
+            let config = MonConfig {
+                proposal_interval: SimDuration::from_millis(interval_ms),
+                ..MonConfig::default()
+            };
             let mut sim = build(3, config);
             sim.run_for(SimDuration::from_millis(500));
             let t0 = sim.now();

@@ -7,17 +7,18 @@
 //! * monitors: `0 .. n_mon`
 //! * OSDs: `10 .. 10 + n_osd`
 //! * MDS ranks: `1000 .. 1000 + n_mds`
+//! * standby MDS daemons: `1500 .. 1500 + n_standby`
 //! * clients (added by harnesses): `2000 ..`
 
 use mala_consensus::{MonConfig, MonMsg, Monitor};
-use mala_mds::server::Mds;
+use mala_mds::server::{Mds, STANDBY_RANK};
 use mala_mds::{Balancer, MdsConfig, MdsMapView, NoBalancer};
 use mala_rados::client::request;
 use mala_rados::{
     JournalSet, ObjectId, OpResult, Osd, OsdConfig, OsdError, OsdMapView, PoolInfo, RadosClient,
     Transaction,
 };
-use mala_sim::{NetConfig, Network, NodeId, Sim, SimDuration};
+use mala_sim::{FaultTargets, NetConfig, Network, NodeId, Sim, SimDuration};
 
 /// Factory producing each rank's balancer (ranks may run different
 /// policies, though in practice they share one).
@@ -28,6 +29,7 @@ pub struct ClusterBuilder {
     monitors: u32,
     osds: u32,
     mds_ranks: u32,
+    standby_mds: u32,
     pools: Vec<(String, PoolInfo)>,
     mon_config: MonConfig,
     osd_config: OsdConfig,
@@ -45,6 +47,7 @@ impl ClusterBuilder {
             monitors: 1,
             osds: 0,
             mds_ranks: 0,
+            standby_mds: 0,
             pools: Vec::new(),
             mon_config: MonConfig::default(),
             osd_config: OsdConfig::default(),
@@ -71,6 +74,13 @@ impl ClusterBuilder {
     /// Number of MDS ranks.
     pub fn mds_ranks(mut self, n: u32) -> Self {
         self.mds_ranks = n;
+        self
+    }
+
+    /// Number of standby MDS daemons (promoted by the monitor into ranks
+    /// it marks down).
+    pub fn standby_mds(mut self, n: u32) -> Self {
+        self.standby_mds = n;
         self
     }
 
@@ -154,6 +164,16 @@ impl ClusterBuilder {
                 ),
             );
         }
+        for i in 0..self.standby_mds {
+            sim.add_node(
+                NodeId(1500 + i),
+                Mds::standby(
+                    mon,
+                    self.mds_config.clone(),
+                    (self.balancer_factory)(STANDBY_RANK),
+                ),
+            );
+        }
         for i in 0..self.rados_clients {
             sim.add_node(NodeId(2000 + i), RadosClient::new(mon));
         }
@@ -176,6 +196,7 @@ impl ClusterBuilder {
             monitors: self.monitors,
             osds: self.osds,
             mds_ranks: self.mds_ranks,
+            standby_mds: self.standby_mds,
             rados_clients: self.rados_clients,
             next_client: 2000 + self.rados_clients,
             next_mon_seq: 2,
@@ -202,6 +223,7 @@ pub struct Cluster {
     monitors: u32,
     osds: u32,
     mds_ranks: u32,
+    standby_mds: u32,
     rados_clients: u32,
     next_client: u32,
     next_mon_seq: u64,
@@ -232,6 +254,34 @@ impl Cluster {
     /// The rank → node table (for clients that follow redirects).
     pub fn mds_nodes(&self) -> std::collections::HashMap<u32, NodeId> {
         (0..self.mds_ranks).map(|r| (r, NodeId(1000 + r))).collect()
+    }
+
+    /// Node of standby MDS `i`.
+    pub fn standby_node(&self, i: u32) -> NodeId {
+        assert!(i < self.standby_mds, "standby {i} out of range");
+        NodeId(1500 + i)
+    }
+
+    /// Fault targets for [`mala_sim::FaultSchedule::random_cluster`]:
+    /// every OSD, every MDS rank node, every monitor. Standbys are left
+    /// out so a schedule cannot kill the failover path it is testing.
+    pub fn fault_targets(&self) -> FaultTargets {
+        FaultTargets {
+            osds: (0..self.osds).map(|i| NodeId(10 + i)).collect(),
+            mds: (0..self.mds_ranks).map(|r| NodeId(1000 + r)).collect(),
+            monitors: (0..self.monitors).map(NodeId).collect(),
+        }
+    }
+
+    /// Role label for a node under this builder's id layout; pairs with
+    /// [`mala_sim::Nemesis::with_labels`] for per-role fault metrics.
+    pub fn node_role(node: NodeId) -> &'static str {
+        match node.0 {
+            0..=9 => "mon",
+            10..=999 => "osd",
+            1000..=1999 => "mds",
+            _ => "client",
+        }
     }
 
     /// Node of pre-created RADOS client `i`.

@@ -72,6 +72,22 @@ impl CapState {
         }
     }
 
+    /// Creates the reconnect-window state a promoted standby installs for a
+    /// capability its predecessor had granted: `holder` is presumed to still
+    /// cache the state, a recall is considered outstanding as of `now`, and
+    /// the [`HOLDER_TIMEOUT`] clock is already running — a holder that never
+    /// reasserts itself is evicted by the ordinary `on_tick` path.
+    pub fn reconnect(policy: CapPolicy, holder: NodeId, now: SimTime) -> CapState {
+        CapState {
+            policy,
+            holder: Some(holder),
+            granted_at: now,
+            recall_sent: Some(now),
+            first_recall_at: Some(now),
+            waiters: VecDeque::new(),
+        }
+    }
+
     /// The active policy.
     pub fn policy(&self) -> CapPolicy {
         self.policy
@@ -161,7 +177,11 @@ impl CapState {
         let Some(holder) = self.holder else {
             return Vec::new();
         };
-        if self.waiters.is_empty() {
+        // With no waiters and no recall round in progress there is nothing
+        // to do. A recall round without waiters still runs its course: the
+        // reconnect window after failover recalls every journaled holder
+        // regardless of contention, and silence must end in eviction.
+        if self.waiters.is_empty() && self.recall_sent.is_none() {
             return Vec::new();
         }
         if let Some(sent_at) = self.recall_sent {
@@ -345,6 +365,30 @@ mod tests {
             now += 1;
         }
         assert_eq!(order, vec![A, B, A, B, A, B, A]);
+    }
+
+    #[test]
+    fn reconnect_state_evicts_silent_holder_without_waiters() {
+        let mut cap = CapState::reconnect(CapPolicy::best_effort(), A, t(0));
+        assert_eq!(cap.holder(), Some(A));
+        // Recalls are re-sent while the holder stays silent ...
+        assert_eq!(cap.on_tick(t(100)), vec![CapAction::Recall { from: A }]);
+        // ... and silence past the holder timeout ends in eviction even
+        // though nobody is waiting.
+        assert!(cap.on_tick(t(1600)).is_empty());
+        assert_eq!(cap.holder(), None);
+    }
+
+    #[test]
+    fn reconnect_state_accepts_reasserting_holder() {
+        let mut cap = CapState::reconnect(CapPolicy::best_effort(), A, t(0));
+        // The holder reasserts by re-requesting: granted in place.
+        assert_eq!(cap.request(A, t(50)), vec![CapAction::Grant { to: A }]);
+        assert_eq!(cap.holder(), Some(A));
+        assert!(
+            cap.on_tick(t(2000)).is_empty(),
+            "no eviction after reassert"
+        );
     }
 
     #[test]

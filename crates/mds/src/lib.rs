@@ -35,6 +35,6 @@ pub mod types;
 pub use balancer::{BalanceView, Balancer, CephFsBalancer, CephFsMode, Export, NoBalancer};
 pub use caps::{CapPolicy, CapState};
 pub use mdsmap::MdsMapView;
-pub use namespace::{Inode, Namespace};
-pub use server::{Mds, MdsConfig, MdsCostModel};
-pub use types::{FileType, Ino, MdsMsg, ServeStyle};
+pub use namespace::{Inode, Namespace, ReplayState, SeqLayout};
+pub use server::{Mds, MdsConfig, MdsCostModel, STANDBY_RANK};
+pub use types::{FileType, Ino, MdsError, MdsMsg, ServeStyle};

@@ -22,6 +22,9 @@ pub struct MdsMapView {
     pub epoch: u64,
     /// Rank → entry.
     pub ranks: BTreeMap<u32, MdsEntry>,
+    /// Registered standby daemons, ascending by node id. Promotion moves a
+    /// node from here into `ranks`.
+    pub standbys: Vec<NodeId>,
 }
 
 impl MdsMapView {
@@ -33,6 +36,12 @@ impl MdsMapView {
             ..Default::default()
         };
         for (key, value) in &snap.entries {
+            if let Some(node) = key.strip_prefix("standby.") {
+                if let Ok(node) = node.parse::<u32>() {
+                    view.standbys.push(NodeId(node));
+                }
+                continue;
+            }
             let Some(rank) = key.strip_prefix("mds.") else {
                 continue;
             };
@@ -53,6 +62,7 @@ impl MdsMapView {
                 view.ranks.insert(rank, MdsEntry { node, up });
             }
         }
+        view.standbys.sort_unstable();
         view
     }
 
@@ -70,6 +80,15 @@ impl MdsMapView {
             .collect()
     }
 
+    /// The rank a node currently serves (up entries only), if any. Used by
+    /// a standby to detect its own promotion.
+    pub fn rank_of(&self, node: NodeId) -> Option<u32> {
+        self.ranks
+            .iter()
+            .find(|(_, e)| e.up && e.node == node)
+            .map(|(r, _)| *r)
+    }
+
     /// Builds the monitor update registering a rank.
     pub fn update_rank(rank: u32, node: NodeId, up: bool) -> MapUpdate {
         MapUpdate::set(
@@ -77,6 +96,20 @@ impl MdsMapView {
             &format!("mds.{rank}"),
             format!("node={},up={}", node.0, u8::from(up)).into_bytes(),
         )
+    }
+
+    /// Builds the monitor update registering a standby daemon.
+    pub fn update_standby(node: NodeId) -> MapUpdate {
+        MapUpdate::set(
+            SERVICE_MAP_MDS,
+            &format!("standby.{}", node.0),
+            b"1".to_vec(),
+        )
+    }
+
+    /// Builds the monitor update dropping a standby registration.
+    pub fn remove_standby(node: NodeId) -> MapUpdate {
+        MapUpdate::del(SERVICE_MAP_MDS, &format!("standby.{}", node.0))
     }
 }
 

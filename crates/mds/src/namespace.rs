@@ -9,6 +9,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use mala_sim::NodeId;
+
 use crate::types::{FileType, Ino, MdsError, ROOT_INO};
 
 /// One inode.
@@ -178,12 +180,6 @@ impl Namespace {
     }
 }
 
-impl Default for Namespace {
-    fn default() -> Self {
-        Namespace::new()
-    }
-}
-
 /// A journal record: one namespace mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JournalEntry {
@@ -206,6 +202,37 @@ pub enum JournalEntry {
         /// New embedded value.
         value: u64,
     },
+    /// A capability was granted: `holder` now caches the inode's state.
+    /// A failover replayer uses this to rebuild the reconnect set.
+    CapGrant {
+        /// Target inode.
+        ino: Ino,
+        /// Holder node.
+        holder: NodeId,
+    },
+    /// The capability on `ino` was released or its holder evicted.
+    CapDrop {
+        /// Target inode.
+        ino: Ino,
+    },
+    /// The Mantle balancer-policy version active when journaled.
+    MantleVersion {
+        /// Policy pointer epoch.
+        version: u64,
+    },
+    /// Storage layout of a sequencer's log (registered by the zlog client)
+    /// so a promoted standby can seal the right objects.
+    SeqLayout {
+        /// The sequencer inode.
+        ino: Ino,
+        /// Stripe width.
+        stripe_width: u32,
+        /// RADOS pool.
+        pool: String,
+        /// Log name (objects `<name>.<stripe>`; kept last in the encoding
+        /// because it may contain spaces).
+        name: String,
+    },
 }
 
 impl JournalEntry {
@@ -219,6 +246,15 @@ impl JournalEntry {
                 ftype,
             } => format!("C {ino} {parent} {} {name}\n", ftype.name()),
             JournalEntry::SetEmbedded { ino, value } => format!("E {ino} {value}\n"),
+            JournalEntry::CapGrant { ino, holder } => format!("G {ino} {}\n", holder.0),
+            JournalEntry::CapDrop { ino } => format!("R {ino}\n"),
+            JournalEntry::MantleVersion { version } => format!("M {version}\n"),
+            JournalEntry::SeqLayout {
+                ino,
+                stripe_width,
+                pool,
+                name,
+            } => format!("L {ino} {stripe_width} {pool} {name}\n"),
         }
     }
 
@@ -247,14 +283,79 @@ impl JournalEntry {
                 let value = parts.next()?.parse().ok()?;
                 Some(JournalEntry::SetEmbedded { ino, value })
             }
+            "G" => {
+                let ino = parts.next()?.parse().ok()?;
+                let holder = NodeId(parts.next()?.parse().ok()?);
+                Some(JournalEntry::CapGrant { ino, holder })
+            }
+            "R" => {
+                let ino = parts.next()?.parse().ok()?;
+                Some(JournalEntry::CapDrop { ino })
+            }
+            "M" => {
+                let version = parts.next()?.parse().ok()?;
+                Some(JournalEntry::MantleVersion { version })
+            }
+            "L" => {
+                let ino = parts.next()?.parse().ok()?;
+                let stripe_width = parts.next()?.parse().ok()?;
+                let pool = parts.next()?.to_string();
+                let name = parts.collect::<Vec<_>>().join(" ");
+                if name.is_empty() {
+                    return None;
+                }
+                Some(JournalEntry::SeqLayout {
+                    ino,
+                    stripe_width,
+                    pool,
+                    name,
+                })
+            }
             _ => None,
         }
     }
 }
 
+/// Storage layout of a sequencer's backing log, as journaled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqLayout {
+    /// RADOS pool.
+    pub pool: String,
+    /// Log name (objects `<name>.<stripe>`).
+    pub name: String,
+    /// Stripe width.
+    pub stripe_width: u32,
+}
+
+/// Everything a promoted standby learns from replaying a rank's journal.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayState {
+    /// The rebuilt namespace.
+    pub namespace: Namespace,
+    /// Capabilities outstanding at the time of the crash: ino → holder.
+    /// These seed the reconnect window.
+    pub cap_holders: HashMap<Ino, NodeId>,
+    /// Registered sequencer layouts: ino → backing log.
+    pub layouts: HashMap<Ino, SeqLayout>,
+    /// Last journaled Mantle policy version (0 = never journaled).
+    pub mantle_version: u64,
+}
+
+impl Default for Namespace {
+    fn default() -> Self {
+        Namespace::new()
+    }
+}
+
 /// Replays a journal blob into a fresh namespace.
 pub fn replay_journal(data: &[u8]) -> Namespace {
-    let mut ns = Namespace::new();
+    replay_journal_full(data).namespace
+}
+
+/// Replays a journal blob, recovering namespace, cap holders, sequencer
+/// layouts, and the Mantle policy version.
+pub fn replay_journal_full(data: &[u8]) -> ReplayState {
+    let mut state = ReplayState::default();
     for line in String::from_utf8_lossy(data).lines() {
         match JournalEntry::decode(line) {
             Some(JournalEntry::Create {
@@ -263,17 +364,41 @@ pub fn replay_journal(data: &[u8]) -> Namespace {
                 name,
                 ftype,
             }) => {
-                let _ = ns.apply_create(ino, parent, &name, ftype);
+                let _ = state.namespace.apply_create(ino, parent, &name, ftype);
             }
             Some(JournalEntry::SetEmbedded { ino, value }) => {
-                if let Some(inode) = ns.get_mut(ino) {
+                if let Some(inode) = state.namespace.get_mut(ino) {
                     inode.embedded = value;
                 }
+            }
+            Some(JournalEntry::CapGrant { ino, holder }) => {
+                state.cap_holders.insert(ino, holder);
+            }
+            Some(JournalEntry::CapDrop { ino }) => {
+                state.cap_holders.remove(&ino);
+            }
+            Some(JournalEntry::MantleVersion { version }) => {
+                state.mantle_version = version;
+            }
+            Some(JournalEntry::SeqLayout {
+                ino,
+                stripe_width,
+                pool,
+                name,
+            }) => {
+                state.layouts.insert(
+                    ino,
+                    SeqLayout {
+                        pool,
+                        name,
+                        stripe_width,
+                    },
+                );
             }
             None => {}
         }
     }
-    ns
+    state
 }
 
 #[cfg(test)]
@@ -335,6 +460,18 @@ mod tests {
                 ftype: FileType::Sequencer,
             },
             JournalEntry::SetEmbedded { ino: 3, value: 42 },
+            JournalEntry::CapGrant {
+                ino: 3,
+                holder: NodeId(2001),
+            },
+            JournalEntry::CapDrop { ino: 3 },
+            JournalEntry::MantleVersion { version: 7 },
+            JournalEntry::SeqLayout {
+                ino: 3,
+                stripe_width: 4,
+                pool: "logpool".into(),
+                name: "mylog".into(),
+            },
         ];
         for e in &entries {
             let line = e.encode();
@@ -382,6 +519,53 @@ mod tests {
         let mut replayed = replayed;
         let fresh = replayed.create(ROOT_INO, "new", FileType::Regular).unwrap();
         assert!(fresh > seq);
+    }
+
+    #[test]
+    fn full_replay_recovers_caps_layouts_and_mantle() {
+        let mut blob = String::new();
+        blob.push_str(
+            &JournalEntry::Create {
+                ino: 2,
+                parent: ROOT_INO,
+                name: "s".into(),
+                ftype: FileType::Sequencer,
+            }
+            .encode(),
+        );
+        blob.push_str(
+            &JournalEntry::SeqLayout {
+                ino: 2,
+                stripe_width: 4,
+                pool: "logpool".into(),
+                name: "mylog".into(),
+            }
+            .encode(),
+        );
+        blob.push_str(
+            &JournalEntry::CapGrant {
+                ino: 2,
+                holder: NodeId(2000),
+            }
+            .encode(),
+        );
+        blob.push_str(&JournalEntry::CapDrop { ino: 2 }.encode());
+        blob.push_str(
+            &JournalEntry::CapGrant {
+                ino: 2,
+                holder: NodeId(2001),
+            }
+            .encode(),
+        );
+        blob.push_str(&JournalEntry::MantleVersion { version: 3 }.encode());
+        let state = replay_journal_full(blob.as_bytes());
+        assert_eq!(state.namespace.resolve("/s"), Ok(2));
+        assert_eq!(state.cap_holders.get(&2), Some(&NodeId(2001)));
+        assert_eq!(state.mantle_version, 3);
+        let layout = &state.layouts[&2];
+        assert_eq!(layout.pool, "logpool");
+        assert_eq!(layout.name, "mylog");
+        assert_eq!(layout.stripe_width, 4);
     }
 
     #[test]

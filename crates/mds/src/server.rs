@@ -76,8 +76,16 @@ pub struct MdsConfig {
     pub cap_tick: SimDuration,
     /// Journal namespace mutations to RADOS.
     pub journal: bool,
+    /// Group-commit mode: flush the journal synchronously on every
+    /// mutation and withhold the client's ack until the store confirms
+    /// the append. Guarantees a failover replay reproduces every *acked*
+    /// mutation (at the price of one RADOS round trip per create).
+    pub journal_sync: bool,
     /// Pool holding MDS metadata objects (journal, Mantle policies).
     pub meta_pool: String,
+    /// How often this daemon beacons the monitor (liveness; standby
+    /// daemons also register through beacons).
+    pub beacon_interval: SimDuration,
 }
 
 impl Default for MdsConfig {
@@ -87,7 +95,9 @@ impl Default for MdsConfig {
             balance_interval: SimDuration::from_secs(10),
             cap_tick: SimDuration::from_millis(10),
             journal: false,
+            journal_sync: false,
             meta_pool: "meta".to_string(),
+            beacon_interval: SimDuration::from_millis(250),
         }
     }
 }
@@ -107,6 +117,38 @@ const TIMER_BALANCE: u64 = 1;
 const TIMER_CAP: u64 = 2;
 const TIMER_JOURNAL: u64 = 3;
 const TIMER_MANTLE_TIMEOUT: u64 = 4;
+const TIMER_BEACON: u64 = 5;
+const TIMER_SEAL: u64 = 6;
+
+/// Rank sentinel of a standby daemon (it serves nothing until promoted).
+pub const STANDBY_RANK: u32 = u32::MAX;
+
+/// The monitor map carrying ZLog epochs. The MDS drives the seal protocol
+/// against it during sequencer takeover; the name is part of the ZLog wire
+/// contract, like [`FileType::Sequencer`] itself.
+const ZLOG_EPOCH_MAP: &str = "zlog";
+
+/// Progress of the seal/maxpos protocol one promoted MDS runs for one
+/// sequencer inode before it may issue positions again.
+#[derive(Debug, Clone)]
+struct SealRecovery {
+    layout: crate::namespace::SeqLayout,
+    stage: SealStage,
+    /// Per-stripe maxpos, `None` until that stripe answered.
+    maxpos: Vec<Option<i64>>,
+    /// The epoch this recovery is installing.
+    new_epoch: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SealStage {
+    /// Waiting for the current epoch from the monitor's zlog map.
+    GetEpoch,
+    /// Epoch bump submitted; waiting for the Paxos commit.
+    AwaitCommit,
+    /// Seal calls in flight against the stripe objects.
+    Sealing,
+}
 
 /// Peer-to-peer MDS messages.
 #[derive(Debug, Clone)]
@@ -201,6 +243,28 @@ pub struct Mds {
     ready: bool,
     stashed: VecDeque<(NodeId, MdsMsg)>,
 
+    // Group commit (journal_sync): replies withheld until the journal
+    // append they depend on is durable.
+    unflushed_replies: Vec<(SimDuration, NodeId, MdsMsg)>,
+    pending_replies: HashMap<u64, Vec<(SimDuration, NodeId, MdsMsg)>>,
+
+    // Failover.
+    /// True until this daemon is promoted into a rank.
+    standby: bool,
+    /// Sequencer inodes mid-seal after a takeover; type ops answer
+    /// `Recovering` until the protocol completes.
+    recovering_seqs: HashMap<Ino, SealRecovery>,
+    /// Registered sequencer layouts (journaled; survive failover).
+    seq_layouts: HashMap<Ino, crate::namespace::SeqLayout>,
+    /// Mantle policy version recovered from the journal (0 = none).
+    replayed_mantle_version: u64,
+    /// Monitor submit seq counter (zlog epoch bumps).
+    mon_seq: u64,
+    /// Outstanding epoch-bump submits: seq → sequencer inode.
+    seal_mon_waiting: HashMap<u64, Ino>,
+    /// Outstanding seal/maxpos calls: reqid → (inode, stripe).
+    seal_osd_waiting: HashMap<u64, (Ino, u32)>,
+
     // Mantle policy plumbing.
     mantle_version_seen: u64,
     mantle_fetch_reqid: Option<u64>,
@@ -234,10 +298,32 @@ impl Mds {
             journal_reqid: 1,
             ready: false,
             stashed: VecDeque::new(),
+            unflushed_replies: Vec::new(),
+            pending_replies: HashMap::new(),
+            standby: false,
+            recovering_seqs: HashMap::new(),
+            seq_layouts: HashMap::new(),
+            replayed_mantle_version: 0,
+            mon_seq: 1,
+            seal_mon_waiting: HashMap::new(),
+            seal_osd_waiting: HashMap::new(),
             mantle_version_seen: 0,
             mantle_fetch_reqid: None,
             mantle_fetch_deadline: None,
         }
+    }
+
+    /// Creates a standby daemon: it registers with the monitor through its
+    /// beacons and serves nothing until promoted into a vacant rank.
+    pub fn standby(monitor: NodeId, config: MdsConfig, balancer: Box<dyn Balancer>) -> Mds {
+        let mut mds = Mds::new(STANDBY_RANK, monitor, config, balancer);
+        mds.standby = true;
+        mds
+    }
+
+    /// Whether this daemon is (still) an unpromoted standby.
+    pub fn is_standby(&self) -> bool {
+        self.standby
     }
 
     /// The namespace (tests / harness inspection).
@@ -365,6 +451,19 @@ impl Mds {
             );
             return;
         }
+        if self.recovering_seqs.contains_key(&ino) {
+            // The seal protocol hasn't finished: issuing a position now
+            // could duplicate one the store already holds.
+            ctx.send(
+                from,
+                MdsMsg::TypeOpReply {
+                    reqid,
+                    result: Err(MdsError::Recovering),
+                    served_by: self.rank,
+                },
+            );
+            return;
+        }
         let route = self.routes.get(&ino).copied().unwrap_or(Route {
             auth: 0,
             home: 0,
@@ -407,11 +506,14 @@ impl Mds {
                     },
                 );
             } else {
+                // The authoritative rank has no live node (failover in
+                // progress): a NotAuth redirect would just bounce the
+                // client back here. Tell it to wait for the map.
                 ctx.send(
                     from,
                     MdsMsg::TypeOpReply {
                         reqid,
-                        result: Err(MdsError::NotAuth { rank: route.auth }),
+                        result: Err(MdsError::MdsUnavailable { rank: route.auth }),
                         served_by: self.rank,
                     },
                 );
@@ -467,6 +569,9 @@ impl Mds {
             match action {
                 CapAction::Grant { to } => {
                     ctx.metrics().incr("mds.cap_grants", 1);
+                    // Journal the grant so a promoted standby knows who to
+                    // recall during its reconnect window.
+                    self.journal_now(ctx, JournalEntry::CapGrant { ino, holder: to });
                     ctx.send_after(
                         delay,
                         to,
@@ -725,6 +830,10 @@ impl Mds {
                     },
                 );
                 ctx.metrics().incr("mds.mantle_installs", 1);
+                // Record the active policy version: a failover replayer
+                // reinstalls from the monitor's pointer, and the journal
+                // tells it which version the dead rank was running.
+                self.journal(JournalEntry::MantleVersion { version });
             }
             Err(e) => {
                 ctx.send(
@@ -747,7 +856,19 @@ impl Mds {
         }
     }
 
+    /// Journals `entry` and, in `journal_sync` mode, flushes immediately so
+    /// the record is durable before any dependent ack goes out.
+    fn journal_now(&mut self, ctx: &mut Context<'_>, entry: JournalEntry) {
+        self.journal(entry);
+        if self.config.journal_sync {
+            self.flush_journal(ctx);
+        }
+    }
+
     fn flush_journal(&mut self, ctx: &mut Context<'_>) {
+        if self.standby {
+            return;
+        }
         if self.journal_buf.is_empty() || self.osdmap.pools.is_empty() {
             return;
         }
@@ -774,6 +895,12 @@ impl Mds {
                 },
             );
             ctx.metrics().incr("mds.journal_flushes", 1);
+            // Group commit: acks gated on this flush are released when
+            // the store confirms it.
+            if !self.unflushed_replies.is_empty() {
+                self.pending_replies
+                    .insert(reqid, std::mem::take(&mut self.unflushed_replies));
+            }
         } else {
             // No store reachable: keep buffering.
             self.journal_buf = String::from_utf8(data).expect("journal is utf8");
@@ -782,7 +909,7 @@ impl Mds {
 
     fn try_recover(&mut self, ctx: &mut Context<'_>) {
         // Called when the osdmap first becomes usable: read our journal.
-        if self.ready || !self.config.journal || self.osdmap.pools.is_empty() {
+        if self.ready || self.standby || !self.config.journal || self.osdmap.pools.is_empty() {
             return;
         }
         let oid = ObjectId::new(
@@ -815,6 +942,305 @@ impl Mds {
         self.ready = true;
         while let Some((from, msg)) = self.stashed.pop_front() {
             self.handle_client(ctx, from, msg);
+        }
+    }
+
+    // ---- failover ----
+
+    /// Liveness beacon. Active daemons report their rank; standbys send
+    /// `None`, which doubles as standby registration at the monitor.
+    fn send_beacon(&mut self, ctx: &mut Context<'_>) {
+        let rank = if self.standby { None } else { Some(self.rank) };
+        ctx.send(self.monitor, MonMsg::MdsBeacon { rank });
+    }
+
+    /// Reacts to an mdsmap change: a standby that now holds a rank takes
+    /// over; an active daemon whose rank moved to another node deposes
+    /// itself (the monitor declared it dead — it must not keep serving).
+    fn check_promotion(&mut self, ctx: &mut Context<'_>) {
+        if self.standby {
+            if let Some(rank) = self.mdsmap.rank_of(ctx.me()) {
+                self.takeover(ctx, rank);
+            }
+        } else if let Some(entry) = self.mdsmap.ranks.get(&self.rank) {
+            if entry.up && entry.node != ctx.me() {
+                self.depose(ctx);
+            }
+        }
+    }
+
+    fn takeover(&mut self, ctx: &mut Context<'_>, rank: u32) {
+        self.standby = false;
+        self.rank = rank;
+        self.ready = false;
+        self.namespace = Namespace::new();
+        ctx.metrics().incr("mds.takeovers", 1);
+        ctx.send(
+            self.monitor,
+            MonMsg::ClusterLog {
+                source: format!("mds.{rank}"),
+                line: format!("standby {} taking over rank {rank}", ctx.me().0),
+            },
+        );
+        if self.config.journal {
+            // Replay the rank's journal (the read completes the takeover);
+            // if the osdmap isn't usable yet, the OSD snapshot arm retries.
+            self.try_recover(ctx);
+        } else {
+            self.become_ready(ctx);
+        }
+    }
+
+    /// Steps down: the monitor re-assigned this rank elsewhere. Dropping
+    /// caps and buffered journal entries is safe — the new authority
+    /// replays the durable journal and re-establishes caps through the
+    /// reconnect window.
+    fn depose(&mut self, ctx: &mut Context<'_>) {
+        self.standby = true;
+        self.ready = false;
+        self.caps.clear();
+        self.journal_buf.clear();
+        self.unflushed_replies.clear();
+        self.pending_replies.clear();
+        self.recovering_seqs.clear();
+        self.seal_mon_waiting.clear();
+        self.seal_osd_waiting.clear();
+        self.stashed.clear();
+        ctx.metrics().incr("mds.deposed", 1);
+    }
+
+    fn reply_unavailable(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: &MdsMsg) {
+        let err = MdsError::MdsUnavailable { rank: self.rank };
+        match msg {
+            MdsMsg::Resolve { reqid, .. } => ctx.send(
+                from,
+                MdsMsg::Resolved {
+                    reqid: *reqid,
+                    result: Err(err),
+                },
+            ),
+            MdsMsg::Create { reqid, .. } => ctx.send(
+                from,
+                MdsMsg::Created {
+                    reqid: *reqid,
+                    result: Err(err),
+                },
+            ),
+            MdsMsg::TypeOp { reqid, .. } => ctx.send(
+                from,
+                MdsMsg::TypeOpReply {
+                    reqid: *reqid,
+                    result: Err(err),
+                    served_by: self.rank,
+                },
+            ),
+            // Fire-and-forget messages get no reply; clients re-drive
+            // them against the promoted authority.
+            _ => {}
+        }
+    }
+
+    /// Begins the seal/maxpos protocol for every sequencer layout known
+    /// after a journal replay. Until an inode's seal completes, its type
+    /// ops answer `Recovering`.
+    fn start_seal_recovery(&mut self, ctx: &mut Context<'_>) {
+        if self.seq_layouts.is_empty() {
+            return;
+        }
+        for (ino, layout) in self.seq_layouts.clone() {
+            self.recovering_seqs.insert(
+                ino,
+                SealRecovery {
+                    maxpos: vec![None; layout.stripe_width as usize],
+                    layout,
+                    stage: SealStage::GetEpoch,
+                    new_epoch: 0,
+                },
+            );
+        }
+        ctx.send(
+            self.monitor,
+            MonMsg::Get {
+                map: ZLOG_EPOCH_MAP.to_string(),
+            },
+        );
+        ctx.set_timer(SimDuration::from_millis(500), TIMER_SEAL);
+    }
+
+    /// Drives seal progress off a zlog map snapshot: kicks off the epoch
+    /// bump for fresh recoveries and detects committed bumps whose
+    /// `SubmitAck` was lost (the monitor never re-acks a deduped tx).
+    fn on_zlog_map(&mut self, ctx: &mut Context<'_>, snap: &mala_consensus::MapSnapshot) {
+        let inos: Vec<Ino> = self.recovering_seqs.keys().copied().collect();
+        for ino in inos {
+            let Some(rec) = self.recovering_seqs.get(&ino) else {
+                continue;
+            };
+            let key = format!("epoch.{}", rec.layout.name);
+            let cur: u64 = snap
+                .entries
+                .get(&key)
+                .and_then(|v| String::from_utf8_lossy(v).parse().ok())
+                .unwrap_or(0);
+            match rec.stage {
+                SealStage::GetEpoch => {
+                    let new_epoch = cur + 1;
+                    let seq = self.mon_seq;
+                    self.mon_seq += 1;
+                    self.seal_mon_waiting.insert(seq, ino);
+                    let rec = self.recovering_seqs.get_mut(&ino).expect("present");
+                    rec.new_epoch = new_epoch;
+                    rec.stage = SealStage::AwaitCommit;
+                    ctx.send(
+                        self.monitor,
+                        MonMsg::Submit {
+                            seq,
+                            updates: vec![mala_consensus::MapUpdate::set(
+                                ZLOG_EPOCH_MAP,
+                                &key,
+                                new_epoch.to_string().into_bytes(),
+                            )],
+                        },
+                    );
+                }
+                SealStage::AwaitCommit if cur >= rec.new_epoch => {
+                    // Commit observed via the map itself (ack lost).
+                    self.seal_mon_waiting.retain(|_, i| *i != ino);
+                    self.begin_sealing(ctx, ino);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Sends `seal(new_epoch)` to every stripe object of `ino`'s log.
+    fn begin_sealing(&mut self, ctx: &mut Context<'_>, ino: Ino) {
+        let Some(rec) = self.recovering_seqs.get_mut(&ino) else {
+            return;
+        };
+        rec.stage = SealStage::Sealing;
+        let (layout, new_epoch) = (rec.layout.clone(), rec.new_epoch);
+        for stripe in 0..layout.stripe_width {
+            self.send_seal_call(ctx, ino, &layout, stripe, "seal", new_epoch);
+        }
+    }
+
+    fn send_seal_call(
+        &mut self,
+        ctx: &mut Context<'_>,
+        ino: Ino,
+        layout: &crate::namespace::SeqLayout,
+        stripe: u32,
+        method: &str,
+        epoch: u64,
+    ) {
+        let oid = ObjectId::new(layout.pool.clone(), format!("{}.{}", layout.name, stripe));
+        let Some(primary) = self
+            .osdmap
+            .acting_set_for(&oid.pool, &oid.name)
+            .and_then(|a| a.first().copied())
+            .and_then(|p| self.osdmap.node_of(p))
+        else {
+            return; // TIMER_SEAL re-drives once the osdmap is usable
+        };
+        let reqid = self.journal_reqid;
+        self.journal_reqid += 1;
+        self.seal_osd_waiting.insert(reqid, (ino, stripe));
+        let input = if method == "seal" {
+            epoch.to_string().into_bytes()
+        } else {
+            Vec::new()
+        };
+        ctx.send(
+            primary,
+            OsdMsg::ClientOp {
+                reqid,
+                oid,
+                txn: vec![Op::Call {
+                    class: "zlog".to_string(),
+                    method: method.to_string(),
+                    input,
+                }],
+                map_epoch: self.osdmap.epoch,
+            },
+        );
+    }
+
+    /// Handles the reply of one stripe's seal/maxpos call.
+    fn on_seal_reply(
+        &mut self,
+        ctx: &mut Context<'_>,
+        ino: Ino,
+        stripe: u32,
+        result: Result<Vec<OpResult>, OsdError>,
+    ) {
+        let Some(rec) = self.recovering_seqs.get_mut(&ino) else {
+            return;
+        };
+        match result {
+            Ok(results) => {
+                if let Some(OpResult::CallOut(data)) = results.first() {
+                    let maxpos: i64 = String::from_utf8_lossy(data).trim().parse().unwrap_or(-1);
+                    rec.maxpos[stripe as usize] = Some(maxpos);
+                }
+            }
+            Err(OsdError::Class(_)) => {
+                // Already sealed at (or past) our epoch by a concurrent
+                // recovery: the write fence holds either way; fall back to
+                // the read-only maxpos query for this stripe.
+                let (layout, epoch) = (rec.layout.clone(), rec.new_epoch);
+                self.send_seal_call(ctx, ino, &layout, stripe, "maxpos", epoch);
+                return;
+            }
+            Err(_) => return, // TIMER_SEAL re-drives unanswered stripes
+        }
+        self.finish_seal_if_done(ctx, ino);
+    }
+
+    /// Once every stripe reported its maxpos, fence-and-resume: the new
+    /// tail is `max(journal-replayed tail, max(maxpos)+1)` — gap-free and
+    /// never reissuing a position the store may already hold.
+    fn finish_seal_if_done(&mut self, ctx: &mut Context<'_>, ino: Ino) {
+        let Some(rec) = self.recovering_seqs.get(&ino) else {
+            return;
+        };
+        if rec.stage != SealStage::Sealing || rec.maxpos.iter().any(|m| m.is_none()) {
+            return;
+        }
+        let store_tail = rec
+            .maxpos
+            .iter()
+            .map(|m| m.expect("checked") + 1)
+            .max()
+            .unwrap_or(0)
+            .max(0) as u64;
+        let name = rec.layout.name.clone();
+        let epoch = rec.new_epoch;
+        self.recovering_seqs.remove(&ino);
+        if let Some(inode) = self.namespace.get_mut(ino) {
+            if store_tail > inode.embedded {
+                inode.embedded = store_tail;
+                self.journal(JournalEntry::SetEmbedded {
+                    ino,
+                    value: store_tail,
+                });
+                self.flush_journal(ctx);
+            }
+        }
+        ctx.metrics().incr("mds.seq_seals", 1);
+        ctx.send(
+            self.monitor,
+            MonMsg::ClusterLog {
+                source: format!("mds.{}", self.rank),
+                line: format!("sealed log {name} at epoch {epoch}, tail resumes at {store_tail}"),
+            },
+        );
+        // Requests stashed while this inode recovered can now be served.
+        if self.ready {
+            let stashed = std::mem::take(&mut self.stashed);
+            for (from, msg) in stashed {
+                self.handle_client(ctx, from, msg);
+            }
         }
     }
 
@@ -867,7 +1293,15 @@ impl Mds {
                     }
                     Ok(ino)
                 });
-                ctx.send_after(delay, from, MdsMsg::Created { reqid, result });
+                if self.config.journal && self.config.journal_sync && result.is_ok() {
+                    // Group commit: the ack leaves only once the journal
+                    // append carrying this create is durable.
+                    self.unflushed_replies
+                        .push((delay, from, MdsMsg::Created { reqid, result }));
+                    self.flush_journal(ctx);
+                } else {
+                    ctx.send_after(delay, from, MdsMsg::Created { reqid, result });
+                }
             }
             MdsMsg::TypeOp { reqid, ino, op } => {
                 self.handle_type_op(ctx, from, reqid, ino, op);
@@ -877,16 +1311,34 @@ impl Mds {
                     // Capability traffic follows authority.
                     return;
                 }
+                if self.recovering_seqs.contains_key(&ino) {
+                    // Don't grant caps on a sequencer mid-seal; re-drive
+                    // the request once the tail is fenced.
+                    self.stashed.push_back((from, MdsMsg::CapRequest { ino }));
+                    return;
+                }
                 let now = ctx.now();
                 let actions = self.cap_entry(ino).request(from, now);
                 self.run_cap_actions(ctx, ino, actions);
             }
             MdsMsg::CapRelease { ino, state } => {
+                // Only the recorded holder may write back state. A client
+                // that was evicted (timed out while partitioned) races its
+                // stale release against the new holder's writes — reject.
+                let known = self.caps.contains_key(&ino);
+                let holder = self.caps.get(&ino).and_then(|c| c.holder());
+                if known && holder != Some(from) {
+                    ctx.metrics().incr("mds.stale_releases", 1);
+                    return;
+                }
                 if let Some(inode) = self.namespace.get_mut(ino) {
                     if state > inode.embedded {
                         inode.embedded = state;
-                        self.journal(JournalEntry::SetEmbedded { ino, value: state });
+                        self.journal_now(ctx, JournalEntry::SetEmbedded { ino, value: state });
                     }
+                }
+                if holder == Some(from) {
+                    self.journal_now(ctx, JournalEntry::CapDrop { ino });
                 }
                 let now = ctx.now();
                 let actions = self
@@ -902,6 +1354,30 @@ impl Mds {
             }
             MdsMsg::SetCapPolicy { ino, policy } => {
                 self.cap_entry(ino).set_policy(policy);
+            }
+            MdsMsg::SetSeqLayout {
+                ino,
+                pool,
+                name,
+                stripe_width,
+            } => {
+                let layout = crate::namespace::SeqLayout {
+                    pool,
+                    name,
+                    stripe_width,
+                };
+                if self.seq_layouts.get(&ino) != Some(&layout) {
+                    self.journal_now(
+                        ctx,
+                        JournalEntry::SeqLayout {
+                            ino,
+                            stripe_width: layout.stripe_width,
+                            pool: layout.pool.clone(),
+                            name: layout.name.clone(),
+                        },
+                    );
+                    self.seq_layouts.insert(ino, layout);
+                }
             }
             MdsMsg::AdminExport { ino, target, style } => {
                 self.start_export(ctx, Export { ino, target, style });
@@ -929,9 +1405,11 @@ impl Actor for Mds {
         ctx.set_timer(self.config.cap_tick, TIMER_CAP);
         ctx.set_timer(SimDuration::from_millis(500), TIMER_JOURNAL);
         self.last_tick_at = ctx.now();
-        if !self.config.journal {
+        if !self.config.journal && !self.standby {
             self.ready = true;
         }
+        self.send_beacon(ctx);
+        ctx.set_timer(self.config.beacon_interval, TIMER_BEACON);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Box<dyn Any>) {
@@ -942,6 +1420,7 @@ impl Actor for Mds {
                     MonMsg::Snapshot(snap) => match snap.map.as_str() {
                         SERVICE_MAP_MDS if snap.epoch > self.mdsmap.epoch => {
                             self.mdsmap = MdsMapView::from_snapshot(&snap);
+                            self.check_promotion(ctx);
                         }
                         SERVICE_MAP_OSD if snap.epoch > self.osdmap.epoch => {
                             self.osdmap = mala_rados::OsdMapView::from_snapshot(&snap);
@@ -954,11 +1433,20 @@ impl Actor for Mds {
                                 .map(|v| String::from_utf8_lossy(v).into_owned());
                             self.on_mantle_map(ctx, snap.epoch, name);
                         }
+                        ZLOG_EPOCH_MAP => {
+                            self.on_zlog_map(ctx, &snap);
+                        }
                         _ => {}
                     },
                     MonMsg::Changed { map, .. } => {
                         // Re-fetch the full map (deltas may skip epochs).
                         ctx.send(self.monitor, MonMsg::Get { map });
+                    }
+                    MonMsg::SubmitAck { seq, .. } => {
+                        if let Some(ino) = self.seal_mon_waiting.remove(&seq) {
+                            // Epoch bump committed: fence the stripes.
+                            self.begin_sealing(ctx, ino);
+                        }
                     }
                     _ => {}
                 }
@@ -1040,19 +1528,45 @@ impl Actor for Mds {
                 if let OsdMsg::ClientReply { reqid, result, .. } = *osd {
                     if reqid == u64::MAX {
                         // Journal recovery read.
-                        let ns = match result {
-                            Ok(results) => match results.first() {
-                                Some(OpResult::Data(data)) => {
-                                    crate::namespace::replay_journal(data)
-                                }
-                                _ => Namespace::new(),
+                        let data = match result {
+                            Ok(results) => match results.into_iter().next() {
+                                Some(OpResult::Data(data)) => data,
+                                _ => Vec::new(),
                             },
-                            Err(OsdError::NoEnt) => Namespace::new(),
-                            Err(_) => Namespace::new(),
+                            Err(_) => Vec::new(), // NoEnt: nothing journaled yet
                         };
-                        self.namespace = ns;
+                        let replay = crate::namespace::replay_journal_full(&data);
+                        self.namespace = replay.namespace;
+                        self.seq_layouts.extend(replay.layouts);
+                        self.replayed_mantle_version = replay.mantle_version;
+                        // Reconnect window: recall every journaled holder.
+                        // A live one reasserts its cap (and flushes state);
+                        // a dead or partitioned one stays silent and the
+                        // cap timeout evicts it.
+                        let now = ctx.now();
+                        for (ino, holder) in replay.cap_holders {
+                            self.caps.insert(
+                                ino,
+                                CapState::reconnect(CapPolicyConfig::best_effort(), holder, now),
+                            );
+                            ctx.send(holder, MdsMsg::CapRecall { ino });
+                            ctx.metrics().incr("mds.reconnect_recalls", 1);
+                        }
                         ctx.metrics().incr("mds.journal_replays", 1);
+                        self.start_seal_recovery(ctx);
                         self.become_ready(ctx);
+                    } else if let Some((ino, stripe)) = self.seal_osd_waiting.remove(&reqid) {
+                        self.on_seal_reply(ctx, ino, stripe, result);
+                    } else if let Some(replies) = self.pending_replies.remove(&reqid) {
+                        if result.is_ok() {
+                            ctx.metrics().incr("mds.journal_commits", 1);
+                            for (delay, to, msg) in replies {
+                                ctx.send_after(delay, to, msg);
+                            }
+                        }
+                        // On error the acks stay withheld: the clients
+                        // retry and the replay never shows an acked
+                        // mutation the store lost.
                     } else if Some(reqid) == self.mantle_fetch_reqid {
                         self.mantle_fetch_reqid = None;
                         self.mantle_fetch_deadline = None;
@@ -1070,6 +1584,12 @@ impl Actor for Mds {
         };
         // Client traffic.
         if let Ok(msg) = msg.downcast::<MdsMsg>() {
+            if self.standby {
+                // Not serving any rank: answer with a typed error instead
+                // of leaving the client to hang.
+                self.reply_unavailable(ctx, from, &msg);
+                return;
+            }
             if !self.ready {
                 self.stashed.push_back((from, *msg));
                 return;
@@ -1122,6 +1642,48 @@ impl Actor for Mds {
                         ctx.metrics().incr("mds.mantle_fetch_timeouts", 1);
                     }
                 }
+            }
+            TIMER_BEACON => {
+                self.send_beacon(ctx);
+                ctx.set_timer(self.config.beacon_interval, TIMER_BEACON);
+            }
+            TIMER_SEAL => {
+                // Re-drive stuck seal recoveries (lost messages, osdmap not
+                // yet usable). All steps are idempotent.
+                if self.recovering_seqs.is_empty() {
+                    return;
+                }
+                let mut want_map = false;
+                let mut resend: Vec<(Ino, crate::namespace::SeqLayout, u32, u64)> = Vec::new();
+                for (ino, rec) in &self.recovering_seqs {
+                    match rec.stage {
+                        SealStage::GetEpoch | SealStage::AwaitCommit => want_map = true,
+                        SealStage::Sealing => {
+                            for (stripe, m) in rec.maxpos.iter().enumerate() {
+                                if m.is_none() {
+                                    resend.push((
+                                        *ino,
+                                        rec.layout.clone(),
+                                        stripe as u32,
+                                        rec.new_epoch,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                if want_map {
+                    ctx.send(
+                        self.monitor,
+                        MonMsg::Get {
+                            map: ZLOG_EPOCH_MAP.to_string(),
+                        },
+                    );
+                }
+                for (ino, layout, stripe, epoch) in resend {
+                    self.send_seal_call(ctx, ino, &layout, stripe, "seal", epoch);
+                }
+                ctx.set_timer(SimDuration::from_millis(500), TIMER_SEAL);
             }
             _ => {}
         }

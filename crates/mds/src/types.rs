@@ -71,6 +71,27 @@ pub enum MdsError {
     },
     /// The inode is mid-migration; retry shortly.
     Frozen,
+    /// The serving MDS is replaying its journal or re-sealing a sequencer
+    /// after a takeover; retry shortly.
+    Recovering,
+    /// No live MDS currently serves `rank` (failover window); retry after
+    /// the mdsmap changes.
+    MdsUnavailable {
+        /// The rank with no live node.
+        rank: u32,
+    },
+}
+
+impl MdsError {
+    /// Whether a client should retry the operation unchanged: the error is
+    /// a transient condition of failover/migration, not a verdict on the
+    /// request.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            MdsError::Frozen | MdsError::Recovering | MdsError::MdsUnavailable { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for MdsError {
@@ -81,6 +102,10 @@ impl std::fmt::Display for MdsError {
             MdsError::BadType => write!(f, "operation unsupported by file type"),
             MdsError::NotAuth { rank } => write!(f, "not authoritative (try mds.{rank})"),
             MdsError::Frozen => write!(f, "inode frozen for migration"),
+            MdsError::Recovering => write!(f, "mds recovering after takeover"),
+            MdsError::MdsUnavailable { rank } => {
+                write!(f, "no live mds for rank {rank} (failover in progress)")
+            }
         }
     }
 }
@@ -217,6 +242,20 @@ pub enum MdsMsg {
         ino: Ino,
         /// New policy.
         policy: CapPolicyConfig,
+    },
+
+    /// Register the storage layout of a sequencer's log so a promoted
+    /// standby can run the seal/maxpos protocol against the right objects
+    /// before issuing positions again. Journaled; idempotent.
+    SetSeqLayout {
+        /// The sequencer inode.
+        ino: Ino,
+        /// RADOS pool holding the log's stripe objects.
+        pool: String,
+        /// Log name (objects are `<name>.<stripe>`).
+        name: String,
+        /// Stripe width.
+        stripe_width: u32,
     },
 
     // ---- administrative ----

@@ -415,8 +415,10 @@ fn cephfs_balancer_migrates_under_load() {
     // 2 ranks; rank 0 hosts a hot sequencer driven by closed-loop traffic.
     let mut sim = Sim::new(9);
     sim.add_node(MON, Monitor::new(0, vec![MON], MonConfig::default()));
-    let mut config = MdsConfig::default();
-    config.balance_interval = SimDuration::from_secs(2);
+    let config = MdsConfig {
+        balance_interval: SimDuration::from_secs(2),
+        ..MdsConfig::default()
+    };
     for rank in 0..2 {
         sim.add_node(
             mds_node(rank),
@@ -453,20 +455,18 @@ fn cephfs_balancer_migrates_under_load() {
         FileType::Sequencer,
     );
     // Drive steady traffic for several balance ticks.
-    let mut reqid = 100;
-    for i in 0..400 {
+    for i in 0..400u64 {
         let ino = if i % 2 == 0 { seq_a } else { seq_b };
         send_from(
             &mut sim,
             client_node(0),
             mds_node(0),
             MdsMsg::TypeOp {
-                reqid,
+                reqid: 100 + i,
                 ino,
                 op: "next".into(),
             },
         );
-        reqid += 1;
         sim.run_for(SimDuration::from_millis(20));
     }
     assert!(
@@ -488,8 +488,10 @@ fn journal_recovery_after_mds_crash() {
     for i in 0..3 {
         sim.add_node(NodeId(10 + i), Osd::new(i, MON, OsdConfig::default()));
     }
-    let mut config = MdsConfig::default();
-    config.journal = true;
+    let config = MdsConfig {
+        journal: true,
+        ..MdsConfig::default()
+    };
     sim.add_node(
         mds_node(0),
         Mds::new(0, MON, config.clone(), Box::new(NoBalancer)),

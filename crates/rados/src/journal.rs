@@ -235,9 +235,10 @@ mod tests {
     }
 
     fn obj(data: &[u8]) -> Object {
-        let mut o = Object::default();
-        o.data = data.to_vec();
-        o
+        Object {
+            data: data.to_vec(),
+            ..Object::default()
+        }
     }
 
     #[test]

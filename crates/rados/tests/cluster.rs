@@ -107,8 +107,11 @@ fn read_after_write_round_trip() {
 
 #[test]
 fn scripted_interface_installs_cluster_wide_and_executes() {
-    let mut config = OsdConfig::default();
-    config.subscribe_to_monitor = false; // force gossip for most OSDs
+    // Force gossip for most OSDs; two subscribers are re-enabled below.
+    let config = OsdConfig {
+        subscribe_to_monitor: false,
+        ..OsdConfig::default()
+    };
     let mut sim = Sim::new(13);
     sim.add_node(MON, Monitor::new(0, vec![MON], MonConfig::default()));
     for i in 0..8 {
@@ -276,8 +279,10 @@ fn primary_failure_recovers_data_and_serves_reads() {
 
 #[test]
 fn scrub_repairs_corrupted_replica() {
-    let mut cfg = OsdConfig::default();
-    cfg.scrub_interval = Some(SimDuration::from_secs(2));
+    let cfg = OsdConfig {
+        scrub_interval: Some(SimDuration::from_secs(2)),
+        ..OsdConfig::default()
+    };
     let mut sim = build_cluster(3, 3, cfg);
     request(
         &mut sim,

@@ -51,7 +51,7 @@ mod sched;
 
 pub use actor::{Actor, Context, TimerHandle};
 pub use metrics::Metrics;
-pub use nemesis::{Fault, FaultSchedule, Nemesis};
+pub use nemesis::{Fault, FaultSchedule, FaultTargets, Nemesis};
 pub use net::{NetConfig, Network};
 pub use sched::Sim;
 pub use time::{SimDuration, SimTime};

@@ -52,6 +52,12 @@ pub enum Fault {
         /// How long the spike lasts.
         duration: SimDuration,
     },
+    /// Cut the single link between two nodes (both directions). Unlike
+    /// [`Fault::Isolate`], everything else keeps flowing — this is how
+    /// beacon loss is injected without otherwise hurting the target.
+    Sever(NodeId, NodeId),
+    /// Restore a link cut by [`Fault::Sever`].
+    HealLink(NodeId, NodeId),
 }
 
 impl Fault {
@@ -67,6 +73,18 @@ impl Fault {
             Fault::HealAll => "heal_all",
             Fault::LossBurst { .. } => "loss_burst",
             Fault::DelaySpike { .. } => "delay_spike",
+            Fault::Sever(_, _) => "sever",
+            Fault::HealLink(_, _) => "heal_link",
+        }
+    }
+
+    /// The single node a fault targets, if it has one (used for labelled
+    /// per-role metrics).
+    fn target(&self) -> Option<NodeId> {
+        match self {
+            Fault::Crash(n) | Fault::Restart(n) | Fault::Isolate(n) | Fault::Rejoin(n) => Some(*n),
+            Fault::Sever(n, _) | Fault::HealLink(n, _) => Some(*n),
+            _ => None,
         }
     }
 
@@ -82,8 +100,25 @@ impl Fault {
             Fault::HealAll => 7.0,
             Fault::LossBurst { .. } => 8.0,
             Fault::DelaySpike { .. } => 9.0,
+            Fault::Sever(_, _) => 10.0,
+            Fault::HealLink(_, _) => 11.0,
         }
     }
+}
+
+/// The cluster roles a random schedule may target. Role-aware generation
+/// keeps the OSD fault repertoire and adds MDS-specific faults: daemon
+/// crashes (standby takeover) and beacon loss (the monitor declares a
+/// healthy daemon dead).
+#[derive(Debug, Clone, Default)]
+pub struct FaultTargets {
+    /// OSD nodes (crash/restart, isolate/rejoin).
+    pub osds: Vec<NodeId>,
+    /// MDS nodes (crash/restart, isolate/rejoin, beacon loss).
+    pub mds: Vec<NodeId>,
+    /// Monitor nodes (used as the far end of beacon-loss severs; monitors
+    /// themselves are never crashed — the harness needs a quorum).
+    pub monitors: Vec<NodeId>,
 }
 
 /// An ordered fault script. Entries may be added in any order; the driver
@@ -178,6 +213,80 @@ impl FaultSchedule {
         }
         schedule
     }
+
+    /// Role-aware variant of [`FaultSchedule::random`]: draws targets from
+    /// every populated role in `targets`, including MDS crash/restart and
+    /// beacon-loss (MDS↔monitor link severs) faults. Same balance
+    /// guarantee: every window closes before `horizon`.
+    pub fn random_cluster(
+        seed: u64,
+        targets: &FaultTargets,
+        horizon: SimDuration,
+        faults: usize,
+    ) -> FaultSchedule {
+        assert!(
+            !targets.osds.is_empty() || !targets.mds.is_empty(),
+            "nemesis cluster schedule needs OSD or MDS targets"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut schedule = FaultSchedule::new();
+        let horizon_us = horizon.as_micros().max(10);
+        for _ in 0..faults {
+            let start_us = rng.gen_range(1..=horizon_us * 6 / 10);
+            let width_us = rng.gen_range(horizon_us / 20..=horizon_us * 3 / 10);
+            let end_us = (start_us + width_us).min(horizon_us - 1);
+            let start = SimTime(start_us);
+            let end = SimTime(end_us.max(start_us + 1));
+            match rng.gen_range(0u32..6) {
+                0 if !targets.osds.is_empty() => {
+                    let node = *targets.osds.choose(&mut rng).expect("nonempty");
+                    schedule = schedule
+                        .at(start, Fault::Crash(node))
+                        .at(end, Fault::Restart(node));
+                }
+                1 if !targets.osds.is_empty() => {
+                    let node = *targets.osds.choose(&mut rng).expect("nonempty");
+                    schedule = schedule
+                        .at(start, Fault::Isolate(node))
+                        .at(end, Fault::Rejoin(node));
+                }
+                2 if !targets.mds.is_empty() => {
+                    let node = *targets.mds.choose(&mut rng).expect("nonempty");
+                    schedule = schedule
+                        .at(start, Fault::Crash(node))
+                        .at(end, Fault::Restart(node));
+                }
+                3 if !targets.mds.is_empty() && !targets.monitors.is_empty() => {
+                    // Beacon loss: the daemon stays healthy but the monitor
+                    // stops hearing from it and fails it over anyway.
+                    let node = *targets.mds.choose(&mut rng).expect("nonempty");
+                    let mon = *targets.monitors.choose(&mut rng).expect("nonempty");
+                    schedule = schedule
+                        .at(start, Fault::Sever(node, mon))
+                        .at(end, Fault::HealLink(node, mon));
+                }
+                4 => {
+                    schedule = schedule.at(
+                        start,
+                        Fault::LossBurst {
+                            probability: rng.gen_range(0.05..0.4),
+                            duration: SimDuration::from_micros(end_us - start_us),
+                        },
+                    );
+                }
+                _ => {
+                    schedule = schedule.at(
+                        start,
+                        Fault::DelaySpike {
+                            extra: SimDuration::from_micros(rng.gen_range(200u64..5000)),
+                            duration: SimDuration::from_micros(end_us - start_us),
+                        },
+                    );
+                }
+            }
+        }
+        schedule
+    }
 }
 
 /// What the driver does at one instant: a user-visible fault, or the
@@ -191,11 +300,15 @@ enum Action {
 /// Harness callback rebuilding a crashed node's actor on restart.
 type RestartFn = Box<dyn FnMut(&mut Sim, NodeId)>;
 
+/// Harness callback classifying a node into a role label for metrics.
+type LabelFn = Box<dyn Fn(NodeId) -> &'static str>;
+
 /// Drives a [`FaultSchedule`] against a [`Sim`].
 pub struct Nemesis {
     actions: Vec<(SimTime, Action)>,
     next: usize,
     restart: Option<RestartFn>,
+    label: Option<LabelFn>,
     /// Network config before any loss/delay window opened; restored (with
     /// remaining windows re-applied) as windows close.
     baseline: Option<NetConfig>,
@@ -235,6 +348,7 @@ impl Nemesis {
             actions,
             next: 0,
             restart: None,
+            label: None,
             baseline: None,
             active_loss: Vec::new(),
             active_delay: Vec::new(),
@@ -244,6 +358,14 @@ impl Nemesis {
     /// Registers the harness callback invoked for [`Fault::Restart`].
     pub fn on_restart(mut self, f: impl FnMut(&mut Sim, NodeId) + 'static) -> Nemesis {
         self.restart = Some(Box::new(f));
+        self
+    }
+
+    /// Registers a node → role-label classifier. With one registered,
+    /// every targeted fault also bumps `nemesis.<kind>.<label>`, so a run
+    /// records MDS faults distinctly from OSD faults.
+    pub fn with_labels(mut self, f: impl Fn(NodeId) -> &'static str + 'static) -> Nemesis {
+        self.label = Some(Box::new(f));
         self
     }
 
@@ -287,6 +409,11 @@ impl Nemesis {
                     .incr(&format!("nemesis.{}", fault.kind()), 1);
                 sim.metrics_mut()
                     .observe("nemesis.events", at, fault.code());
+                if let (Some(label), Some(node)) = (&self.label, fault.target()) {
+                    let label = label(node);
+                    sim.metrics_mut()
+                        .incr(&format!("nemesis.{}.{label}", fault.kind()), 1);
+                }
                 match fault {
                     Fault::Crash(node) => sim.crash(node),
                     Fault::Restart(node) => {
@@ -315,6 +442,8 @@ impl Nemesis {
                     }
                     Fault::Isolate(node) => sim.network_mut().isolate(node),
                     Fault::Rejoin(node) => sim.network_mut().rejoin(node),
+                    Fault::Sever(a, b) => sim.network_mut().sever(a, b),
+                    Fault::HealLink(a, b) => sim.network_mut().heal(a, b),
                     Fault::HealAll => sim.network_mut().heal_all(),
                     Fault::LossBurst { probability, .. } => {
                         self.active_loss.push(probability);
@@ -531,6 +660,70 @@ mod tests {
         for ((t_crash, _), (t_restart, _)) in crashes.iter().zip(&restarts) {
             assert!(t_restart > t_crash);
         }
+    }
+
+    #[test]
+    fn sever_cuts_one_link_and_heal_link_restores_it() {
+        let mut sim = sim();
+        let schedule = FaultSchedule::new()
+            .at(SimTime(10), Fault::Sever(NodeId(1), NodeId(0)))
+            .at(SimTime(20), Fault::HealLink(NodeId(1), NodeId(0)));
+        let mut nemesis = Nemesis::new(schedule);
+        nemesis.run_until(&mut sim, SimTime(15));
+        let net = sim.network_mut();
+        assert!(!net.connected(NodeId(1), NodeId(0)));
+        // Only that link: the node is otherwise reachable.
+        assert!(net.connected(NodeId(1), NodeId(2)));
+        nemesis.run_until(&mut sim, SimTime(25));
+        assert!(sim.network_mut().connected(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn cluster_schedules_are_seeded_and_draw_mds_targets() {
+        let targets = FaultTargets {
+            osds: vec![NodeId(10), NodeId(11)],
+            mds: vec![NodeId(20), NodeId(21)],
+            monitors: vec![NodeId(0)],
+        };
+        let horizon = SimDuration::from_secs(2);
+        let a = FaultSchedule::random_cluster(7, &targets, horizon, 40);
+        let b = FaultSchedule::random_cluster(7, &targets, horizon, 40);
+        assert_eq!(a.entries(), b.entries());
+        let mds_targeted = a
+            .entries()
+            .iter()
+            .any(|(_, f)| f.target().is_some_and(|n| targets.mds.contains(&n)));
+        assert!(mds_targeted, "40 draws should hit an MDS target");
+        // Balance: every crash gets a restart, every sever a heal.
+        let count =
+            |pred: &dyn Fn(&Fault) -> bool| a.entries().iter().filter(|(_, f)| pred(f)).count();
+        assert_eq!(
+            count(&|f| matches!(f, Fault::Crash(_))),
+            count(&|f| matches!(f, Fault::Restart(_)))
+        );
+        assert_eq!(
+            count(&|f| matches!(f, Fault::Sever(_, _))),
+            count(&|f| matches!(f, Fault::HealLink(_, _)))
+        );
+    }
+
+    #[test]
+    fn labelled_faults_record_per_role_metrics() {
+        let mut sim = sim();
+        let schedule = FaultSchedule::new()
+            .at(SimTime(10), Fault::Crash(NodeId(1)))
+            .at(SimTime(20), Fault::Restart(NodeId(1)))
+            .at(SimTime(30), Fault::Crash(NodeId(2)));
+        let mut nemesis = Nemesis::new(schedule)
+            .on_restart(|sim, node| {
+                sim.restart(node, Idle);
+            })
+            .with_labels(|node| if node == NodeId(1) { "mds" } else { "osd" });
+        nemesis.run_until(&mut sim, SimTime(40));
+        assert_eq!(sim.metrics().counter("nemesis.crash.mds"), 1);
+        assert_eq!(sim.metrics().counter("nemesis.restart.mds"), 1);
+        assert_eq!(sim.metrics().counter("nemesis.crash.osd"), 1);
+        assert_eq!(sim.metrics().counter("nemesis.crash"), 2);
     }
 
     #[test]

@@ -36,8 +36,10 @@ impl Actor for Burst {
 #[test]
 fn same_connection_messages_never_reorder() {
     // High jitter would reorder these without the per-connection FIFO rule.
-    let mut cfg = NetConfig::default();
-    cfg.jitter = SimDuration::from_micros(5_000);
+    let cfg = NetConfig {
+        jitter: SimDuration::from_micros(5_000),
+        ..NetConfig::default()
+    };
     let mut sim = Sim::with_network(3, Network::new(cfg));
     sim.add_node(
         NodeId(0),
@@ -58,8 +60,10 @@ fn same_connection_messages_never_reorder() {
 
 #[test]
 fn cross_connection_messages_may_interleave() {
-    let mut cfg = NetConfig::default();
-    cfg.jitter = SimDuration::from_micros(5_000);
+    let cfg = NetConfig {
+        jitter: SimDuration::from_micros(5_000),
+        ..NetConfig::default()
+    };
     let mut sim = Sim::with_network(3, Network::new(cfg));
     sim.add_node(
         NodeId(0),

@@ -11,9 +11,9 @@
 use std::any::Any;
 use std::collections::HashMap;
 
-use mala_consensus::{MapUpdate, MonMsg};
+use mala_consensus::{MapUpdate, MonMsg, SERVICE_MAP_MDS};
 use mala_mds::types::{MdsError, MdsMsg};
-use mala_mds::{FileType, Ino};
+use mala_mds::{FileType, Ino, MdsMapView};
 use mala_rados::client::RETRY_TOKEN_BASE as RADOS_RETRY_TOKEN_BASE;
 use mala_rados::{ObjectId, Op, OpResult, OsdError, RadosClient};
 use mala_sim::{Actor, Context, NodeId, Sim, SimDuration, SimTime, TimerHandle};
@@ -145,6 +145,9 @@ pub struct ZlogClient {
     config: ZlogConfig,
     /// Current CORFU epoch for this log (from the `zlog` map).
     epoch: u64,
+    /// Live MDS map: failover moves a rank to another node, and requests
+    /// must follow it rather than the static config.
+    mdsmap: MdsMapView,
     seq_ino: Option<Ino>,
     ops: HashMap<u64, PendingOp>,
     results: HashMap<u64, AppendResult>,
@@ -175,6 +178,7 @@ impl ZlogClient {
             rados: RadosClient::new(config.monitor),
             config,
             epoch: 0,
+            mdsmap: MdsMapView::default(),
             seq_ino: None,
             ops: HashMap::new(),
             results: HashMap::new(),
@@ -332,7 +336,38 @@ impl ZlogClient {
     // ---- plumbing ----
 
     fn home_node(&self) -> NodeId {
-        self.config.mds_nodes[&self.config.home_rank]
+        // Prefer the live map: after a failover the rank lives on the
+        // promoted standby's node. Fall back to the static config until
+        // the first mdsmap snapshot arrives (a send to a dead node is
+        // simply dropped and the watchdog re-drives the op).
+        self.mdsmap
+            .node_of(self.config.home_rank)
+            .unwrap_or_else(|| self.config.mds_nodes[&self.config.home_rank])
+    }
+
+    /// Re-drives `op` after a transient typed MDS error (frozen inode,
+    /// mid-takeover recovery, vacant rank). Those replies arrive at full
+    /// message speed, so pacing must come from us: reuse the watchdog's
+    /// capped exponential backoff (which also supersedes the old watchdog
+    /// timer) instead of a flat short delay that would burn the whole
+    /// attempt budget inside one takeover window.
+    fn retry_shortly(&mut self, ctx: &mut Context<'_>, op: u64) {
+        self.arm_watchdog(ctx, op);
+    }
+
+    /// Tells the authoritative MDS where this log's stripe objects live so
+    /// a promoted standby can seal them before reissuing positions.
+    /// Fire-and-forget and idempotent; re-sent on every resolve.
+    fn register_layout(&mut self, ctx: &mut Context<'_>, ino: Ino) {
+        ctx.send(
+            self.home_node(),
+            MdsMsg::SetSeqLayout {
+                ino,
+                pool: self.config.pool.clone(),
+                name: self.config.name.clone(),
+                stripe_width: self.config.stripe_width,
+            },
+        );
     }
 
     fn mds_reqid(&mut self, op: u64) -> u64 {
@@ -676,11 +711,13 @@ impl ZlogClient {
                         },
                     );
                 }
+                Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
                 Err(e) => self.fail(op, format!("mkdir /zlog failed: {e}")),
             },
             (Stage::SetupSeq, MdsMsg::Created { result, .. }) => match result {
                 Ok(ino) => {
                     self.seq_ino = Some(ino);
+                    self.register_layout(ctx, ino);
                     self.finish(op, AppendResult::Ok(ZlogOut::SetUp(ino)));
                 }
                 Err(MdsError::Exists) => {
@@ -689,18 +726,22 @@ impl ZlogClient {
                     let path = format!("/zlog/{}", self.config.name);
                     ctx.send(self.home_node(), MdsMsg::Resolve { reqid, path });
                 }
+                Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
                 Err(e) => self.fail(op, format!("create sequencer failed: {e}")),
             },
             (Stage::ResolveSeq, MdsMsg::Resolved { result, .. }) => match result {
                 Ok((ino, _rank)) => {
                     self.seq_ino = Some(ino);
-                    match pending.kind.clone() {
+                    let kind = pending.kind.clone();
+                    self.register_layout(ctx, ino);
+                    match kind {
                         OpKind::Setup => self.finish(op, AppendResult::Ok(ZlogOut::SetUp(ino))),
                         OpKind::Append { .. } => self.step_get_pos(ctx, op),
                         OpKind::CheckTail => self.step_tail(ctx, op),
                         _ => {}
                     }
                 }
+                Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
                 Err(e) => self.fail(op, format!("sequencer resolve failed: {e}")),
             },
             (Stage::GetPos, MdsMsg::TypeOpReply { result, .. }) => match result {
@@ -714,14 +755,12 @@ impl ZlogClient {
                     let payload = String::from_utf8_lossy(&data).into_owned();
                     self.call_class(ctx, op, oid, "write", format!("{epoch}|{pos}|{payload}"));
                 }
-                Err(MdsError::Frozen) => {
-                    let token = TOKEN_RETRY_BASE + op;
-                    ctx.set_timer(SimDuration::from_millis(5), token);
-                }
+                Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
                 Err(e) => self.fail(op, format!("sequencer next failed: {e}")),
             },
             (Stage::Tail, MdsMsg::TypeOpReply { result, .. }) => match result {
                 Ok(tail) => self.finish(op, AppendResult::Ok(ZlogOut::Tail(tail))),
+                Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
                 Err(e) => self.fail(op, format!("tail read failed: {e}")),
             },
             (Stage::RecoverAdvance { new_epoch, tail }, MdsMsg::TypeOpReply { result, .. }) => {
@@ -734,6 +773,7 @@ impl ZlogClient {
                             tail,
                         }),
                     ),
+                    Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
                     Err(e) => self.fail(op, format!("sequencer restart failed: {e}")),
                 }
             }
@@ -753,6 +793,7 @@ impl ZlogClient {
                             },
                         );
                     }
+                    Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
                     Err(e) => self.fail(op, format!("resolve during recovery failed: {e}")),
                 }
             }
@@ -787,12 +828,14 @@ impl ZlogClient {
 impl Actor for ZlogClient {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         self.rados.on_start(ctx);
-        ctx.send(
-            self.config.monitor,
-            MonMsg::Subscribe {
-                map: ZLOG_MAP.to_string(),
-            },
-        );
+        for map in [ZLOG_MAP, SERVICE_MAP_MDS] {
+            ctx.send(
+                self.config.monitor,
+                MonMsg::Subscribe {
+                    map: map.to_string(),
+                },
+            );
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Box<dyn Any>) {
@@ -845,6 +888,22 @@ impl Actor for ZlogClient {
                                 }
                             }
                         }
+                        return;
+                    }
+                    MonMsg::Snapshot(snap) if snap.map == SERVICE_MAP_MDS => {
+                        if snap.epoch > self.mdsmap.epoch {
+                            self.mdsmap = MdsMapView::from_snapshot(snap);
+                        }
+                        return;
+                    }
+                    MonMsg::Changed { map, .. } if map == SERVICE_MAP_MDS => {
+                        // Re-fetch the full map (deltas may skip epochs).
+                        ctx.send(
+                            self.config.monitor,
+                            MonMsg::Get {
+                                map: SERVICE_MAP_MDS.to_string(),
+                            },
+                        );
                         return;
                     }
                     MonMsg::SubmitAck { seq, .. } => {

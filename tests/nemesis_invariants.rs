@@ -13,6 +13,15 @@
 //! * **Recovery exactness** — OSDs crashed and restarted mid-workload
 //!   (and finally all at once) serve exactly the acked writes from their
 //!   journals: nothing acked is lost, nothing phantom appears.
+//! * **Sequencer failover** — crashing the MDS rank that owns a zlog
+//!   sequencer (detected by missed beacons, not by the harness) promotes
+//!   a standby that replays the metadata journal, seals the log's epoch,
+//!   and resumes issuing positions: no duplicates, no regression below
+//!   the pre-crash tail, stale epochs rejected, no client append hangs.
+//! * **Partitioned capability holder** — a cap holder cut off by the
+//!   nemesis (alive, not crashed) is evicted after the recall times out;
+//!   its stale release after the heal is rejected and the new holder's
+//!   state survives.
 //!
 //! Every case derives its cluster seed and fault schedule from the
 //! proptest-drawn `seed`; a failure reproduces bit-for-bit from the
@@ -504,6 +513,544 @@ mod durability_props {
                 "final full-cluster restart should replay every journal"
             );
         }
+    }
+}
+
+mod mds_failover_props {
+    use super::*;
+    use mala_mds::{Mds, MdsConfig, NoBalancer};
+    use mala_rados::{ObjectId, Osd, OsdConfig, OsdError};
+    use mala_sim::{FaultSchedule, Nemesis, SimDuration};
+    use mala_zlog::log::{run_op, ZlogOut};
+    use mala_zlog::{zlog_interface_update, AppendResult, ReadOutcome, ZlogClient, ZlogConfig};
+    use malacology::cluster::{Cluster, ClusterBuilder};
+    use malacology::interfaces::data_io;
+
+    /// A cluster whose single MDS rank journals synchronously and has one
+    /// standby waiting to be promoted by the monitor's beacon reaper.
+    fn failover_cluster(seed: u64) -> Cluster {
+        let mut cluster = ClusterBuilder::new()
+            .monitors(1)
+            .osds(4)
+            .mds_ranks(1)
+            .standby_mds(1)
+            .pool("p", 16, 2)
+            .pool("meta", 16, 2)
+            .mds_config(MdsConfig {
+                journal: true,
+                journal_sync: true,
+                ..MdsConfig::default()
+            })
+            .build(seed);
+        cluster.commit_updates(vec![zlog_interface_update()]);
+        cluster
+    }
+
+    fn add_zlog_client(cluster: &mut Cluster, name: &str) -> mala_sim::NodeId {
+        let node = cluster.alloc_node();
+        let config = ZlogConfig {
+            name: name.into(),
+            pool: "p".into(),
+            stripe_width: 4,
+            mds_nodes: cluster.mds_nodes(),
+            home_rank: 0,
+            monitor: cluster.mon(),
+        };
+        cluster.sim.add_node(node, ZlogClient::new(config));
+        cluster.sim.run_for(SimDuration::from_secs(1));
+        run_op(
+            &mut cluster.sim,
+            node,
+            SimDuration::from_secs(30),
+            |c, ctx| c.setup(ctx),
+        );
+        node
+    }
+
+    /// Polls `op` to completion while the sim (and optionally a nemesis)
+    /// advances; errors out if it hangs past a 90-virtual-second deadline.
+    fn drive_op(
+        cluster: &mut Cluster,
+        nemesis: Option<&mut Nemesis>,
+        node: mala_sim::NodeId,
+        op: u64,
+        what: &str,
+    ) -> Result<AppendResult, TestCaseError> {
+        let deadline = cluster.sim.now() + SimDuration::from_secs(90);
+        let mut nemesis = nemesis;
+        while !cluster.sim.actor::<ZlogClient>(node).is_done(op) {
+            if cluster.sim.now() >= deadline {
+                return Err(TestCaseError::fail(format!(
+                    "{what} hung past its deadline"
+                )));
+            }
+            match nemesis.as_deref_mut() {
+                Some(n) => n.run_for(&mut cluster.sim, SimDuration::from_millis(200)),
+                None => cluster.sim.run_for(SimDuration::from_millis(200)),
+            }
+        }
+        Ok(cluster
+            .sim
+            .actor_mut::<ZlogClient>(node)
+            .take_result(op)
+            .expect("op is done"))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// The tentpole invariant: crash the MDS rank that owns the
+        /// sequencer *without telling anyone* — the monitor must notice
+        /// the missed beacons, mark the rank down, and promote the
+        /// standby, which replays the journal, re-runs the seal/maxpos
+        /// protocol, and resumes issuing positions. Across the failover:
+        /// no duplicate positions, every post-failover position lands
+        /// strictly above the pre-crash tail (no regression, so nothing
+        /// already written can be re-issued or skipped over), every acked
+        /// payload reads back, and writes carrying the dead sequencer's
+        /// epoch bounce with `-116`.
+        #[test]
+        fn sequencer_failover_preserves_log_invariants(seed in 0u64..100_000) {
+            let mut cluster = failover_cluster(seed);
+            let node = add_zlog_client(&mut cluster, "failover");
+
+            let mut acked: Vec<(u64, Vec<u8>)> = Vec::new();
+            for k in 0..6u32 {
+                let payload = format!("pre-{seed}-{k}").into_bytes();
+                let res = run_op(&mut cluster.sim, node, SimDuration::from_secs(30), {
+                    let p = payload.clone();
+                    move |c, ctx| c.append(ctx, p)
+                });
+                let AppendResult::Ok(ZlogOut::Pos(pos)) = res else {
+                    return Err(TestCaseError::fail(format!(
+                        "pre-crash append {k} failed: {res:?} (seed {seed})"
+                    )));
+                };
+                acked.push((pos, payload));
+            }
+            let pre_tail = acked.iter().map(|(p, _)| *p).max().unwrap();
+
+            // Crash the active MDS; no map update, no harness help — only
+            // missed beacons can tell the monitor.
+            cluster.sim.crash(cluster.mds_node(0));
+
+            for k in 0..8u32 {
+                let payload = format!("post-{seed}-{k}").into_bytes();
+                let op = cluster.sim.with_actor::<ZlogClient, _>(node, {
+                    let p = payload.clone();
+                    move |c, ctx| c.append(ctx, p)
+                });
+                match drive_op(&mut cluster, None, node, op, &format!("post-crash append {k}"))? {
+                    AppendResult::Ok(ZlogOut::Pos(pos)) => {
+                        prop_assert!(
+                            pos > pre_tail,
+                            "post-failover position {} regressed below pre-crash tail {} (seed {})",
+                            pos, pre_tail, seed
+                        );
+                        acked.push((pos, payload));
+                    }
+                    other => {
+                        return Err(TestCaseError::fail(format!(
+                            "post-crash append {k} failed terminally: {other:?} (seed {seed})"
+                        )))
+                    }
+                }
+            }
+            cluster.sim.run_for(SimDuration::from_secs(2));
+
+            // Write-once across the failover: no two appends share a cell.
+            let mut seen: Vec<u64> = acked.iter().map(|(p, _)| *p).collect();
+            seen.sort_unstable();
+            let before = seen.len();
+            seen.dedup();
+            prop_assert_eq!(before, seen.len(), "duplicate positions (seed {})", seed);
+
+            // The failover actually went through the advertised machinery.
+            let m = cluster.sim.metrics();
+            prop_assert!(m.counter("mon.mds_failovers") >= 1, "monitor never promoted (seed {seed})");
+            prop_assert!(m.counter("mds.takeovers") >= 1, "standby never took over (seed {seed})");
+            prop_assert!(m.counter("mds.journal_replays") >= 1, "journal never replayed (seed {seed})");
+            prop_assert!(m.counter("mds.seq_seals") >= 1, "log never sealed (seed {seed})");
+
+            // Every acked payload survives the failover.
+            for (pos, payload) in &acked {
+                let pos = *pos;
+                let res = run_op(
+                    &mut cluster.sim,
+                    node,
+                    SimDuration::from_secs(30),
+                    move |c, ctx| c.read(ctx, pos),
+                );
+                let AppendResult::Ok(ZlogOut::Read(ReadOutcome::Data(data))) = res else {
+                    return Err(TestCaseError::fail(format!(
+                        "read of acked pos {pos} failed: {res:?} (seed {seed})"
+                    )));
+                };
+                prop_assert_eq!(&data, payload, "payload mismatch at {} (seed {})", pos, seed);
+            }
+
+            // The seal fenced the old epoch: a write stamped below the new
+            // sequencer's epoch bounces with ESTALE and leaves no residue.
+            let stale = cluster.rados(
+                ObjectId::new("p", "failover.0"),
+                data_io::call("zlog", "write", "0|9999|evil"),
+            );
+            match stale {
+                Err(OsdError::Class(e)) => prop_assert_eq!(
+                    e.code, -116,
+                    "stale-epoch write got wrong errno (seed {})", seed
+                ),
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "stale-epoch write not rejected after seal: {other:?} (seed {seed})"
+                    )))
+                }
+            }
+        }
+
+        /// Random *cluster* schedules — MDS crashes, beacon-loss link
+        /// severs, OSD crashes/isolations, loss bursts — play out while a
+        /// client appends. Crashed MDS nodes restart as standbys (the
+        /// monitor owns rank assignment now), crashed OSDs restart with
+        /// their journals. Invariants: every append completes or returns a
+        /// typed error within its deadline (no hangs), positions stay
+        /// unique, acked payloads survive, and after the schedule closes
+        /// the log accepts appends again.
+        #[test]
+        fn appends_survive_random_cluster_schedules(seed in 0u64..100_000) {
+            let mut cluster = failover_cluster(seed);
+            let node = add_zlog_client(&mut cluster, "cluster-nemesis");
+
+            let targets = cluster.fault_targets();
+            let schedule =
+                FaultSchedule::random_cluster(seed, &targets, SimDuration::from_secs(10), 5);
+            let journals = cluster.journals().clone();
+            let mon = cluster.mon();
+            let mut nemesis = Nemesis::new(schedule)
+                .with_labels(Cluster::node_role)
+                .on_restart(move |sim, n| match Cluster::node_role(n) {
+                    "osd" => {
+                        let osd = Osd::with_journal(
+                            n.0 - 10,
+                            mon,
+                            OsdConfig::default(),
+                            journals.journal(n),
+                        );
+                        sim.restart(n, osd);
+                    }
+                    "mds" => {
+                        // The monitor may already have promoted the
+                        // standby into this rank; rejoin as a standby and
+                        // let the mdsmap decide who serves.
+                        let config = MdsConfig {
+                            journal: true,
+                            journal_sync: true,
+                            ..MdsConfig::default()
+                        };
+                        sim.restart(n, Mds::standby(mon, config, Box::new(NoBalancer)));
+                    }
+                    role => panic!("unexpected restart target {n} ({role})"),
+                });
+
+            let mut acked: Vec<(u64, Vec<u8>)> = Vec::new();
+            for k in 0..10u32 {
+                let payload = format!("c{seed}-{k}").into_bytes();
+                let op = cluster.sim.with_actor::<ZlogClient, _>(node, {
+                    let p = payload.clone();
+                    move |c, ctx| c.append(ctx, p)
+                });
+                match drive_op(&mut cluster, Some(&mut nemesis), node, op, &format!("append {k}"))? {
+                    AppendResult::Ok(ZlogOut::Pos(pos)) => acked.push((pos, payload)),
+                    // A typed terminal error is acceptable under faults —
+                    // the invariant is "no hangs", not "no failures".
+                    AppendResult::Err(_) => {}
+                    other => {
+                        return Err(TestCaseError::fail(format!(
+                            "append {k} returned non-append result {other:?} (seed {seed})"
+                        )))
+                    }
+                }
+            }
+            while !nemesis.finished() {
+                nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(500));
+            }
+            cluster.sim.network_mut().heal_all();
+            cluster.sim.run_for(SimDuration::from_secs(3));
+
+            let mut seen: Vec<u64> = acked.iter().map(|(p, _)| *p).collect();
+            seen.sort_unstable();
+            let before = seen.len();
+            seen.dedup();
+            prop_assert_eq!(before, seen.len(), "duplicate positions (seed {})", seed);
+
+            for (pos, payload) in &acked {
+                let pos = *pos;
+                let res = run_op(
+                    &mut cluster.sim,
+                    node,
+                    SimDuration::from_secs(60),
+                    move |c, ctx| c.read(ctx, pos),
+                );
+                let AppendResult::Ok(ZlogOut::Read(ReadOutcome::Data(data))) = res else {
+                    return Err(TestCaseError::fail(format!(
+                        "read of acked pos {pos} failed after heal: {res:?} (seed {seed})"
+                    )));
+                };
+                prop_assert_eq!(&data, payload, "payload mismatch at {} (seed {})", pos, seed);
+            }
+
+            // Liveness after the storm: the healed cluster still appends.
+            let res = run_op(&mut cluster.sim, node, SimDuration::from_secs(60), |c, ctx| {
+                c.append(ctx, b"post-heal".to_vec())
+            });
+            prop_assert!(
+                matches!(res, AppendResult::Ok(ZlogOut::Pos(_))),
+                "healed cluster refused an append: {:?} (seed {})", res, seed
+            );
+        }
+    }
+}
+
+mod cap_partition {
+    use mala_mds::{Mds, MdsMsg};
+    use mala_sim::{Actor, Context, NodeId, SimDuration};
+    use malacology::cluster::ClusterBuilder;
+    use std::any::Any;
+
+    /// Minimal capability client: records grants/recalls, releases only
+    /// when scripted to (so the test controls staleness).
+    #[derive(Default)]
+    struct CapClient {
+        holding: Option<(u64, u64)>,
+        grants: u32,
+        recalls: u32,
+    }
+
+    impl Actor for CapClient {
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, msg: Box<dyn Any>) {
+            let Ok(msg) = msg.downcast::<MdsMsg>() else {
+                return;
+            };
+            match *msg {
+                MdsMsg::CapGrant { ino, state, .. } => {
+                    self.grants += 1;
+                    self.holding = Some((ino, state));
+                }
+                MdsMsg::CapRecall { .. } => {
+                    // Deliberately does not release: the holder under test
+                    // is partitioned, and the contender never gets one.
+                    self.recalls += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Satellite (c): a capability holder that is *partitioned* — alive,
+    /// not crashed — stops answering recalls; the MDS evicts it on the
+    /// holder timeout and re-grants. When the partition heals, the stale
+    /// holder's write-back is rejected and the new holder's state wins.
+    #[test]
+    fn partitioned_cap_holder_is_evicted_and_stale_release_rejected() {
+        let mut cluster = ClusterBuilder::new()
+            .monitors(1)
+            .osds(2)
+            .mds_ranks(1)
+            .pool("meta", 8, 1)
+            .build(77);
+        let mds = cluster.mds_node(0);
+        let a = cluster.alloc_node();
+        let b = cluster.alloc_node();
+        cluster.sim.add_node(a, CapClient::default());
+        cluster.sim.add_node(b, CapClient::default());
+        cluster.sim.run_for(SimDuration::from_millis(100));
+
+        // Client A creates a sequencer and takes its capability.
+        cluster.sim.with_actor::<CapClient, _>(a, move |_, ctx| {
+            ctx.send(
+                mds,
+                MdsMsg::Create {
+                    reqid: 1,
+                    parent_path: "/".into(),
+                    name: "seq".into(),
+                    ftype: mala_mds::FileType::Sequencer,
+                },
+            );
+        });
+        cluster.sim.run_for(SimDuration::from_millis(100));
+        let ino = cluster
+            .sim
+            .actor::<Mds>(mds)
+            .namespace()
+            .resolve("/seq")
+            .expect("create committed");
+        cluster.sim.with_actor::<CapClient, _>(a, move |_, ctx| {
+            ctx.send(mds, MdsMsg::CapRequest { ino });
+        });
+        cluster.sim.run_for(SimDuration::from_millis(100));
+        assert_eq!(cluster.sim.actor::<CapClient>(a).grants, 1);
+        assert_eq!(cluster.sim.actor::<Mds>(mds).cap_holder(ino), Some(a));
+
+        // The nemesis cuts A off (no crash — A still believes it holds the
+        // cap), and B contends for it.
+        cluster.sim.network_mut().isolate(a);
+        cluster.sim.with_actor::<CapClient, _>(b, move |_, ctx| {
+            ctx.send(mds, MdsMsg::CapRequest { ino });
+        });
+
+        // Recall retries go unanswered; the holder timeout evicts A and the
+        // cap moves to B.
+        let deadline = cluster.sim.now() + SimDuration::from_secs(10);
+        let moved = cluster
+            .sim
+            .run_until_pred(deadline, |s| s.actor::<Mds>(mds).cap_holder(ino) == Some(b));
+        assert!(moved, "cap never moved to the contender after eviction");
+        cluster.sim.run_for(SimDuration::from_millis(100));
+        assert_eq!(cluster.sim.actor::<CapClient>(b).grants, 1);
+        assert_eq!(
+            cluster.sim.actor::<CapClient>(a).recalls,
+            0,
+            "partitioned holder must not have seen the recall"
+        );
+
+        // Heal. The stale holder flushes its (now-invalid) local state.
+        cluster.sim.network_mut().rejoin(a);
+        cluster.sim.with_actor::<CapClient, _>(a, move |c, ctx| {
+            let (held, _) = c.holding.take().expect("A still thinks it holds");
+            ctx.send(
+                mds,
+                MdsMsg::CapRelease {
+                    ino: held,
+                    state: 999,
+                },
+            );
+        });
+        cluster.sim.run_for(SimDuration::from_millis(100));
+
+        // Rejected: the metric fired, B still holds, and the embedded
+        // state was not clobbered by the evicted holder.
+        assert!(
+            cluster.sim.metrics().counter("mds.stale_releases") >= 1,
+            "stale release was not detected"
+        );
+        assert_eq!(cluster.sim.actor::<Mds>(mds).cap_holder(ino), Some(b));
+        assert_ne!(
+            cluster
+                .sim
+                .actor::<Mds>(mds)
+                .namespace()
+                .get(ino)
+                .unwrap()
+                .embedded,
+            999,
+            "evicted holder's write-back leaked into the inode"
+        );
+    }
+}
+
+mod smoke {
+    use mala_mds::MdsConfig;
+    use mala_rados::{Osd, OsdConfig};
+    use mala_sim::{Fault, FaultSchedule, Nemesis, SimDuration, SimTime};
+    use mala_zlog::log::{run_op, ZlogOut};
+    use mala_zlog::{zlog_interface_update, AppendResult, ZlogClient, ZlogConfig};
+    use malacology::cluster::{Cluster, ClusterBuilder};
+
+    /// Fixed-seed CI smoke: one MDS crash (standby takes over via the
+    /// beacon path) and one OSD crash/restart (journal replay), with
+    /// appends flowing throughout. Fast, deterministic, and exercises the
+    /// whole failover stack end to end; `ci.sh` runs exactly this test.
+    #[test]
+    fn smoke_fixed_seed_failover() {
+        let seed = 2017; // EuroSys '17 — fixed forever for reproducibility.
+        let mut cluster = ClusterBuilder::new()
+            .monitors(1)
+            .osds(3)
+            .mds_ranks(1)
+            .standby_mds(1)
+            .pool("p", 16, 2)
+            .pool("meta", 16, 2)
+            .mds_config(MdsConfig {
+                journal: true,
+                journal_sync: true,
+                ..MdsConfig::default()
+            })
+            .build(seed);
+        cluster.commit_updates(vec![zlog_interface_update()]);
+        let node = cluster.alloc_node();
+        let config = ZlogConfig {
+            name: "smoke".into(),
+            pool: "p".into(),
+            stripe_width: 3,
+            mds_nodes: cluster.mds_nodes(),
+            home_rank: 0,
+            monitor: cluster.mon(),
+        };
+        cluster.sim.add_node(node, ZlogClient::new(config));
+        cluster.sim.run_for(SimDuration::from_secs(1));
+        run_op(
+            &mut cluster.sim,
+            node,
+            SimDuration::from_secs(30),
+            |c, ctx| c.setup(ctx),
+        );
+
+        let t0 = cluster.sim.now();
+        let schedule = FaultSchedule::new()
+            .at(SimTime(t0.0 + 1_000_000), Fault::Crash(cluster.mds_node(0)))
+            .at(SimTime(t0.0 + 2_000_000), Fault::Crash(cluster.osd_node(0)))
+            .at(
+                SimTime(t0.0 + 4_000_000),
+                Fault::Restart(cluster.osd_node(0)),
+            );
+        let journals = cluster.journals().clone();
+        let mon = cluster.mon();
+        let mut nemesis = Nemesis::new(schedule)
+            .with_labels(Cluster::node_role)
+            .on_restart(move |sim, n| {
+                let osd =
+                    Osd::with_journal(n.0 - 10, mon, OsdConfig::default(), journals.journal(n));
+                sim.restart(n, osd);
+            });
+
+        let mut positions = Vec::new();
+        for k in 0..8u32 {
+            let op = cluster
+                .sim
+                .with_actor::<ZlogClient, _>(node, move |c, ctx| {
+                    c.append(ctx, format!("smoke-{k}").into_bytes())
+                });
+            let deadline = cluster.sim.now() + SimDuration::from_secs(90);
+            while !cluster.sim.actor::<ZlogClient>(node).is_done(op) {
+                assert!(cluster.sim.now() < deadline, "append {k} hung");
+                nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(200));
+            }
+            let res = cluster
+                .sim
+                .actor_mut::<ZlogClient>(node)
+                .take_result(op)
+                .unwrap();
+            let AppendResult::Ok(ZlogOut::Pos(pos)) = res else {
+                panic!("append {k} failed: {res:?}");
+            };
+            positions.push(pos);
+        }
+        while !nemesis.finished() {
+            nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(500));
+        }
+
+        let mut unique = positions.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), positions.len(), "duplicate positions");
+        let m = cluster.sim.metrics();
+        assert!(m.counter("mds.takeovers") >= 1, "standby never took over");
+        assert!(m.counter("mds.seq_seals") >= 1, "log never sealed");
+        assert!(m.counter("osd.journal_replays") >= 1, "OSD never replayed");
+        assert!(
+            m.counter("nemesis.crash.mds") >= 1 && m.counter("nemesis.crash.osd") >= 1,
+            "per-role fault metrics missing"
+        );
     }
 }
 
