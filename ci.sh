@@ -17,6 +17,9 @@ echo "==> cargo test"
 cargo test -q
 
 echo "==> nemesis smoke (fixed seed: MDS failover + OSD crash/replay)"
-cargo test -q --test nemesis_invariants smoke_fixed_seed
+cargo test -q --test nemesis_invariants smoke_fixed_seed_failover
+
+echo "==> nemesis smoke (fixed seed: batched appends + OSD crash)"
+cargo test -q --test nemesis_invariants smoke_fixed_seed_batched_append
 
 echo "CI gate passed."

@@ -1,0 +1,18 @@
+//! Pipelined-append throughput sweep; writes
+//! `results/BENCH_zlog_append.json` next to the rendered table.
+
+use std::io::Write;
+
+fn main() {
+    let config = mala_bench::exp::zlog_pipeline::Config::default();
+    let data = mala_bench::exp::zlog_pipeline::run(&config);
+    print!("{}", mala_bench::exp::zlog_pipeline::render(&data));
+    let json = mala_bench::exp::zlog_pipeline::to_json(&data);
+    let path = std::path::Path::new("results/BENCH_zlog_append.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    let mut f = std::fs::File::create(path).expect("create BENCH_zlog_append.json");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("\nwrote {}", path.display());
+}

@@ -28,4 +28,5 @@ pub mod exp {
     pub mod fig9;
     pub mod nemesis;
     pub mod tables;
+    pub mod zlog_pipeline;
 }

@@ -119,6 +119,7 @@ const TIMER_JOURNAL: u64 = 3;
 const TIMER_MANTLE_TIMEOUT: u64 = 4;
 const TIMER_BEACON: u64 = 5;
 const TIMER_SEAL: u64 = 6;
+const TIMER_RECOVER: u64 = 7;
 
 /// Rank sentinel of a standby daemon (it serves nothing until promoted).
 pub const STANDBY_RANK: u32 = u32::MAX;
@@ -251,6 +252,10 @@ pub struct Mds {
     // Failover.
     /// True until this daemon is promoted into a rank.
     standby: bool,
+    /// Outstanding journal recovery read, drawn fresh per attempt from
+    /// the top reqid band so OSD reply dedup can never serve a stale
+    /// journal cached for an earlier incarnation of this node.
+    recover_reqid: Option<u64>,
     /// Sequencer inodes mid-seal after a takeover; type ops answer
     /// `Recovering` until the protocol completes.
     recovering_seqs: HashMap<Ino, SealRecovery>,
@@ -301,6 +306,7 @@ impl Mds {
             unflushed_replies: Vec::new(),
             pending_replies: HashMap::new(),
             standby: false,
+            recover_reqid: None,
             recovering_seqs: HashMap::new(),
             seq_layouts: HashMap::new(),
             replayed_mantle_version: 0,
@@ -416,6 +422,22 @@ impl Mds {
             (FileType::Sequencer, "next") => {
                 let v = inode.embedded;
                 inode.embedded += 1;
+                Ok(v)
+            }
+            (FileType::Sequencer, op) if op.starts_with("next_batch:") => {
+                // Bulk grant (`GetPosBatch { n }`): reserve a contiguous
+                // range in one round trip. The reply carries the first
+                // position; the caller owns `[first, first + n)`. Granted
+                // ranges a client abandons become holes it must junk-fill
+                // — the tail never moves backwards to reclaim them.
+                let n: u64 = op["next_batch:".len()..]
+                    .parse()
+                    .map_err(|_| MdsError::BadType)?;
+                if n == 0 {
+                    return Err(MdsError::BadType);
+                }
+                let v = inode.embedded;
+                inode.embedded = inode.embedded.saturating_add(n);
                 Ok(v)
             }
             (FileType::Sequencer, "read") => Ok(inode.embedded),
@@ -909,7 +931,16 @@ impl Mds {
 
     fn try_recover(&mut self, ctx: &mut Context<'_>) {
         // Called when the osdmap first becomes usable: read our journal.
-        if self.ready || self.standby || !self.config.journal || self.osdmap.pools.is_empty() {
+        if self.ready || self.standby || !self.config.journal {
+            return;
+        }
+        // The read (or its reply) can die to message loss or a crashed
+        // primary; until it lands the daemon is not ready and every
+        // client op sits stashed, so keep re-driving — even while the
+        // osdmap is still missing, so a lost snapshot can't wedge us.
+        // The reply handler ignores duplicates once ready.
+        ctx.set_timer(SimDuration::from_millis(500), TIMER_RECOVER);
+        if self.osdmap.pools.is_empty() {
             return;
         }
         let oid = ObjectId::new(
@@ -922,7 +953,12 @@ impl Mds {
             .and_then(|a| a.first().copied())
             .and_then(|p| self.osdmap.node_of(p))
         {
-            let reqid = u64::MAX; // reserved id for the recovery read
+            // Fresh reqid per attempt: reusing one would hit the OSD's
+            // reply cache and replay whatever journal an *earlier*
+            // incarnation of this node read, losing everything journaled
+            // since. Virtual time is unique across attempts.
+            let reqid = u64::MAX - ctx.now().as_micros();
+            self.recover_reqid = Some(reqid);
             ctx.send(
                 primary,
                 OsdMsg::ClientOp {
@@ -1002,6 +1038,7 @@ impl Mds {
         self.journal_buf.clear();
         self.unflushed_replies.clear();
         self.pending_replies.clear();
+        self.recover_reqid = None;
         self.recovering_seqs.clear();
         self.seal_mon_waiting.clear();
         self.seal_osd_waiting.clear();
@@ -1047,6 +1084,12 @@ impl Mds {
         if self.seq_layouts.is_empty() {
             return;
         }
+        // Submit seqs dedup per client *node*: a second incarnation on the
+        // same node (crash → takeover → crash → takeover) restarting the
+        // counter at 1 would have its epoch bump silently deduped — no
+        // ack, no commit — wedging recovery at AwaitCommit. Virtual time
+        // is strictly increasing across incarnations.
+        self.mon_seq = self.mon_seq.max(ctx.now().as_micros());
         for (ino, layout) in self.seq_layouts.clone() {
             self.recovering_seqs.insert(
                 ino,
@@ -1107,6 +1150,28 @@ impl Mds {
                     // Commit observed via the map itself (ack lost).
                     self.seal_mon_waiting.retain(|_, i| *i != ino);
                     self.begin_sealing(ctx, ino);
+                }
+                SealStage::AwaitCommit => {
+                    // The snapshot proves the bump never committed: the
+                    // Submit was lost to the network or deduped against
+                    // an earlier incarnation's seq. Re-submit under a
+                    // fresh seq — re-setting the same value is
+                    // idempotent, and TIMER_SEAL paces these snapshots.
+                    let new_epoch = rec.new_epoch;
+                    let seq = self.mon_seq;
+                    self.mon_seq += 1;
+                    self.seal_mon_waiting.insert(seq, ino);
+                    ctx.send(
+                        self.monitor,
+                        MonMsg::Submit {
+                            seq,
+                            updates: vec![mala_consensus::MapUpdate::set(
+                                ZLOG_EPOCH_MAP,
+                                &key,
+                                new_epoch.to_string().into_bytes(),
+                            )],
+                        },
+                    );
                 }
                 _ => {}
             }
@@ -1526,7 +1591,13 @@ impl Actor for Mds {
         let msg = match msg.downcast::<OsdMsg>() {
             Ok(osd) => {
                 if let OsdMsg::ClientReply { reqid, result, .. } = *osd {
-                    if reqid == u64::MAX {
+                    if Some(reqid) == self.recover_reqid {
+                        if self.ready {
+                            // Late duplicate of the recovery read:
+                            // replaying it would reset live state.
+                            return;
+                        }
+                        self.recover_reqid = None;
                         // Journal recovery read.
                         let data = match result {
                             Ok(results) => match results.into_iter().next() {
@@ -1645,7 +1716,25 @@ impl Actor for Mds {
             }
             TIMER_BEACON => {
                 self.send_beacon(ctx);
+                // The one-shot Subscribes at start can die to message
+                // loss; a daemon without the osdmap can never replay its
+                // journal, and one without the mdsmap can never be
+                // promoted. Re-assert until a snapshot has landed
+                // (subscribing twice is idempotent at the monitor).
+                if self.osdmap.epoch == 0 || self.mdsmap.epoch == 0 {
+                    for map in [SERVICE_MAP_MDS, SERVICE_MAP_OSD, SERVICE_MAP_MANTLE] {
+                        ctx.send(
+                            self.monitor,
+                            MonMsg::Subscribe {
+                                map: map.to_string(),
+                            },
+                        );
+                    }
+                }
                 ctx.set_timer(self.config.beacon_interval, TIMER_BEACON);
+            }
+            TIMER_RECOVER => {
+                self.try_recover(ctx);
             }
             TIMER_SEAL => {
                 // Re-drive stuck seal recoveries (lost messages, osdmap not

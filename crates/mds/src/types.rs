@@ -194,7 +194,8 @@ pub enum MdsMsg {
         reqid: u64,
         /// Target inode.
         ino: Ino,
-        /// Operation name (`"next"`, `"read"` for sequencers).
+        /// Operation name (`"next"`, `"read"` for sequencers, plus
+        /// `"next_batch:<n>"` — see [`MdsMsg::get_pos_batch`]).
         op: String,
     },
     /// Reply to `TypeOp`.
@@ -268,4 +269,20 @@ pub enum MdsMsg {
         /// Serving style after migration.
         style: ServeStyle,
     },
+}
+
+impl MdsMsg {
+    /// `GetPosBatch { n }`: one sequencer round trip reserving the
+    /// contiguous position range `[first, first + n)`, where `first` is
+    /// the value carried by the `TypeOpReply`. Encoded as the type op
+    /// `next_batch:<n>` so it rides the ordinary `TypeOp` path — frozen /
+    /// recovering / proxy / redirect handling and seal-based failover
+    /// re-delegation all apply unchanged.
+    pub fn get_pos_batch(reqid: u64, ino: Ino, n: u64) -> MdsMsg {
+        MdsMsg::TypeOp {
+            reqid,
+            ino,
+            op: format!("next_batch:{n}"),
+        }
+    }
 }

@@ -183,6 +183,51 @@ fn sequencer_type_ops_are_strictly_increasing() {
 }
 
 #[test]
+fn sequencer_bulk_grants_reserve_disjoint_ranges() {
+    let mut sim = build(1);
+    let seq = create(&mut sim, client_node(0), 1, "/", "s", FileType::Sequencer);
+    // Interleave bulk grants with singles: every grant owns a disjoint
+    // range, and the tail advances past the whole range at once.
+    for (reqid, n) in [(10u64, 8u64), (11, 1), (12, 4)] {
+        send_from(
+            &mut sim,
+            client_node(0),
+            mds_node(0),
+            MdsMsg::get_pos_batch(reqid, seq, n),
+        );
+        sim.run_for(SimDuration::from_millis(50));
+    }
+    send_from(
+        &mut sim,
+        client_node(0),
+        mds_node(0),
+        MdsMsg::TypeOp {
+            reqid: 13,
+            ino: seq,
+            op: "read".into(),
+        },
+    );
+    // A zero-width grant is a type error, not a stall.
+    send_from(
+        &mut sim,
+        client_node(0),
+        mds_node(0),
+        MdsMsg::get_pos_batch(14, seq, 0),
+    );
+    sim.run_for(SimDuration::from_millis(100));
+    let client = sim.actor::<TestClient>(client_node(0));
+    let firsts: Vec<u64> = (10..13)
+        .map(|r| client.typeops[&r].0.clone().unwrap())
+        .collect();
+    assert_eq!(firsts, vec![0, 8, 9]);
+    assert_eq!(client.typeops[&13].0, Ok(13)); // tail = 8 + 1 + 4
+    assert_eq!(
+        client.typeops[&14].0,
+        Err(mala_mds::types::MdsError::BadType)
+    );
+}
+
+#[test]
 fn namespace_replicates_to_peer_ranks() {
     let mut sim = build(3);
     let seq = create(

@@ -628,7 +628,12 @@ impl Osd {
         }
         if is_mutation && result.is_ok() {
             // Write-ahead: durable before replication and before the ack.
+            // One group-commit covers every op the transaction batched
+            // (e.g. a zlog `write_batch`); txn_ops / journal_commits is
+            // the journal coalescing factor.
             self.journal_object(&oid);
+            ctx.metrics().incr("osd.journal_commits", 1);
+            ctx.metrics().incr("osd.txn_ops", txn.len() as u64);
         }
         ctx.metrics().incr("osd.ops", 1);
         match result {

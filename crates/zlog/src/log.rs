@@ -9,7 +9,7 @@
 //! the client refreshes.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use mala_consensus::{MapUpdate, MonMsg, SERVICE_MAP_MDS};
 use mala_mds::types::{MdsError, MdsMsg};
@@ -19,7 +19,7 @@ use mala_rados::{ObjectId, Op, OpResult, OsdError, RadosClient};
 use mala_sim::{Actor, Context, NodeId, Sim, SimDuration, SimTime, TimerHandle};
 use rand::Rng;
 
-use crate::storage::ZLOG_CLASS;
+use crate::storage::{encode_write_batch, ZLOG_CLASS};
 
 /// Monitor map holding ZLog service metadata (per-log epochs).
 pub const ZLOG_MAP: &str = "zlog";
@@ -39,6 +39,29 @@ pub struct ZlogConfig {
     pub home_rank: u32,
     /// Monitor node.
     pub monitor: NodeId,
+}
+
+/// Tuning for the pipelined append path ([`ZlogClient::append_async`]).
+///
+/// Queued appends are drained into *batches*: one `GetPosBatch` round
+/// trip grants the whole batch's position range, and same-stripe members
+/// travel to the OSD in one vectored `write_batch` call (one RADOS
+/// transaction, one journal group-commit).
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Maximum queued appends drained into one grant (batch size cap).
+    pub queue_depth: usize,
+    /// How long an enqueued append may wait before a forced flush.
+    pub flush_window: SimDuration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            queue_depth: 16,
+            flush_window: SimDuration::from_millis(1),
+        }
+    }
 }
 
 /// Outcome of a read.
@@ -86,6 +109,11 @@ pub enum ZlogOut {
 }
 
 enum Stage {
+    /// Enqueued for the pipelined append path; a flush drains it into a
+    /// batch. Progress is owned by the flush timer, not the watchdog.
+    Queued,
+    /// Member of an in-flight batch; the batch machinery owns progress.
+    InBatch,
     /// Waiting for `/zlog` mkdir.
     SetupDir,
     /// Waiting for sequencer create.
@@ -123,6 +151,30 @@ struct PendingOp {
     deadline: SimTime,
     /// Pending watchdog timer, replaced on each re-arm.
     watch: Option<TimerHandle>,
+    /// Client-internal op (hole fill): completion is dropped, never
+    /// surfaced as a result.
+    internal: bool,
+}
+
+/// One in-flight append batch: a grant round trip for the whole range,
+/// then stripe-grouped vectored writes.
+struct Batch {
+    /// Member op ids, in grant order (member `i` owns `base + i`).
+    members: Vec<u64>,
+    stage: BatchStage,
+    attempts: u32,
+    /// Pending batch watchdog timer, replaced on each re-arm.
+    watch: Option<TimerHandle>,
+}
+
+enum BatchStage {
+    /// Waiting for the sequencer resolve or the `GetPosBatch` reply.
+    Grant,
+    /// Waiting for the stripe-grouped `write_batch` calls.
+    Write {
+        /// Outstanding stripe groups.
+        outstanding: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -137,6 +189,11 @@ enum OpKind {
 }
 
 const TOKEN_RETRY_BASE: u64 = 1 << 32;
+/// Batch watchdog tokens: above the per-op watchdog band, below the
+/// embedded RADOS client's (`1 << 48`).
+const TOKEN_BATCH_BASE: u64 = 1 << 40;
+/// The append-queue flush-window timer.
+const TOKEN_FLUSH: u64 = 1;
 
 /// The ZLog client actor.
 pub struct ZlogClient {
@@ -161,6 +218,19 @@ pub struct ZlogClient {
     mon_waiting: HashMap<u64, u64>,
     /// Ops blocked until a newer epoch arrives.
     blocked_on_epoch: Vec<(u64, u64)>,
+    /// Pipelined append tuning.
+    batch_cfg: BatchConfig,
+    /// Ops in [`Stage::Queued`], awaiting a flush.
+    append_queue: Vec<u64>,
+    /// Pending flush-window timer, if the queue is non-empty.
+    flush_timer: Option<TimerHandle>,
+    /// In-flight batches by id.
+    batches: HashMap<u64, Batch>,
+    next_batch: u64,
+    /// MDS reqid → batch id routing (grant round trips).
+    mds_batch_waiting: HashMap<u64, u64>,
+    /// rados reqid → (batch id, stripe group as `(member index, pos)`).
+    rados_batch_waiting: HashMap<u64, (u64, Vec<(usize, u64)>)>,
     /// First watchdog delay; doubles per attempt, capped.
     retry_base: SimDuration,
     /// Cap on the watchdog backoff.
@@ -188,11 +258,25 @@ impl ZlogClient {
             mds_waiting: HashMap::new(),
             mon_waiting: HashMap::new(),
             blocked_on_epoch: Vec::new(),
+            batch_cfg: BatchConfig::default(),
+            append_queue: Vec::new(),
+            flush_timer: None,
+            batches: HashMap::new(),
+            next_batch: 1,
+            mds_batch_waiting: HashMap::new(),
+            rados_batch_waiting: HashMap::new(),
             retry_base: SimDuration::from_millis(20),
             retry_cap: SimDuration::from_secs(2),
             op_deadline: SimDuration::from_secs(60),
             max_attempts: 16,
         }
+    }
+
+    /// Creates a client with non-default pipelined-append tuning.
+    pub fn with_batching(config: ZlogConfig, batch: BatchConfig) -> ZlogClient {
+        let mut client = ZlogClient::new(config);
+        client.batch_cfg = batch;
+        client
     }
 
     /// The current epoch this client operates under.
@@ -228,6 +312,7 @@ impl ZlogClient {
                 attempts: 0,
                 deadline: ctx.now() + self.op_deadline,
                 watch: None,
+                internal: false,
             },
         );
         // Every op runs under a watchdog: lost replies anywhere in the
@@ -263,8 +348,8 @@ impl ZlogClient {
     pub fn setup(&mut self, ctx: &mut Context<'_>) -> u64 {
         let op = self.begin(ctx, OpKind::Setup, Stage::SetupDir);
         let reqid = self.mds_reqid(op);
-        ctx.send(
-            self.home_node(),
+        self.send_home(
+            ctx,
             MdsMsg::Create {
                 reqid,
                 parent_path: "/".into(),
@@ -280,6 +365,46 @@ impl ZlogClient {
         let op = self.begin(ctx, OpKind::Append { data }, Stage::GetPos);
         self.step_get_pos(ctx, op);
         op
+    }
+
+    /// Enqueues an append on the pipelined path; resolves to
+    /// [`ZlogOut::Pos`] like [`ZlogClient::append`], but positions come
+    /// from bulk `GetPosBatch` grants amortized across the queue and
+    /// same-stripe writes coalesce into one `write_batch` RADOS
+    /// transaction. The queue drains when it reaches
+    /// [`BatchConfig::queue_depth`], when the flush window elapses, or on
+    /// an explicit [`ZlogClient::flush`].
+    pub fn append_async(&mut self, ctx: &mut Context<'_>, data: Vec<u8>) -> u64 {
+        let op = self.begin(ctx, OpKind::Append { data }, Stage::Queued);
+        self.append_queue.push(op);
+        if self.append_queue.len() >= self.batch_cfg.queue_depth.max(1) {
+            self.flush(ctx);
+        } else {
+            self.arm_flush_timer(ctx);
+        }
+        op
+    }
+
+    /// Drains the append queue now, forming one batch per
+    /// [`BatchConfig::queue_depth`] chunk.
+    pub fn flush(&mut self, ctx: &mut Context<'_>) {
+        if let Some(timer) = self.flush_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        while !self.append_queue.is_empty() {
+            let take = self
+                .append_queue
+                .len()
+                .min(self.batch_cfg.queue_depth.max(1));
+            let members: Vec<u64> = self.append_queue.drain(..take).collect();
+            self.start_batch(ctx, members);
+        }
+    }
+
+    fn arm_flush_timer(&mut self, ctx: &mut Context<'_>) {
+        if self.flush_timer.is_none() && !self.append_queue.is_empty() {
+            self.flush_timer = Some(ctx.set_timer(self.batch_cfg.flush_window, TOKEN_FLUSH));
+        }
     }
 
     /// Reads `pos`; resolves to [`ZlogOut::Read`].
@@ -335,14 +460,26 @@ impl ZlogClient {
 
     // ---- plumbing ----
 
-    fn home_node(&self) -> NodeId {
+    fn home_node(&self) -> Option<NodeId> {
         // Prefer the live map: after a failover the rank lives on the
         // promoted standby's node. Fall back to the static config until
         // the first mdsmap snapshot arrives (a send to a dead node is
-        // simply dropped and the watchdog re-drives the op).
+        // simply dropped and the watchdog re-drives the op). A rank in
+        // neither map is the same situation as a vacant rank
+        // (`MdsUnavailable`): no panic, nobody to send to yet.
         self.mdsmap
             .node_of(self.config.home_rank)
-            .unwrap_or_else(|| self.config.mds_nodes[&self.config.home_rank])
+            .or_else(|| self.config.mds_nodes.get(&self.config.home_rank).copied())
+    }
+
+    /// Sends `msg` to the home rank's node if one is known. With the rank
+    /// unroutable the message is withheld — the watchdog re-drives the op
+    /// with backoff, exactly as for a typed `MdsUnavailable` reply.
+    fn send_home(&mut self, ctx: &mut Context<'_>, msg: MdsMsg) {
+        match self.home_node() {
+            Some(node) => ctx.send(node, msg),
+            None => ctx.metrics().incr("zlog.mds_unroutable", 1),
+        }
     }
 
     /// Re-drives `op` after a transient typed MDS error (frozen inode,
@@ -359,8 +496,8 @@ impl ZlogClient {
     /// a promoted standby can seal them before reissuing positions.
     /// Fire-and-forget and idempotent; re-sent on every resolve.
     fn register_layout(&mut self, ctx: &mut Context<'_>, ino: Ino) {
-        ctx.send(
-            self.home_node(),
+        self.send_home(
+            ctx,
             MdsMsg::SetSeqLayout {
                 ino,
                 pool: self.config.pool.clone(),
@@ -389,7 +526,15 @@ impl ZlogClient {
     }
 
     fn finish(&mut self, op: u64, result: AppendResult) {
-        self.ops.remove(&op);
+        let internal = self.ops.remove(&op).map(|p| p.internal).unwrap_or(false);
+        if !self.append_queue.is_empty() {
+            self.append_queue.retain(|o| *o != op);
+        }
+        if internal {
+            // Hole fills complete silently; EEXIST ("already written") is
+            // success here — the cell is occupied either way.
+            return;
+        }
         self.results.insert(op, result);
     }
 
@@ -425,15 +570,15 @@ impl ZlogClient {
             }
             let reqid = self.mds_reqid(op);
             let path = format!("/zlog/{}", self.config.name);
-            ctx.send(self.home_node(), MdsMsg::Resolve { reqid, path });
+            self.send_home(ctx, MdsMsg::Resolve { reqid, path });
             return;
         };
         if let Some(p) = self.ops.get_mut(&op) {
             p.stage = Stage::GetPos;
         }
         let reqid = self.mds_reqid(op);
-        ctx.send(
-            self.home_node(),
+        self.send_home(
+            ctx,
             MdsMsg::TypeOp {
                 reqid,
                 ino,
@@ -449,12 +594,12 @@ impl ZlogClient {
             }
             let reqid = self.mds_reqid(op);
             let path = format!("/zlog/{}", self.config.name);
-            ctx.send(self.home_node(), MdsMsg::Resolve { reqid, path });
+            self.send_home(ctx, MdsMsg::Resolve { reqid, path });
             return;
         };
         let reqid = self.mds_reqid(op);
-        ctx.send(
-            self.home_node(),
+        self.send_home(
+            ctx,
             MdsMsg::TypeOp {
                 reqid,
                 ino,
@@ -496,6 +641,14 @@ impl ZlogClient {
                 }
             }
         }
+        let waiting: Vec<u64> = self.rados_batch_waiting.keys().copied().collect();
+        for reqid in waiting {
+            if let Some(event) = self.rados.take_completed(reqid) {
+                if let Some((id, group)) = self.rados_batch_waiting.remove(&reqid) {
+                    self.on_batch_write_done(ctx, id, group, event.result);
+                }
+            }
+        }
     }
 
     fn retry_blocked(&mut self, ctx: &mut Context<'_>) {
@@ -526,6 +679,13 @@ impl ZlogClient {
             return;
         }
         ctx.metrics().incr("zlog.retries", 1);
+        if matches!(pending.stage, Stage::Queued | Stage::InBatch) {
+            // Batched appends are re-driven by the flush/batch machinery,
+            // never through the single-op path (a stray restart here
+            // would double-assign the op).
+            self.arm_watchdog(ctx, op);
+            return;
+        }
         match pending.kind.clone() {
             OpKind::Append { .. } => self.step_get_pos(ctx, op),
             OpKind::Read { .. } | OpKind::Fill { .. } | OpKind::Trim { .. } => {
@@ -537,8 +697,8 @@ impl ZlogClient {
                 // from the top is safe.
                 pending.stage = Stage::SetupDir;
                 let reqid = self.mds_reqid(op);
-                ctx.send(
-                    self.home_node(),
+                self.send_home(
+                    ctx,
                     MdsMsg::Create {
                         reqid,
                         parent_path: "/".into(),
@@ -673,12 +833,12 @@ impl ZlogClient {
                         // Resolve then advance.
                         let reqid = self.mds_reqid(op);
                         let path = format!("/zlog/{}", self.config.name);
-                        ctx.send(self.home_node(), MdsMsg::Resolve { reqid, path });
+                        self.send_home(ctx, MdsMsg::Resolve { reqid, path });
                         return;
                     };
                     let reqid = self.mds_reqid(op);
-                    ctx.send(
-                        self.home_node(),
+                    self.send_home(
+                        ctx,
                         MdsMsg::TypeOp {
                             reqid,
                             ino,
@@ -701,8 +861,8 @@ impl ZlogClient {
                     pending.stage = Stage::SetupSeq;
                     let reqid = self.mds_reqid(op);
                     let name = self.config.name.clone();
-                    ctx.send(
-                        self.home_node(),
+                    self.send_home(
+                        ctx,
                         MdsMsg::Create {
                             reqid,
                             parent_path: "/zlog".into(),
@@ -724,7 +884,7 @@ impl ZlogClient {
                     pending.stage = Stage::ResolveSeq;
                     let reqid = self.mds_reqid(op);
                     let path = format!("/zlog/{}", self.config.name);
-                    ctx.send(self.home_node(), MdsMsg::Resolve { reqid, path });
+                    self.send_home(ctx, MdsMsg::Resolve { reqid, path });
                 }
                 Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
                 Err(e) => self.fail(op, format!("create sequencer failed: {e}")),
@@ -784,8 +944,8 @@ impl ZlogClient {
                     Ok((ino, _)) => {
                         self.seq_ino = Some(ino);
                         let reqid = self.mds_reqid(op);
-                        ctx.send(
-                            self.home_node(),
+                        self.send_home(
+                            ctx,
                             MdsMsg::TypeOp {
                                 reqid,
                                 ino,
@@ -823,6 +983,336 @@ impl ZlogClient {
             self.call_class(ctx, op, oid, "seal", format!("{new_epoch}"));
         }
     }
+
+    // ---- pipelined append batches ----
+
+    fn start_batch(&mut self, ctx: &mut Context<'_>, members: Vec<u64>) {
+        let id = self.next_batch;
+        self.next_batch += 1;
+        for &op in &members {
+            if let Some(p) = self.ops.get_mut(&op) {
+                p.stage = Stage::InBatch;
+            }
+        }
+        self.batches.insert(
+            id,
+            Batch {
+                members,
+                stage: BatchStage::Grant,
+                attempts: 0,
+                watch: None,
+            },
+        );
+        self.drive_batch_grant(ctx, id);
+    }
+
+    /// (Re-)sends the batch's grant round trip: a sequencer resolve if
+    /// the inode is unknown, else `GetPosBatch` for the live member
+    /// count. Supersedes any earlier grant reqid so a late duplicate
+    /// reply cannot double-grant.
+    fn drive_batch_grant(&mut self, ctx: &mut Context<'_>, id: u64) {
+        self.mds_batch_waiting.retain(|_, b| *b != id);
+        let Some(batch) = self.batches.get(&id) else {
+            return;
+        };
+        // Members may have died (op deadline) while the batch waited.
+        let live: Vec<u64> = batch
+            .members
+            .iter()
+            .copied()
+            .filter(|o| self.ops.contains_key(o))
+            .collect();
+        if live.is_empty() {
+            self.remove_batch(ctx, id);
+            return;
+        }
+        let n = live.len() as u64;
+        if let Some(batch) = self.batches.get_mut(&id) {
+            batch.members = live;
+            batch.stage = BatchStage::Grant;
+        }
+        let reqid = self.next_seq;
+        self.next_seq += 1;
+        self.mds_batch_waiting.insert(reqid, id);
+        let msg = match self.seq_ino {
+            Some(ino) => MdsMsg::get_pos_batch(reqid, ino, n),
+            None => MdsMsg::Resolve {
+                reqid,
+                path: format!("/zlog/{}", self.config.name),
+            },
+        };
+        self.send_home(ctx, msg);
+        self.arm_batch_watchdog(ctx, id);
+    }
+
+    /// (Re-)arms the batch watchdog with the same capped exponential
+    /// backoff the per-op watchdog uses.
+    fn arm_batch_watchdog(&mut self, ctx: &mut Context<'_>, id: u64) {
+        let Some(batch) = self.batches.get(&id) else {
+            return;
+        };
+        let base = self.retry_base.as_micros().max(1);
+        let cap = self.retry_cap.as_micros().max(base);
+        let exp = base.saturating_mul(1u64 << batch.attempts.min(20));
+        let delay = exp.min(cap);
+        let jitter = ctx.rng().gen_range(0..=delay / 2);
+        let timer = ctx.set_timer(
+            SimDuration::from_micros(delay + jitter),
+            TOKEN_BATCH_BASE + id,
+        );
+        if let Some(batch) = self.batches.get_mut(&id) {
+            if let Some(old) = batch.watch.replace(timer) {
+                ctx.cancel_timer(old);
+            }
+        }
+    }
+
+    /// Transient grant failure (frozen / recovering / vacant rank / lost
+    /// reply): back off and re-drive, like `retry_shortly` for ops.
+    fn batch_retry(&mut self, ctx: &mut Context<'_>, id: u64) {
+        let Some(batch) = self.batches.get_mut(&id) else {
+            return;
+        };
+        batch.attempts += 1;
+        if batch.attempts > self.max_attempts {
+            self.fail_batch(ctx, id, "bulk grant: too many retries");
+            return;
+        }
+        ctx.metrics().incr("zlog.retries", 1);
+        self.arm_batch_watchdog(ctx, id);
+    }
+
+    fn fail_batch(&mut self, ctx: &mut Context<'_>, id: u64, msg: impl Into<String>) {
+        let msg = msg.into();
+        if let Some(batch) = self.batches.get(&id) {
+            for op in batch.members.clone() {
+                if self.ops.contains_key(&op) {
+                    self.fail(op, msg.clone());
+                }
+            }
+        }
+        self.remove_batch(ctx, id);
+    }
+
+    fn remove_batch(&mut self, ctx: &mut Context<'_>, id: u64) {
+        if let Some(batch) = self.batches.remove(&id) {
+            if let Some(timer) = batch.watch {
+                ctx.cancel_timer(timer);
+            }
+        }
+        self.mds_batch_waiting.retain(|_, b| *b != id);
+        self.rados_batch_waiting.retain(|_, (b, _)| *b != id);
+    }
+
+    fn on_batch_mds_reply(&mut self, ctx: &mut Context<'_>, id: u64, msg: MdsMsg) {
+        if !self.batches.contains_key(&id) {
+            return;
+        }
+        match msg {
+            MdsMsg::Resolved { result, .. } => match result {
+                Ok((ino, _rank)) => {
+                    self.seq_ino = Some(ino);
+                    self.register_layout(ctx, ino);
+                    self.drive_batch_grant(ctx, id);
+                }
+                Err(e) if e.is_retryable() => self.batch_retry(ctx, id),
+                Err(e) => self.fail_batch(ctx, id, format!("sequencer resolve failed: {e}")),
+            },
+            MdsMsg::TypeOpReply { result, .. } => match result {
+                Ok(base) => self.launch_batch_writes(ctx, id, base),
+                Err(e) if e.is_retryable() => self.batch_retry(ctx, id),
+                Err(e) => self.fail_batch(ctx, id, format!("bulk grant failed: {e}")),
+            },
+            _ => {}
+        }
+    }
+
+    /// The grant landed: member `i` owns `base + i`. Fan the writes out
+    /// to the stripe objects, one vectored `write_batch` per stripe, so
+    /// every same-stripe member rides one RADOS transaction (and one OSD
+    /// journal group-commit).
+    fn launch_batch_writes(&mut self, ctx: &mut Context<'_>, id: u64, base: u64) {
+        let Some(batch) = self.batches.get(&id) else {
+            return;
+        };
+        let members = batch.members.clone();
+        let width = u64::from(self.config.stripe_width).max(1);
+        let now = ctx.now();
+        ctx.metrics().incr("zlog.pos_grants", 1);
+        ctx.metrics()
+            .observe("zlog.batch.occupancy", now, members.len() as f64);
+        // Round trips the bulk grant saved over position-at-a-time.
+        ctx.metrics()
+            .observe("zlog.batch.grants_saved", now, (members.len() - 1) as f64);
+        ctx.metrics()
+            .incr("zlog.grants_saved", members.len() as u64 - 1);
+        // Deterministic stripe order keeps the event trace seed-stable.
+        let mut groups: BTreeMap<u64, Vec<(usize, u64)>> = BTreeMap::new();
+        for (i, &op) in members.iter().enumerate() {
+            let pos = base + i as u64;
+            if self.ops.contains_key(&op) {
+                groups.entry(pos % width).or_default().push((i, pos));
+            } else {
+                // The member died while the grant was in flight: its cell
+                // would stay a hole nobody owns. Junk-fill it now.
+                self.spawn_hole_fill(ctx, pos);
+            }
+        }
+        let epoch = self.epoch;
+        let mut outstanding = 0;
+        for group in groups.into_values() {
+            let entries: Vec<(u64, Vec<u8>)> = group
+                .iter()
+                .filter_map(|(i, pos)| {
+                    let pending = self.ops.get(&members[*i])?;
+                    let OpKind::Append { data } = &pending.kind else {
+                        return None;
+                    };
+                    Some((*pos, data.clone()))
+                })
+                .collect();
+            let borrowed: Vec<(u64, &[u8])> =
+                entries.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+            let input = encode_write_batch(epoch, &borrowed);
+            let oid = self.stripe_oid(entries[0].0);
+            let reqid = self.rados.submit(
+                ctx,
+                oid,
+                vec![Op::Call {
+                    class: ZLOG_CLASS.into(),
+                    method: "write_batch".into(),
+                    input,
+                }],
+            );
+            self.rados_batch_waiting.insert(reqid, (id, group));
+            outstanding += 1;
+        }
+        if outstanding == 0 {
+            self.remove_batch(ctx, id);
+            return;
+        }
+        if let Some(batch) = self.batches.get_mut(&id) {
+            batch.stage = BatchStage::Write { outstanding };
+        }
+        self.arm_batch_watchdog(ctx, id);
+    }
+
+    /// One stripe group of a batch completed. Success finishes every
+    /// member with its position. Failure is group-atomic on the OSD
+    /// (`write_batch` validates before applying), so the CORFU-safe
+    /// reaction is uniform: re-enqueue the members for a *fresh* grant —
+    /// never rewrite old positions after a possible seal, the restarted
+    /// sequencer may reissue them — and junk-fill the abandoned cells so
+    /// readers never block on them. On ESTALE the epoch refresh is
+    /// kicked first; the fills ride the normal blocked-on-epoch path.
+    fn on_batch_write_done(
+        &mut self,
+        ctx: &mut Context<'_>,
+        id: u64,
+        group: Vec<(usize, u64)>,
+        result: Result<Vec<OpResult>, OsdError>,
+    ) {
+        let Some(batch) = self.batches.get_mut(&id) else {
+            return;
+        };
+        if let BatchStage::Write { outstanding } = &mut batch.stage {
+            *outstanding = outstanding.saturating_sub(1);
+        }
+        let members = batch.members.clone();
+        match result {
+            Ok(_) => {
+                ctx.metrics().incr("zlog.batch_writes", 1);
+                ctx.metrics()
+                    .incr("zlog.coalesced_entries", group.len() as u64);
+                for (i, pos) in group {
+                    let op = members[i];
+                    if self.ops.contains_key(&op) {
+                        self.finish(op, AppendResult::Ok(ZlogOut::Pos(pos)));
+                    }
+                }
+            }
+            Err(err) => {
+                match &err {
+                    OsdError::Class(ce) if ce.code == -116 => {
+                        ctx.metrics().incr("zlog.estale_retries", 1);
+                        ctx.send(
+                            self.config.monitor,
+                            MonMsg::Get {
+                                map: ZLOG_MAP.to_string(),
+                            },
+                        );
+                    }
+                    OsdError::Timeout => {
+                        ctx.metrics().incr("zlog.rados_timeouts", 1);
+                    }
+                    _ => {}
+                }
+                let retry: Vec<u64> = group.iter().map(|(i, _)| members[*i]).collect();
+                self.requeue_members(ctx, &retry);
+                // A Timeout is ambiguous (the write may have landed); the
+                // fill then bounces with EEXIST, which is fine — the cell
+                // is occupied and readers don't block.
+                for (_, pos) in &group {
+                    self.spawn_hole_fill(ctx, *pos);
+                }
+            }
+        }
+        if let Some(batch) = self.batches.get(&id) {
+            if matches!(batch.stage, BatchStage::Write { outstanding: 0 }) {
+                self.remove_batch(ctx, id);
+            }
+        }
+    }
+
+    /// Puts failed batch members back on the append queue for a fresh
+    /// grant, burning one attempt each; the flush window paces the retry
+    /// (and gives an in-flight epoch refresh time to land).
+    fn requeue_members(&mut self, ctx: &mut Context<'_>, members: &[u64]) {
+        for &op in members {
+            let Some(pending) = self.ops.get_mut(&op) else {
+                continue;
+            };
+            pending.attempts += 1;
+            if pending.attempts > self.max_attempts {
+                self.fail(op, "too many retries");
+                continue;
+            }
+            pending.stage = Stage::Queued;
+            self.append_queue.push(op);
+            ctx.metrics().incr("zlog.retries", 1);
+        }
+        self.arm_flush_timer(ctx);
+    }
+
+    /// Junk-fills a granted-but-abandoned cell (CORFU hole fill) with an
+    /// internal op: the result is dropped, EEXIST counts as occupied.
+    fn spawn_hole_fill(&mut self, ctx: &mut Context<'_>, pos: u64) {
+        ctx.metrics().incr("zlog.hole_fills", 1);
+        let op = self.begin(ctx, OpKind::Fill { pos }, Stage::Mutate);
+        if let Some(pending) = self.ops.get_mut(&op) {
+            pending.internal = true;
+        }
+        self.step_storage_simple(ctx, op);
+    }
+
+    fn on_batch_watchdog(&mut self, ctx: &mut Context<'_>, id: u64) {
+        let Some(batch) = self.batches.get_mut(&id) else {
+            return;
+        };
+        match batch.stage {
+            BatchStage::Grant => {
+                batch.attempts += 1;
+                if batch.attempts > self.max_attempts {
+                    self.fail_batch(ctx, id, "bulk grant: too many retries");
+                    return;
+                }
+                self.drive_batch_grant(ctx, id);
+            }
+            // Writes complete through the embedded RADOS client's own
+            // retransmit/timeout machinery; just keep the backstop armed.
+            BatchStage::Write { .. } => self.arm_batch_watchdog(ctx, id),
+        }
+    }
 }
 
 impl Actor for ZlogClient {
@@ -851,6 +1341,8 @@ impl Actor for ZlogClient {
                 if let Some(reqid) = reqid {
                     if let Some(op) = self.mds_waiting.remove(&reqid) {
                         self.on_mds_reply(ctx, op, *mds);
+                    } else if let Some(id) = self.mds_batch_waiting.remove(&reqid) {
+                        self.on_batch_mds_reply(ctx, id, *mds);
                     }
                 }
                 return;
@@ -933,6 +1425,10 @@ impl Actor for ZlogClient {
             self.drain_rados(ctx);
             return;
         }
+        if token >= TOKEN_BATCH_BASE {
+            self.on_batch_watchdog(ctx, token - TOKEN_BATCH_BASE);
+            return;
+        }
         if token >= TOKEN_RETRY_BASE {
             let op = token - TOKEN_RETRY_BASE;
             let Some(pending) = self.ops.get(&op) else {
@@ -943,7 +1439,18 @@ impl Actor for ZlogClient {
                 self.fail(op, "op deadline exceeded");
                 return;
             }
-            self.restart_op(ctx, op);
+            match pending.stage {
+                // Queued / batched appends progress through the flush
+                // timer and the batch machinery; their per-op watchdog
+                // only enforces the deadline.
+                Stage::Queued | Stage::InBatch => self.arm_watchdog(ctx, op),
+                _ => self.restart_op(ctx, op),
+            }
+            return;
+        }
+        if token == TOKEN_FLUSH {
+            self.flush_timer = None;
+            self.flush(ctx);
         }
     }
 }

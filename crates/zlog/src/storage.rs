@@ -17,6 +17,18 @@
 //!
 //! Wire format (text, `|`-separated): `write`: `epoch|pos|payload`,
 //! `read`/`fill`/`trim`: `epoch|pos`, `seal`: `epoch`, `maxpos`: ``.
+//!
+//! `write_batch` is the vectored variant behind the pipelined append
+//! path: one call carries every same-stripe position of a client batch,
+//! so the whole group is admitted under one epoch check, applied in one
+//! RADOS transaction, and journaled as one group-commit. Payloads may
+//! contain the separator, so entries are length-prefixed rather than
+//! split: `epoch|n|` followed by `n` entries `pos|len|payload`
+//! concatenated back to back (`len` = payload byte length, see
+//! [`encode_write_batch`]). Semantics are all-or-nothing: any conflict
+//! (a written position, or a duplicate inside the batch) rejects the
+//! whole call with `EEXIST` before anything is applied, and a sealed
+//! epoch rejects it with `ESTALE`.
 
 use mala_consensus::{MapUpdate, SERVICE_MAP_INTERFACES};
 
@@ -77,6 +89,65 @@ function write(input)
     omap_set(key, "D|" .. payload)
     bump_maxpos(pos)
     return "ok"
+end
+
+-- Vectored write: "epoch|n|" then n length-prefixed entries
+-- "pos|len|payload" back to back. All-or-nothing: every entry is
+-- validated (epoch, write-once, intra-batch duplicates) before any is
+-- applied, so a rejected batch leaves no residue.
+function write_batch(input)
+    local i = find(input, "|")
+    if i == nil then error("EINVAL: bad write_batch input") end
+    local e = tonumber(sub(input, 1, i - 1))
+    local s = sub(input, i + 1)
+    i = find(s, "|")
+    if i == nil then error("EINVAL: bad write_batch input") end
+    local n = tonumber(sub(s, 1, i - 1))
+    s = sub(s, i + 1)
+    if e == nil or n == nil or n < 1 then
+        error("EINVAL: bad write_batch input")
+    end
+    check_epoch(e)
+    local keys = {}
+    local vals = {}
+    local hi = nil
+    local k = 1
+    while k <= n do
+        i = find(s, "|")
+        if i == nil then error("EINVAL: short write_batch entry") end
+        local pos = tonumber(sub(s, 1, i - 1))
+        s = sub(s, i + 1)
+        i = find(s, "|")
+        if i == nil then error("EINVAL: short write_batch entry") end
+        local len = tonumber(sub(s, 1, i - 1))
+        s = sub(s, i + 1)
+        if pos == nil or len == nil or len < 0 or #s < len then
+            error("EINVAL: short write_batch entry")
+        end
+        local key = pad(pos)
+        if omap_get(key) ~= nil then
+            error("EEXIST: position " .. fmt(pos) .. " already written")
+        end
+        local j = 1
+        while j < k do
+            if keys[j] == key then
+                error("EEXIST: position " .. fmt(pos) .. " duplicated in batch")
+            end
+            j = j + 1
+        end
+        insert(keys, key)
+        insert(vals, "D|" .. sub(s, 1, len))
+        s = sub(s, len + 1)
+        if hi == nil or pos > hi then hi = pos end
+        k = k + 1
+    end
+    k = 1
+    while k <= n do
+        omap_set(keys[k], vals[k])
+        k = k + 1
+    end
+    bump_maxpos(hi)
+    return fmt(n)
 end
 
 function read(input)
@@ -140,6 +211,21 @@ function maxpos(input)
     return m
 end
 "#;
+
+/// Encodes a `write_batch` input: `epoch|n|` then each entry as
+/// `pos|len|payload` with `len` the payload byte length, so payloads may
+/// contain the separator. Entries must be non-empty.
+pub fn encode_write_batch(epoch: u64, entries: &[(u64, &[u8])]) -> Vec<u8> {
+    let mut out = format!("{epoch}|{}|", entries.len()).into_bytes();
+    for (pos, payload) in entries {
+        // The class runs on lossy-decoded text, so measure the length of
+        // what the interpreter will actually see.
+        let text = String::from_utf8_lossy(payload);
+        out.extend_from_slice(format!("{pos}|{}|", text.len()).as_bytes());
+        out.extend_from_slice(text.as_bytes());
+    }
+    out
+}
 
 /// The monitor update that installs (or upgrades) the class cluster-wide.
 pub fn zlog_interface_update() -> MapUpdate {
@@ -256,6 +342,85 @@ mod tests {
         call(&reg, &mut slot, "fill", "0|10").unwrap();
         call(&reg, &mut slot, "write", "0|6|y").unwrap();
         assert_eq!(call(&reg, &mut slot, "maxpos", ""), Ok("10".into()));
+    }
+
+    fn batch_input(epoch: u64, entries: &[(u64, &str)]) -> String {
+        let entries: Vec<(u64, &[u8])> = entries.iter().map(|(p, s)| (*p, s.as_bytes())).collect();
+        String::from_utf8(encode_write_batch(epoch, &entries)).unwrap()
+    }
+
+    #[test]
+    fn write_batch_lands_every_entry() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        let input = batch_input(0, &[(0, "alpha"), (4, "with|sep"), (8, "")]);
+        assert_eq!(call(&reg, &mut slot, "write_batch", &input), Ok("3".into()));
+        assert_eq!(call(&reg, &mut slot, "read", "0|0"), Ok("D|alpha".into()));
+        assert_eq!(
+            call(&reg, &mut slot, "read", "0|4"),
+            Ok("D|with|sep".into())
+        );
+        assert_eq!(call(&reg, &mut slot, "read", "0|8"), Ok("D|".into()));
+    }
+
+    #[test]
+    fn write_batch_conflict_rejects_whole_batch() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        call(&reg, &mut slot, "write", "0|4|held").unwrap();
+        // One member collides with a written cell: nothing may land.
+        let input = batch_input(0, &[(0, "a"), (4, "clobber"), (8, "c")]);
+        assert_eq!(call(&reg, &mut slot, "write_batch", &input), Err(-17));
+        assert_eq!(call(&reg, &mut slot, "read", "0|0"), Err(-2));
+        assert_eq!(call(&reg, &mut slot, "read", "0|8"), Err(-2));
+        assert_eq!(call(&reg, &mut slot, "read", "0|4"), Ok("D|held".into()));
+    }
+
+    #[test]
+    fn write_batch_rejects_intra_batch_duplicates() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        let input = batch_input(0, &[(3, "first"), (7, "mid"), (3, "again")]);
+        assert_eq!(call(&reg, &mut slot, "write_batch", &input), Err(-17));
+        // All-or-nothing: the earlier members did not sneak in.
+        assert_eq!(call(&reg, &mut slot, "read", "0|3"), Err(-2));
+        assert_eq!(call(&reg, &mut slot, "read", "0|7"), Err(-2));
+    }
+
+    #[test]
+    fn write_batch_sealed_epoch_rejects_whole_batch() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        call(&reg, &mut slot, "seal", "5").unwrap();
+        let input = batch_input(4, &[(0, "a"), (4, "b")]);
+        assert_eq!(call(&reg, &mut slot, "write_batch", &input), Err(-116));
+        assert_eq!(call(&reg, &mut slot, "read", "5|0"), Err(-2));
+        assert_eq!(call(&reg, &mut slot, "read", "5|4"), Err(-2));
+        // The same batch at the sealed epoch is admitted.
+        let input = batch_input(5, &[(0, "a"), (4, "b")]);
+        assert_eq!(call(&reg, &mut slot, "write_batch", &input), Ok("2".into()));
+    }
+
+    #[test]
+    fn write_batch_bumps_maxpos_to_highest_member() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        let input = batch_input(0, &[(12, "c"), (4, "a"), (8, "b")]);
+        call(&reg, &mut slot, "write_batch", &input).unwrap();
+        assert_eq!(call(&reg, &mut slot, "maxpos", ""), Ok("12".into()));
+        // Seal sees the batched maximum, like any single write.
+        assert_eq!(call(&reg, &mut slot, "seal", "1"), Ok("12".into()));
+    }
+
+    #[test]
+    fn write_batch_bad_inputs_are_einval() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        for input in ["", "0", "0|2|", "0|1|5", "0|1|5|10|short", "0|x|"] {
+            assert_eq!(call(&reg, &mut slot, "write_batch", input), Err(-22));
+        }
+        // Nothing was applied by the truncated attempts.
+        assert_eq!(call(&reg, &mut slot, "maxpos", ""), Ok("-1".into()));
     }
 
     #[test]

@@ -9,7 +9,9 @@ use mala_mds::{MdsConfig, MdsMapView, NoBalancer};
 use mala_rados::{Osd, OsdConfig, OsdMapView, PoolInfo};
 use mala_sim::{NodeId, Sim, SimDuration};
 use mala_zlog::log::{run_op, ZlogOut, ZLOG_MAP};
-use mala_zlog::{zlog_interface_update, AppendResult, ReadOutcome, ZlogClient, ZlogConfig};
+use mala_zlog::{
+    zlog_interface_update, AppendResult, BatchConfig, ReadOutcome, ZlogClient, ZlogConfig,
+};
 
 const MON: NodeId = NodeId(0);
 const MDS0: NodeId = NodeId(20);
@@ -28,6 +30,10 @@ fn zcfg(name: &str) -> ZlogConfig {
 }
 
 fn build(log: &str) -> Sim {
+    build_with(log, ZlogClient::new(zcfg(log)))
+}
+
+fn build_with(log: &str, client_a: ZlogClient) -> Sim {
     let mut sim = Sim::new(23);
     sim.add_node(MON, Monitor::new(0, vec![MON], MonConfig::default()));
     for i in 0..4u32 {
@@ -37,7 +43,7 @@ fn build(log: &str) -> Sim {
         MDS0,
         Mds::new(0, MON, MdsConfig::default(), Box::new(NoBalancer)),
     );
-    sim.add_node(CLIENT_A, ZlogClient::new(zcfg(log)));
+    sim.add_node(CLIENT_A, client_a);
     sim.add_node(CLIENT_B, ZlogClient::new(zcfg(log)));
     let mut updates = vec![
         OsdMapView::update_pool(
@@ -227,4 +233,136 @@ fn epoch_lives_in_service_metadata() {
         Some(b"1".as_slice()),
         "epoch must be durable in the monitor map"
     );
+}
+
+/// Drives `count` pipelined appends through CLIENT_A and returns the
+/// assigned positions in submission order.
+fn drive_async_appends(sim: &mut Sim, count: usize, timeout: SimDuration) -> Vec<u64> {
+    let ops: Vec<u64> = (0..count)
+        .map(|i| {
+            sim.with_actor::<ZlogClient, _>(CLIENT_A, move |c, ctx| {
+                c.append_async(ctx, format!("entry-{i}").into_bytes())
+            })
+        })
+        .collect();
+    let deadline = sim.now() + timeout;
+    let done = sim.run_until_pred(deadline, |s| {
+        let c = s.actor::<ZlogClient>(CLIENT_A);
+        ops.iter().all(|&op| c.is_done(op))
+    });
+    assert!(done, "pipelined appends timed out after {timeout}");
+    ops.iter()
+        .enumerate()
+        .map(
+            |(i, &op)| match sim.actor_mut::<ZlogClient>(CLIENT_A).take_result(op) {
+                Some(AppendResult::Ok(ZlogOut::Pos(p))) => p,
+                other => panic!("async append {i} failed: {other:?}"),
+            },
+        )
+        .collect()
+}
+
+#[test]
+fn pipelined_appends_amortize_grants_and_read_back() {
+    const N: usize = 16;
+    let mut sim = build_with(
+        "plog0",
+        ZlogClient::with_batching(
+            zcfg("plog0"),
+            BatchConfig {
+                queue_depth: 8,
+                flush_window: SimDuration::from_millis(1),
+            },
+        ),
+    );
+    let positions = drive_async_appends(&mut sim, N, SimDuration::from_secs(30));
+
+    // Positions must be unique and, on a fresh single-writer log, dense.
+    let mut sorted = positions.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), N, "duplicate positions: {positions:?}");
+    assert_eq!(sorted, (0..N as u64).collect::<Vec<_>>());
+
+    // Every payload reads back from the position its op resolved to.
+    for (i, &p) in positions.iter().enumerate() {
+        assert_eq!(
+            read(&mut sim, CLIENT_B, p),
+            ReadOutcome::Data(format!("entry-{i}").into_bytes()),
+            "position {p}"
+        );
+    }
+
+    // The whole point: far fewer sequencer round trips than appends.
+    let grants = sim.metrics().counter("zlog.pos_grants");
+    assert!(
+        (1..N as u64).contains(&grants),
+        "expected amortized grants, got {grants} for {N} appends"
+    );
+    assert_eq!(
+        sim.metrics().counter("zlog.grants_saved") + grants,
+        N as u64,
+        "every append is covered by exactly one grant"
+    );
+    // And the stripe writes were coalesced: fewer RADOS ops than entries.
+    let writes = sim.metrics().counter("zlog.batch_writes");
+    assert!(writes < N as u64, "writes not coalesced: {writes}");
+    assert_eq!(sim.metrics().counter("zlog.coalesced_entries"), N as u64);
+}
+
+#[test]
+fn flush_window_drains_a_partial_queue() {
+    // Queue depth far above the number of appends: only the flush-window
+    // timer can push these through.
+    let mut sim = build_with(
+        "plog1",
+        ZlogClient::with_batching(
+            zcfg("plog1"),
+            BatchConfig {
+                queue_depth: 64,
+                flush_window: SimDuration::from_millis(5),
+            },
+        ),
+    );
+    let positions = drive_async_appends(&mut sim, 3, SimDuration::from_secs(30));
+    let mut sorted = positions.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted, vec![0, 1, 2], "{positions:?}");
+}
+
+#[test]
+fn explicit_flush_short_circuits_the_window() {
+    let mut sim = build_with(
+        "plog2",
+        ZlogClient::with_batching(
+            zcfg("plog2"),
+            BatchConfig {
+                queue_depth: 64,
+                // A window so long it would stall the test on its own.
+                flush_window: SimDuration::from_secs(120),
+            },
+        ),
+    );
+    let ops: Vec<u64> = (0..4)
+        .map(|i| {
+            sim.with_actor::<ZlogClient, _>(CLIENT_A, move |c, ctx| {
+                c.append_async(ctx, format!("f-{i}").into_bytes())
+            })
+        })
+        .collect();
+    sim.with_actor::<ZlogClient, _>(CLIENT_A, |c, ctx| c.flush(ctx));
+    let deadline = sim.now() + SimDuration::from_secs(10);
+    let done = sim.run_until_pred(deadline, |s| {
+        let c = s.actor::<ZlogClient>(CLIENT_A);
+        ops.iter().all(|&op| c.is_done(op))
+    });
+    assert!(done, "explicit flush did not drain the queue");
+    for op in ops {
+        let res = sim.actor_mut::<ZlogClient>(CLIENT_A).take_result(op);
+        assert!(
+            matches!(res, Some(AppendResult::Ok(ZlogOut::Pos(_)))),
+            "{res:?}"
+        );
+    }
 }

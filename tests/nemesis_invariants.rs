@@ -22,6 +22,11 @@
 //!   nemesis (alive, not crashed) is evicted after the recall times out;
 //!   its stale release after the heal is rejected and the new holder's
 //!   state survives.
+//! * **Pipelined appends under faults** — batched appends sharing bulk
+//!   position grants keep the same invariants when the grant or the
+//!   coalesced write dies mid-flight: unwritten members retry under a
+//!   fresh grant, abandoned positions are junk-filled, no duplicates, no
+//!   tail regression, no permanently unreadable holes after recovery.
 //!
 //! Every case derives its cluster seed and fault schedule from the
 //! proptest-drawn `seed`; a failure reproduces bit-for-bit from the
@@ -1125,5 +1130,392 @@ mod retry_integration {
             retries > 0,
             "5% drop over dozens of round trips must surface retries in metrics"
         );
+    }
+}
+
+mod batched_props {
+    use super::*;
+    use mala_mds::{Mds, MdsConfig, NoBalancer};
+    use mala_rados::{Osd, OsdConfig};
+    use mala_sim::{FaultSchedule, Nemesis, SimDuration};
+    use mala_zlog::log::{run_op, ZlogOut};
+    use mala_zlog::{
+        zlog_interface_update, AppendResult, BatchConfig, ReadOutcome, ZlogClient, ZlogConfig,
+    };
+    use malacology::cluster::{Cluster, ClusterBuilder};
+
+    /// Failover-capable cluster (journaled MDS rank + standby) for the
+    /// pipelined-append fault schedules.
+    fn batched_cluster(seed: u64) -> Cluster {
+        let mut cluster = ClusterBuilder::new()
+            .monitors(1)
+            .osds(4)
+            .mds_ranks(1)
+            .standby_mds(1)
+            .pool("p", 16, 2)
+            .pool("meta", 16, 2)
+            .mds_config(MdsConfig {
+                journal: true,
+                journal_sync: true,
+                ..MdsConfig::default()
+            })
+            .build(seed);
+        cluster.commit_updates(vec![zlog_interface_update()]);
+        cluster
+    }
+
+    fn add_batched_client(cluster: &mut Cluster, name: &str, depth: usize) -> mala_sim::NodeId {
+        let node = cluster.alloc_node();
+        let config = ZlogConfig {
+            name: name.into(),
+            pool: "p".into(),
+            stripe_width: 4,
+            mds_nodes: cluster.mds_nodes(),
+            home_rank: 0,
+            monitor: cluster.mon(),
+        };
+        cluster.sim.add_node(
+            node,
+            ZlogClient::with_batching(
+                config,
+                BatchConfig {
+                    queue_depth: depth,
+                    flush_window: SimDuration::from_millis(1),
+                },
+            ),
+        );
+        cluster.sim.run_for(SimDuration::from_secs(1));
+        run_op(
+            &mut cluster.sim,
+            node,
+            SimDuration::from_secs(30),
+            |c, ctx| c.setup(ctx),
+        );
+        node
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// Pipelined appends under random *cluster* schedules (MDS
+        /// crashes + beacon loss, OSD crashes/isolations, loss bursts,
+        /// delay spikes). A batch whose bulk grant dies mid-flight must
+        /// requeue its unwritten members under a fresh grant and
+        /// junk-fill the abandoned positions — so the CORFU invariants
+        /// survive: every completed append holds a unique position, the
+        /// tail never regresses below an acked position, acked payloads
+        /// read back verbatim, and after recovery a scan of `[0, tail)`
+        /// finds no permanently unreadable cell (everything is Data,
+        /// Filled, or Trimmed once readers fill the leftovers).
+        #[test]
+        fn batched_appends_keep_corfu_invariants_under_faults(seed in 0u64..100_000) {
+            let mut cluster = batched_cluster(seed);
+            let node = add_batched_client(&mut cluster, "batched-nemesis", 4);
+
+            let targets = cluster.fault_targets();
+            let schedule =
+                FaultSchedule::random_cluster(seed, &targets, SimDuration::from_secs(10), 5);
+            let journals = cluster.journals().clone();
+            let mon = cluster.mon();
+            let mut nemesis = Nemesis::new(schedule)
+                .with_labels(Cluster::node_role)
+                .on_restart(move |sim, n| match Cluster::node_role(n) {
+                    "osd" => {
+                        let osd = Osd::with_journal(
+                            n.0 - 10,
+                            mon,
+                            OsdConfig::default(),
+                            journals.journal(n),
+                        );
+                        sim.restart(n, osd);
+                    }
+                    "mds" => {
+                        let config = MdsConfig {
+                            journal: true,
+                            journal_sync: true,
+                            ..MdsConfig::default()
+                        };
+                        sim.restart(n, Mds::standby(mon, config, Box::new(NoBalancer)));
+                    }
+                    role => panic!("unexpected restart target {n} ({role})"),
+                });
+
+            // Enqueue twelve pipelined appends up front (three full
+            // queues at depth 4) and drive them all through the storm.
+            let mut ops: Vec<(u64, Vec<u8>)> = Vec::new();
+            for k in 0..12u32 {
+                let payload = format!("b{seed}-{k}").into_bytes();
+                let op = cluster.sim.with_actor::<ZlogClient, _>(node, {
+                    let p = payload.clone();
+                    move |c, ctx| c.append_async(ctx, p)
+                });
+                ops.push((op, payload));
+            }
+            cluster
+                .sim
+                .with_actor::<ZlogClient, _>(node, |c, ctx| c.flush(ctx));
+            let deadline = cluster.sim.now() + SimDuration::from_secs(120);
+            loop {
+                let all_done = {
+                    let c = cluster.sim.actor::<ZlogClient>(node);
+                    ops.iter().all(|(op, _)| c.is_done(*op))
+                };
+                if all_done {
+                    break;
+                }
+                if cluster.sim.now() >= deadline {
+                    return Err(TestCaseError::fail(format!(
+                        "pipelined appends hung past the deadline (seed {seed})"
+                    )));
+                }
+                nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(200));
+            }
+            let mut acked: Vec<(u64, Vec<u8>)> = Vec::new();
+            for (op, payload) in ops {
+                let res = cluster
+                    .sim
+                    .actor_mut::<ZlogClient>(node)
+                    .take_result(op)
+                    .expect("op is done");
+                match res {
+                    AppendResult::Ok(ZlogOut::Pos(pos)) => acked.push((pos, payload)),
+                    // Typed failure under faults is allowed (no-hang is
+                    // the liveness bar); its grant holes must be filled.
+                    AppendResult::Err(_) => {}
+                    other => {
+                        return Err(TestCaseError::fail(format!(
+                            "append returned non-append result {other:?} (seed {seed})"
+                        )))
+                    }
+                }
+            }
+            while !nemesis.finished() {
+                nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(500));
+            }
+            cluster.sim.network_mut().heal_all();
+            cluster.sim.run_for(SimDuration::from_secs(3));
+
+            // Write-once: no two completed appends share a cell.
+            let mut seen: Vec<u64> = acked.iter().map(|(p, _)| *p).collect();
+            seen.sort_unstable();
+            let before = seen.len();
+            seen.dedup();
+            prop_assert_eq!(before, seen.len(), "duplicate positions (seed {})", seed);
+
+            // Durability: every acked payload reads back post-heal.
+            for (pos, payload) in &acked {
+                let pos = *pos;
+                let res = run_op(
+                    &mut cluster.sim,
+                    node,
+                    SimDuration::from_secs(60),
+                    move |c, ctx| c.read(ctx, pos),
+                );
+                let AppendResult::Ok(ZlogOut::Read(ReadOutcome::Data(data))) = res else {
+                    return Err(TestCaseError::fail(format!(
+                        "read of acked pos {pos} failed after heal: {res:?} (seed {seed})"
+                    )));
+                };
+                prop_assert_eq!(&data, payload, "payload mismatch at {} (seed {})", pos, seed);
+            }
+
+            // Tail integrity: the sequencer tail sits strictly above
+            // every acked position (nothing acked can be re-issued).
+            let res = run_op(&mut cluster.sim, node, SimDuration::from_secs(60), |c, ctx| {
+                c.check_tail(ctx)
+            });
+            let AppendResult::Ok(ZlogOut::Tail(tail)) = res else {
+                return Err(TestCaseError::fail(format!(
+                    "check_tail failed after heal: {res:?} (seed {seed})"
+                )));
+            };
+            if let Some(max_acked) = acked.iter().map(|(p, _)| *p).max() {
+                prop_assert!(
+                    tail > max_acked,
+                    "tail {} regressed to or below acked position {} (seed {})",
+                    tail, max_acked, seed
+                );
+            }
+
+            // No permanently unreadable holes: scan the whole log; any
+            // cell still NotWritten (an abandoned grant the client did
+            // not get to fill) must be fillable by a reader, after which
+            // every cell is Data, Filled, or Trimmed.
+            for pos in 0..tail {
+                let res = run_op(
+                    &mut cluster.sim,
+                    node,
+                    SimDuration::from_secs(60),
+                    move |c, ctx| c.read(ctx, pos),
+                );
+                let AppendResult::Ok(ZlogOut::Read(outcome)) = res else {
+                    return Err(TestCaseError::fail(format!(
+                        "scan read of pos {pos} failed: {res:?} (seed {seed})"
+                    )));
+                };
+                if outcome != ReadOutcome::NotWritten {
+                    continue;
+                }
+                // Reader-side CORFU fill; EEXIST-style races are fine,
+                // the re-read is the arbiter.
+                let _ = run_op(
+                    &mut cluster.sim,
+                    node,
+                    SimDuration::from_secs(60),
+                    move |c, ctx| c.fill(ctx, pos),
+                );
+                let res = run_op(
+                    &mut cluster.sim,
+                    node,
+                    SimDuration::from_secs(60),
+                    move |c, ctx| c.read(ctx, pos),
+                );
+                match res {
+                    AppendResult::Ok(ZlogOut::Read(ReadOutcome::NotWritten)) => {
+                        return Err(TestCaseError::fail(format!(
+                            "pos {pos} is a permanent hole after fill (seed {seed})"
+                        )))
+                    }
+                    AppendResult::Ok(ZlogOut::Read(_)) => {}
+                    other => {
+                        return Err(TestCaseError::fail(format!(
+                            "re-read of filled pos {pos} failed: {other:?} (seed {seed})"
+                        )))
+                    }
+                }
+            }
+        }
+    }
+}
+
+mod batched_smoke {
+    use mala_rados::{Osd, OsdConfig};
+    use mala_sim::{Fault, FaultSchedule, Nemesis, SimDuration, SimTime};
+    use mala_zlog::log::{run_op, ZlogOut};
+    use mala_zlog::{
+        zlog_interface_update, AppendResult, BatchConfig, ReadOutcome, ZlogClient, ZlogConfig,
+    };
+    use malacology::cluster::{Cluster, ClusterBuilder};
+
+    /// Fixed-seed CI smoke for the pipelined path: sixteen appends at a
+    /// small queue depth ride through one OSD crash/restart (journal
+    /// replay on the way back). Deterministic; `ci.sh` runs exactly this.
+    #[test]
+    fn smoke_fixed_seed_batched_append() {
+        let seed = 2017;
+        let mut cluster = ClusterBuilder::new()
+            .monitors(1)
+            .osds(3)
+            .mds_ranks(1)
+            .pool("p", 16, 2)
+            .build(seed);
+        cluster.commit_updates(vec![zlog_interface_update()]);
+        let node = cluster.alloc_node();
+        let config = ZlogConfig {
+            name: "batched-smoke".into(),
+            pool: "p".into(),
+            stripe_width: 3,
+            mds_nodes: cluster.mds_nodes(),
+            home_rank: 0,
+            monitor: cluster.mon(),
+        };
+        cluster.sim.add_node(
+            node,
+            ZlogClient::with_batching(
+                config,
+                BatchConfig {
+                    queue_depth: 4,
+                    flush_window: SimDuration::from_millis(1),
+                },
+            ),
+        );
+        cluster.sim.run_for(SimDuration::from_secs(1));
+        run_op(
+            &mut cluster.sim,
+            node,
+            SimDuration::from_secs(30),
+            |c, ctx| c.setup(ctx),
+        );
+
+        let t0 = cluster.sim.now();
+        let schedule = FaultSchedule::new()
+            .at(SimTime(t0.0 + 500_000), Fault::Crash(cluster.osd_node(0)))
+            .at(
+                SimTime(t0.0 + 3_000_000),
+                Fault::Restart(cluster.osd_node(0)),
+            );
+        let journals = cluster.journals().clone();
+        let mon = cluster.mon();
+        let mut nemesis = Nemesis::new(schedule)
+            .with_labels(Cluster::node_role)
+            .on_restart(move |sim, n| {
+                let osd =
+                    Osd::with_journal(n.0 - 10, mon, OsdConfig::default(), journals.journal(n));
+                sim.restart(n, osd);
+            });
+
+        let mut ops = Vec::new();
+        for k in 0..16u32 {
+            let op = cluster
+                .sim
+                .with_actor::<ZlogClient, _>(node, move |c, ctx| {
+                    c.append_async(ctx, format!("bsmoke-{k}").into_bytes())
+                });
+            ops.push((op, format!("bsmoke-{k}").into_bytes()));
+        }
+        let deadline = cluster.sim.now() + SimDuration::from_secs(90);
+        loop {
+            let all_done = {
+                let c = cluster.sim.actor::<ZlogClient>(node);
+                ops.iter().all(|(op, _)| c.is_done(*op))
+            };
+            if all_done {
+                break;
+            }
+            assert!(cluster.sim.now() < deadline, "batched appends hung");
+            nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(200));
+        }
+        let mut positions = Vec::new();
+        for (op, payload) in ops {
+            let res = cluster
+                .sim
+                .actor_mut::<ZlogClient>(node)
+                .take_result(op)
+                .unwrap();
+            let AppendResult::Ok(ZlogOut::Pos(pos)) = res else {
+                panic!("batched append failed: {res:?}");
+            };
+            positions.push((pos, payload));
+        }
+        while !nemesis.finished() {
+            nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(500));
+        }
+        cluster.sim.run_for(SimDuration::from_secs(2));
+
+        let mut unique: Vec<u64> = positions.iter().map(|(p, _)| *p).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), positions.len(), "duplicate positions");
+        for (pos, payload) in positions {
+            let res = run_op(
+                &mut cluster.sim,
+                node,
+                SimDuration::from_secs(30),
+                move |c, ctx| c.read(ctx, pos),
+            );
+            assert_eq!(
+                res,
+                AppendResult::Ok(ZlogOut::Read(ReadOutcome::Data(payload))),
+                "read-back of pos {pos}"
+            );
+        }
+        let m = cluster.sim.metrics();
+        assert!(
+            m.counter("zlog.pos_grants") < 16,
+            "grants not amortized: {}",
+            m.counter("zlog.pos_grants")
+        );
+        assert!(m.counter("osd.journal_replays") >= 1, "OSD never replayed");
+        assert!(m.counter("nemesis.crash.osd") >= 1, "fault metrics missing");
     }
 }
