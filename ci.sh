@@ -22,4 +22,7 @@ cargo test -q --test nemesis_invariants smoke_fixed_seed_failover
 echo "==> nemesis smoke (fixed seed: batched appends + OSD crash)"
 cargo test -q --test nemesis_invariants smoke_fixed_seed_batched_append
 
+echo "==> linearizability smoke (fixed seed: WGL check + seeded-bug counterexample)"
+cargo test -q --test nemesis_invariants linearize_smoke
+
 echo "CI gate passed."

@@ -1,0 +1,18 @@
+//! WGL checker cost sweep; writes `results/BENCH_linearize.json` next
+//! to the rendered table.
+
+use std::io::Write;
+
+fn main() {
+    let config = mala_bench::exp::linearize::Config::default();
+    let data = mala_bench::exp::linearize::run(&config);
+    print!("{}", mala_bench::exp::linearize::render(&data));
+    let json = mala_bench::exp::linearize::to_json(&data);
+    let path = std::path::Path::new("results/BENCH_linearize.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    let mut f = std::fs::File::create(path).expect("create BENCH_linearize.json");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("\nwrote {}", path.display());
+}

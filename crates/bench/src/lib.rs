@@ -26,6 +26,7 @@ pub mod exp {
     pub mod fig6;
     pub mod fig8;
     pub mod fig9;
+    pub mod linearize;
     pub mod nemesis;
     pub mod tables;
     pub mod zlog_pipeline;

@@ -27,15 +27,27 @@ impl std::error::Error for ParseError {}
 ///
 /// Returns the first syntax error encountered.
 pub fn parse(tokens: &[Token]) -> Result<Block, ParseError> {
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let block = p.block(&[Tok::Eof])?;
     p.expect(&Tok::Eof)?;
     Ok(block)
 }
 
+/// Hard cap on parser recursion. Policies are machine-shipped strings, so
+/// a hostile or buggy generator can nest arbitrarily deep; without a cap
+/// the recursive-descent parser overflows the thread stack (an abort, not
+/// a catchable error) long before the interpreter's own instruction
+/// budget can intervene.
+const MAX_DEPTH: usize = 200;
+
 struct Parser<'a> {
     tokens: &'a [Token],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -102,6 +114,25 @@ impl Parser<'_> {
     }
 
     fn statement(&mut self) -> Result<Stmt, ParseError> {
+        self.descend()?;
+        let r = self.statement_inner();
+        self.depth -= 1;
+        r
+    }
+
+    /// Bumps the nesting depth, rejecting input past [`MAX_DEPTH`]. Every
+    /// recursion cycle in the grammar passes through [`Self::statement`],
+    /// [`Self::binary`], or [`Self::unary`], so guarding those three
+    /// bounds the stack.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        Ok(())
+    }
+
+    fn statement_inner(&mut self) -> Result<Stmt, ParseError> {
         match self.peek().clone() {
             Tok::Local => {
                 self.bump();
@@ -291,6 +322,13 @@ impl Parser<'_> {
     }
 
     fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        self.descend()?;
+        let r = self.binary_inner(min_prec);
+        self.depth -= 1;
+        r
+    }
+
+    fn binary_inner(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
         let mut lhs = self.unary()?;
         while let Some(op) = self.bin_op() {
             let prec = op.precedence();
@@ -306,6 +344,13 @@ impl Parser<'_> {
     }
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.descend()?;
+        let r = self.unary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, ParseError> {
         // Unary binds tighter than every binary operator except `^`.
         match self.peek() {
             Tok::Minus => {

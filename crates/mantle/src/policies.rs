@@ -198,7 +198,33 @@ pub fn policy_pointer_update(object_name: &str) -> MapUpdate {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::MantleBalancer;
     use mala_dsl::Script;
+    use mala_mds::balancer::{BalanceView, Balancer, LoadSample};
+    use mala_mds::{FileType, ServeStyle};
+    use mala_sim::SimTime;
+
+    /// `(rank, req_rate, coherence)` triples plus this rank's sequencer
+    /// inodes `(ino, rate)`.
+    fn view(whoami: u32, loads: &[(u32, f64, f64)], inodes: &[(u64, f64)]) -> BalanceView {
+        BalanceView {
+            whoami,
+            now: SimTime::ZERO,
+            loads: loads
+                .iter()
+                .map(|&(rank, req_rate, coherence)| LoadSample {
+                    rank,
+                    req_rate,
+                    cpu: req_rate / 100.0,
+                    coherence,
+                })
+                .collect(),
+            my_inodes: inodes
+                .iter()
+                .map(|&(ino, rate)| (ino, rate, FileType::Sequencer))
+                .collect(),
+        }
+    }
 
     #[test]
     fn all_stock_policies_compile() {
@@ -221,5 +247,133 @@ mod tests {
         assert_eq!(up.map, SERVICE_MAP_MANTLE);
         assert_eq!(up.key, MANTLE_POLICY_KEY);
         assert_eq!(up.value.unwrap(), b"mantle_policy_v7".to_vec());
+    }
+
+    #[test]
+    fn greedy_spread_picks_least_loaded_rank_above_threshold() {
+        let mut b = MantleBalancer::with_policy(GREEDY_SPREAD_POLICY);
+        // 10% over the mean is the trigger; exactly at the mean is not.
+        let calm = view(0, &[(0, 100.0, 0.0), (1, 100.0, 0.0)], &[(5, 100.0)]);
+        assert!(b.decide(&calm).is_empty(), "balanced cluster must not move");
+        // Overloaded: rank 2 is the least loaded and must be the target.
+        let hot = view(
+            0,
+            &[(0, 300.0, 0.0), (1, 60.0, 0.0), (2, 30.0, 0.0)],
+            &[(5, 150.0), (6, 150.0)],
+        );
+        let exports = b.decide(&hot);
+        assert!(!exports.is_empty(), "30% overload must migrate");
+        assert!(exports.iter().all(|e| e.target == 2), "{exports:?}");
+        assert!(exports.iter().all(|e| e.style == ServeStyle::Direct));
+    }
+
+    #[test]
+    fn sequencer_aware_policy_waits_for_coherence_to_settle() {
+        let mut b = MantleBalancer::with_policy(SEQUENCER_AWARE_POLICY);
+        // The candidate target still carries residual coherence load from
+        // a recent import: the conservative when() must hold off.
+        let absorbing = view(
+            0,
+            &[(0, 300.0, 0.0), (1, 10.0, 50.0)],
+            &[(5, 150.0), (6, 150.0)],
+        );
+        assert!(
+            b.decide(&absorbing).is_empty(),
+            "must not pile onto a settling server"
+        );
+        // Settled: same skew, coherence drained → migrate, proxy mode,
+        // sequencers only.
+        let mut settled = view(
+            0,
+            &[(0, 300.0, 0.0), (1, 10.0, 0.0)],
+            &[(5, 150.0), (6, 150.0)],
+        );
+        settled.my_inodes.push((99, 500.0, FileType::Regular));
+        let exports = b.decide(&settled);
+        assert!(!exports.is_empty(), "settled target must receive load");
+        assert!(exports.iter().all(|e| e.target == 1));
+        assert!(exports.iter().all(|e| e.style == ServeStyle::Proxy));
+        assert!(
+            exports.iter().all(|e| e.ino != 99),
+            "only_type=sequencer must exclude the regular file"
+        );
+    }
+
+    #[test]
+    fn proxy_half_latch_fires_once_from_rank_one() {
+        let mut b = MantleBalancer::with_policy(PROXY_HALF_POLICY);
+        // Policy indexes the mds array 1-based: `whoami == 1` is the
+        // first rank, `whoami + 1` the second.
+        let v = view(
+            0,
+            &[(0, 200.0, 0.0), (1, 0.0, 0.0)],
+            &[(5, 100.0), (6, 100.0)],
+        );
+        let first = b.decide(&v);
+        assert!(!first.is_empty(), "one-shot must fire on the first tick");
+        assert!(first.iter().all(|e| e.style == ServeStyle::Proxy));
+        assert!(
+            b.decide(&v).is_empty(),
+            "state.done latch must suppress the second tick"
+        );
+        // The second rank never initiates.
+        let mut other = MantleBalancer::with_policy(PROXY_HALF_POLICY);
+        let v2 = view(1, &[(0, 0.0, 0.0), (1, 200.0, 0.0)], &[(5, 200.0)]);
+        assert!(other.decide(&v2).is_empty());
+    }
+
+    #[test]
+    fn backoff_policy_waits_threshold_ticks_then_cools_down() {
+        let mut b = MantleBalancer::with_policy(&backoff_policy(3, 2));
+        let hot = view(0, &[(0, 300.0, 0.0), (1, 0.0, 0.0)], &[(5, 300.0)]);
+        // Two overloaded ticks: below the threshold, no action.
+        assert!(b.decide(&hot).is_empty());
+        assert!(b.decide(&hot).is_empty());
+        // Third consecutive overloaded tick: migrate.
+        assert!(!b.decide(&hot).is_empty());
+        // Cooldown of 2 swallows the next two ticks, then the overload
+        // counter must climb back to the threshold again.
+        assert!(b.decide(&hot).is_empty(), "cooldown tick 1");
+        assert!(b.decide(&hot).is_empty(), "cooldown tick 2");
+        assert!(b.decide(&hot).is_empty(), "overloaded tick 1 after reset");
+        assert!(b.decide(&hot).is_empty(), "overloaded tick 2 after reset");
+        assert!(!b.decide(&hot).is_empty(), "threshold reached again");
+    }
+
+    #[test]
+    fn rollback_needs_a_fresh_version_number() {
+        // §5.1.1: the active policy is whatever version the pointer names;
+        // rolling back means re-shipping the old source under a *newer*
+        // version, not re-installing the old number.
+        let always = "function when() return true end\nfunction balance() targets[2] = 100 end";
+        let never = "function when() return false end\nfunction balance() end";
+        let mut b = MantleBalancer::new();
+        b.install_policy(always, 1).unwrap();
+        b.install_policy(never, 2).unwrap();
+        let v = view(0, &[(0, 200.0, 0.0), (1, 0.0, 0.0)], &[(5, 200.0)]);
+        assert!(b.decide(&v).is_empty(), "v2 (never) is active");
+        // Replaying the old version number is a no-op…
+        b.install_policy(always, 1).unwrap();
+        assert_eq!(b.version(), 2);
+        assert!(b.decide(&v).is_empty(), "stale install must not activate");
+        // …but the same source under version 3 takes effect.
+        b.install_policy(always, 3).unwrap();
+        assert_eq!(b.version(), 3);
+        assert!(!b.decide(&v).is_empty(), "rolled-back policy is live again");
+    }
+
+    #[test]
+    fn rollback_resets_policy_state() {
+        // state does not leak across versions: the proxy-half latch fires
+        // again after a rollback re-install.
+        let mut b = MantleBalancer::with_policy(PROXY_HALF_POLICY);
+        let v = view(0, &[(0, 200.0, 0.0), (1, 0.0, 0.0)], &[(5, 200.0)]);
+        assert!(!b.decide(&v).is_empty());
+        assert!(b.decide(&v).is_empty(), "latched");
+        b.install_policy(PROXY_HALF_POLICY, u64::MAX).unwrap();
+        assert!(
+            !b.decide(&v).is_empty(),
+            "fresh install must start with empty state"
+        );
     }
 }

@@ -361,4 +361,115 @@ mod tests {
         assert!(!b.wants_policy());
         assert!(b.install_policy("x", 1).is_err());
     }
+
+    #[test]
+    fn threshold_boundary_is_strict() {
+        let mut b = CephFsBalancer::new(CephFsMode::Workload);
+        // avg = 100; the trigger is load > avg * 1.2 = 120, strictly.
+        let at = view(
+            0,
+            vec![sample(0, 120.0, 0.0), sample(1, 80.0, 0.0)],
+            vec![(2, 120.0)],
+        );
+        assert!(b.decide(&at).is_empty(), "exactly at threshold must hold");
+        // Many small inodes so the ~10 req/s shed maps onto at least one.
+        let above = view(
+            0,
+            vec![sample(0, 121.0, 0.0), sample(1, 79.0, 0.0)],
+            (0..11).map(|i| (2 + i, 11.0)).collect(),
+        );
+        assert!(!b.decide(&above).is_empty(), "just above must act");
+    }
+
+    #[test]
+    fn migration_granularity_skips_cold_inodes() {
+        let mut b = CephFsBalancer::new(CephFsMode::Workload);
+        // avg = 150, excess = 150, shed 75 in metric units → 75 req/s.
+        // Every inode is cold (20 req/s): shipping any of them moves less
+        // than 45% of its own load toward the goal... rather, the rule is
+        // the inverse: each candidate is shipped only while the remaining
+        // shed amount covers 45% of its rate, so 20-req/s inodes ship
+        // until ~75 req/s moved, never the whole list.
+        let inodes: Vec<(Ino, f64)> = (0..15).map(|i| (10 + i, 20.0)).collect();
+        let v = view(0, vec![sample(0, 300.0, 0.0), sample(1, 0.0, 0.0)], inodes);
+        let exports = b.decide(&v);
+        assert!(!exports.is_empty());
+        assert!(
+            exports.len() <= 4,
+            "shed target is ~75 req/s, not the whole rank: {} exports",
+            exports.len()
+        );
+    }
+
+    #[test]
+    fn zero_rate_inodes_are_never_exported() {
+        let mut b = CephFsBalancer::new(CephFsMode::Workload);
+        let v = view(
+            0,
+            vec![sample(0, 300.0, 0.0), sample(1, 0.0, 0.0)],
+            vec![(10, 0.0), (11, 0.0), (12, 100.0), (13, 100.0), (14, 100.0)],
+        );
+        let exports = b.decide(&v);
+        assert_eq!(exports.len(), 1, "only the first hot inode moves");
+        assert_eq!(
+            exports[0].ino, 12,
+            "zero-rate inodes ahead of it are skipped"
+        );
+    }
+
+    #[test]
+    fn cooldown_spreads_consecutive_exports_across_targets() {
+        let mut b = CephFsBalancer::new(CephFsMode::Workload);
+        // Rank 1 is idle, rank 2 nearly idle. Load samples are a tick
+        // stale, so after exporting to rank 1 the balancer must avoid it
+        // while the cooldown runs even though it still *looks* idle.
+        let v = view(
+            0,
+            vec![
+                sample(0, 600.0, 0.0),
+                sample(1, 0.0, 0.0),
+                sample(2, 30.0, 0.0),
+            ],
+            vec![(10, 300.0), (11, 300.0)],
+        );
+        let first = b.decide(&v);
+        assert!(!first.is_empty());
+        assert_eq!(first[0].target, 1, "least-loaded rank first");
+        let second = b.decide(&v);
+        assert!(!second.is_empty());
+        assert_eq!(
+            second[0].target, 2,
+            "cooling rank 1 must be skipped on the next tick"
+        );
+        // Burn the (refreshed) cooldown on calm ticks, then rank 1 is
+        // eligible again.
+        let calm = view(
+            0,
+            vec![
+                sample(0, 100.0, 0.0),
+                sample(1, 100.0, 0.0),
+                sample(2, 100.0, 0.0),
+            ],
+            vec![(10, 100.0)],
+        );
+        assert!(b.decide(&calm).is_empty());
+        assert!(b.decide(&calm).is_empty());
+        let resumed = b.decide(&v);
+        assert!(!resumed.is_empty());
+        assert_eq!(resumed[0].target, 1, "cooldown must expire");
+    }
+
+    #[test]
+    fn coherence_counts_toward_total_load() {
+        let s = LoadSample {
+            rank: 0,
+            req_rate: 100.0,
+            cpu: 0.0,
+            coherence: 40.0,
+        };
+        assert!((s.total() - 140.0).abs() < f64::EPSILON);
+        // And the view average folds it in.
+        let v = view(0, vec![s, sample(1, 60.0, 0.0)], vec![]);
+        assert!((v.avg_load() - 100.0).abs() < f64::EPSILON);
+    }
 }

@@ -23,6 +23,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use mala_consensus::{MonMsg, SERVICE_MAP_MANTLE, SERVICE_MAP_MDS, SERVICE_MAP_OSD};
 use mala_rados::{ObjectId, Op, OpResult, OsdError, OsdMsg};
+use mala_sim::history::Recorder;
+use mala_sim::linearize::{RegOp, RegRet};
 use mala_sim::{Actor, Context, NodeId, SimDuration, SimTime};
 use rand::Rng;
 
@@ -274,6 +276,12 @@ pub struct Mds {
     mantle_version_seen: u64,
     mantle_fetch_reqid: Option<u64>,
     mantle_fetch_deadline: Option<SimTime>,
+
+    /// Optional linearizability history for the cap-protected embedded
+    /// metadata: grants record a register read of the handed-out state,
+    /// releases record the write-back (rejected for stale holders). The
+    /// MDS applies both atomically, so invoke and response coincide.
+    cap_history: Option<Recorder<RegOp, RegRet>>,
 }
 
 impl Mds {
@@ -316,7 +324,15 @@ impl Mds {
             mantle_version_seen: 0,
             mantle_fetch_reqid: None,
             mantle_fetch_deadline: None,
+            cap_history: None,
         }
+    }
+
+    /// Attaches a linearizability recorder to the capability path: every
+    /// grant logs a register read of the state handed to the holder and
+    /// every release logs the write-back (failed when rejected as stale).
+    pub fn set_cap_history(&mut self, recorder: Recorder<RegOp, RegRet>) {
+        self.cap_history = Some(recorder);
     }
 
     /// Creates a standby daemon: it registers with the monitor through its
@@ -591,6 +607,10 @@ impl Mds {
             match action {
                 CapAction::Grant { to } => {
                     ctx.metrics().incr("mds.cap_grants", 1);
+                    if let Some(rec) = &self.cap_history {
+                        let id = rec.invoke(u64::from(to.0), ctx.now(), RegOp::Read { key: ino });
+                        rec.ok(id, ctx.now(), RegRet::Value(state));
+                    }
                     // Journal the grant so a promoted standby knows who to
                     // recall during its reconnect window.
                     self.journal_now(ctx, JournalEntry::CapGrant { ino, holder: to });
@@ -1392,8 +1412,18 @@ impl Mds {
                 // stale release against the new holder's writes — reject.
                 let known = self.caps.contains_key(&ino);
                 let holder = self.caps.get(&ino).and_then(|c| c.holder());
+                let hist = self.cap_history.as_ref().map(|rec| {
+                    let op = RegOp::Write {
+                        key: ino,
+                        value: state,
+                    };
+                    (rec.clone(), rec.invoke(u64::from(from.0), ctx.now(), op))
+                });
                 if known && holder != Some(from) {
                     ctx.metrics().incr("mds.stale_releases", 1);
+                    if let Some((rec, id)) = hist {
+                        rec.fail(id, ctx.now(), "stale release rejected");
+                    }
                     return;
                 }
                 if let Some(inode) = self.namespace.get_mut(ino) {
@@ -1401,6 +1431,9 @@ impl Mds {
                         inode.embedded = state;
                         self.journal_now(ctx, JournalEntry::SetEmbedded { ino, value: state });
                     }
+                }
+                if let Some((rec, id)) = hist {
+                    rec.ok(id, ctx.now(), RegRet::Written);
                 }
                 if holder == Some(from) {
                     self.journal_now(ctx, JournalEntry::CapDrop { ino });

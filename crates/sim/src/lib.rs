@@ -41,6 +41,8 @@
 //! assert_eq!(sim.actor::<Probe>(NodeId(0)).0, 42);
 //! ```
 
+pub mod history;
+pub mod linearize;
 pub mod metrics;
 pub mod nemesis;
 pub mod net;

@@ -16,6 +16,11 @@ impl SimTime {
     /// The origin of simulated time.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// Builds an instant from whole microseconds since simulation start.
+    pub const fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
     /// Returns this instant expressed in microseconds.
     pub fn as_micros(self) -> u64 {
         self.0

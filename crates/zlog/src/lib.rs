@@ -24,6 +24,6 @@ pub mod log;
 pub mod sequencer;
 pub mod storage;
 
-pub use log::{AppendResult, BatchConfig, ReadOutcome, ZlogClient, ZlogConfig};
+pub use log::{log_read_of, AppendResult, BatchConfig, ReadOutcome, ZlogClient, ZlogConfig};
 pub use sequencer::{SeqMode, SeqStats, SeqWorkload};
 pub use storage::{encode_write_batch, zlog_interface_update, ZLOG_CLASS, ZLOG_CLASS_SOURCE};

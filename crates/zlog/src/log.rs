@@ -16,6 +16,8 @@ use mala_mds::types::{MdsError, MdsMsg};
 use mala_mds::{FileType, Ino, MdsMapView};
 use mala_rados::client::RETRY_TOKEN_BASE as RADOS_RETRY_TOKEN_BASE;
 use mala_rados::{ObjectId, Op, OpResult, OsdError, RadosClient};
+use mala_sim::history::Recorder;
+use mala_sim::linearize::{LogOp, LogRead, LogRet};
 use mala_sim::{Actor, Context, NodeId, Sim, SimDuration, SimTime, TimerHandle};
 use rand::Rng;
 
@@ -124,6 +126,12 @@ enum Stage {
     GetPos,
     /// Waiting for the storage write at `pos`.
     Write { pos: u64 },
+    /// An append's write at `pos` timed out or bounced ambiguously:
+    /// probing the cell (a read) to learn whether our payload landed.
+    WriteProbe { pos: u64 },
+    /// The probe saw a hole at `pos`: junk-filling it so the in-flight
+    /// write can never land later, before retrying at a fresh position.
+    WriteSeal { pos: u64 },
     /// Waiting for a storage read.
     ReadEntry,
     /// Waiting for fill/trim.
@@ -154,6 +162,23 @@ struct PendingOp {
     /// Client-internal op (hole fill): completion is dropped, never
     /// surfaced as a result.
     internal: bool,
+    /// History op id when a recorder is attached.
+    hist: Option<u64>,
+    /// History op id of an open probe-seal fill (see
+    /// [`Stage::WriteSeal`]): the fill mutates the cell, so it records as
+    /// its own history op even though the append's state machine drives
+    /// it.
+    seal_hist: Option<u64>,
+}
+
+/// How an open probe-seal fill record resolves.
+enum SealClose {
+    /// The fill landed.
+    Applied,
+    /// The fill definitely bounced (cell occupied).
+    NotApplied,
+    /// Outcome unknown (reply lost / epoch bounce mid-flight).
+    Unknown,
 }
 
 /// One in-flight append batch: a grant round trip for the whole range,
@@ -239,6 +264,8 @@ pub struct ZlogClient {
     op_deadline: SimDuration,
     /// Retry backstop: ops failing this many attempts give up.
     max_attempts: u32,
+    /// Optional op-history recorder (linearizability checking).
+    history: Option<Recorder<LogOp, LogRet>>,
 }
 
 impl ZlogClient {
@@ -269,6 +296,7 @@ impl ZlogClient {
             retry_cap: SimDuration::from_secs(2),
             op_deadline: SimDuration::from_secs(60),
             max_attempts: 16,
+            history: None,
         }
     }
 
@@ -277,6 +305,15 @@ impl ZlogClient {
         let mut client = ZlogClient::new(config);
         client.batch_cfg = batch;
         client
+    }
+
+    /// Attaches a history recorder: every externally visible op (and
+    /// every internal hole fill, which also mutates cells) records
+    /// invoke/ok/fail/info events with sim-clock stamps for the
+    /// linearizability checker.
+    pub fn with_history(mut self, recorder: Recorder<LogOp, LogRet>) -> ZlogClient {
+        self.history = Some(recorder);
+        self
     }
 
     /// The current epoch this client operates under.
@@ -304,6 +341,10 @@ impl ZlogClient {
     fn begin(&mut self, ctx: &mut Context<'_>, kind: OpKind, stage: Stage) -> u64 {
         let op = self.next_op;
         self.next_op += 1;
+        let hist = match (&self.history, log_op_of(&kind)) {
+            (Some(rec), Some(logop)) => Some(rec.invoke(u64::from(ctx.me().0), ctx.now(), logop)),
+            _ => None,
+        };
         self.ops.insert(
             op,
             PendingOp {
@@ -313,6 +354,8 @@ impl ZlogClient {
                 deadline: ctx.now() + self.op_deadline,
                 watch: None,
                 internal: false,
+                hist,
+                seal_hist: None,
             },
         );
         // Every op runs under a watchdog: lost replies anywhere in the
@@ -525,12 +568,70 @@ impl ZlogClient {
         )
     }
 
-    fn finish(&mut self, op: u64, result: AppendResult) {
-        let internal = self.ops.remove(&op).map(|p| p.internal).unwrap_or(false);
+    fn finish(&mut self, now: SimTime, op: u64, result: AppendResult) {
+        self.conclude(now, op, result, false);
+    }
+
+    /// Definite failure: the op certainly did not take effect.
+    fn fail(&mut self, now: SimTime, op: u64, msg: impl Into<String>) {
+        self.conclude(now, op, AppendResult::Err(msg.into()), false);
+    }
+
+    /// Failure whose history classification depends on the stage the op
+    /// died in: an op that gives up while a write/fill/trim request may
+    /// still be in flight (or may already have applied) records `info` —
+    /// possibly applied — instead of `fail`.
+    fn fail_auto(&mut self, now: SimTime, op: u64, msg: impl Into<String>) {
+        self.conclude(now, op, AppendResult::Err(msg.into()), true);
+    }
+
+    fn conclude(&mut self, now: SimTime, op: u64, result: AppendResult, ambiguous_hint: bool) {
+        let Some(pending) = self.ops.remove(&op) else {
+            return;
+        };
         if !self.append_queue.is_empty() {
             self.append_queue.retain(|o| *o != op);
         }
-        if internal {
+        if let Some(rec) = &self.history {
+            // An open probe-seal fill dies with the op: its outcome stays
+            // unknown (the fill request may still land).
+            if let Some(id) = pending.seal_hist {
+                rec.info(id, now, None, "fill outcome unknown");
+            }
+            if let Some(hist) = pending.hist {
+                match &result {
+                    AppendResult::Ok(out) => {
+                        if let Some(ret) = log_ret_of(out) {
+                            rec.ok(hist, now, ret);
+                        }
+                    }
+                    AppendResult::Err(msg) => {
+                        // Outer None = definite failure; Some(maybe) =
+                        // ambiguous, with the return the op would have
+                        // yielded had it applied.
+                        let info: Option<Option<LogRet>> = if !ambiguous_hint {
+                            None
+                        } else {
+                            match &pending.stage {
+                                Stage::Write { pos }
+                                | Stage::WriteProbe { pos }
+                                | Stage::WriteSeal { pos } => Some(Some(LogRet::Pos(*pos))),
+                                Stage::Mutate => Some(None),
+                                Stage::InBatch => self
+                                    .inflight_batch_pos(op)
+                                    .map(|pos| Some(LogRet::Pos(pos))),
+                                _ => None,
+                            }
+                        };
+                        match info {
+                            Some(maybe) => rec.info(hist, now, maybe, msg.clone()),
+                            None => rec.fail(hist, now, msg.clone()),
+                        }
+                    }
+                }
+            }
+        }
+        if pending.internal {
             // Hole fills complete silently; EEXIST ("already written") is
             // success here — the cell is occupied either way.
             return;
@@ -538,8 +639,37 @@ impl ZlogClient {
         self.results.insert(op, result);
     }
 
-    fn fail(&mut self, op: u64, msg: impl Into<String>) {
-        self.finish(op, AppendResult::Err(msg.into()));
+    /// Position of an in-flight batched write carrying `op`, if any: an
+    /// `InBatch` member dying mid-write is ambiguous at that position.
+    fn inflight_batch_pos(&self, op: u64) -> Option<u64> {
+        for (id, group) in self.rados_batch_waiting.values() {
+            if let Some(batch) = self.batches.get(id) {
+                for (i, pos) in group {
+                    if batch.members.get(*i) == Some(&op) {
+                        return Some(*pos);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Closes the open probe-seal fill record on `op`, if any.
+    fn close_seal_hist(&mut self, now: SimTime, op: u64, how: SealClose) {
+        let Some(pending) = self.ops.get_mut(&op) else {
+            return;
+        };
+        let Some(id) = pending.seal_hist.take() else {
+            return;
+        };
+        let Some(rec) = &self.history else {
+            return;
+        };
+        match how {
+            SealClose::Applied => rec.ok(id, now, LogRet::Done),
+            SealClose::NotApplied => rec.fail(id, now, "position already written"),
+            SealClose::Unknown => rec.info(id, now, None, "fill outcome unknown"),
+        }
     }
 
     fn call_class(
@@ -597,6 +727,11 @@ impl ZlogClient {
             self.send_home(ctx, MdsMsg::Resolve { reqid, path });
             return;
         };
+        // Re-entered after a lazy resolve: move the stage back so the
+        // TypeOpReply is not dropped by the ResolveSeq arm's catch-all.
+        if let Some(p) = self.ops.get_mut(&op) {
+            p.stage = Stage::Tail;
+        }
         let reqid = self.mds_reqid(op);
         self.send_home(
             ctx,
@@ -628,6 +763,78 @@ impl ZlogClient {
             }
             _ => {}
         }
+    }
+
+    // ---- ambiguous-write resolution (probe/seal) ----
+    //
+    // A write whose reply is lost is *ambiguous*: the payload may sit in
+    // the cell with nobody holding the ack. Retrying at a fresh position
+    // would orphan that data — a reader would then observe an entry no
+    // acknowledged op wrote, which is a real linearizability violation.
+    // Instead the append resolves the old position first: probe (read)
+    // the cell; if our payload is there, claim the position; if someone
+    // else owns it, the write-once class guarantees ours can never land,
+    // so a fresh position is safe; if it is still a hole, junk-fill it so
+    // the zombie write is fenced out, then take a fresh position. The
+    // fill can itself race the in-flight write (EEXIST), in which case we
+    // probe again; each leg burns an attempt, so the loop is bounded.
+
+    /// Starts (or restarts) probe/seal resolution for an append whose
+    /// write at `pos` has an unknown fate.
+    fn enter_write_probe(&mut self, ctx: &mut Context<'_>, op: u64, pos: u64) {
+        // Leaving WriteSeal with the fill unresolved (lost reply): the
+        // fill may still apply, so its record closes as unknown.
+        self.close_seal_hist(ctx.now(), op, SealClose::Unknown);
+        let Some(pending) = self.ops.get_mut(&op) else {
+            return;
+        };
+        pending.stage = Stage::WriteProbe { pos };
+        ctx.metrics().incr("zlog.write_probes", 1);
+        let epoch = self.epoch;
+        let oid = self.stripe_oid(pos);
+        self.call_class(ctx, op, oid, "read", format!("{epoch}|{pos}"));
+        self.arm_watchdog(ctx, op);
+    }
+
+    /// The probe found a hole: junk-fill `pos` so the in-flight write is
+    /// fenced out before the append retries elsewhere.
+    fn enter_write_seal(&mut self, ctx: &mut Context<'_>, op: u64, pos: u64) {
+        let client = u64::from(ctx.me().0);
+        let now = ctx.now();
+        let Some(pending) = self.ops.get_mut(&op) else {
+            return;
+        };
+        pending.stage = Stage::WriteSeal { pos };
+        if let Some(rec) = &self.history {
+            let id = rec.invoke(client, now, LogOp::Fill { pos });
+            if let Some(pending) = self.ops.get_mut(&op) {
+                pending.seal_hist = Some(id);
+            }
+        }
+        ctx.metrics().incr("zlog.probe_seals", 1);
+        let epoch = self.epoch;
+        let oid = self.stripe_oid(pos);
+        self.call_class(ctx, op, oid, "fill", format!("{epoch}|{pos}"));
+        self.arm_watchdog(ctx, op);
+    }
+
+    /// The probed position is resolved as not-ours (occupied by someone
+    /// else, or fenced by our fill): retry the append at a fresh one.
+    fn retry_fresh_pos(&mut self, ctx: &mut Context<'_>, op: u64) {
+        let Some(pending) = self.ops.get_mut(&op) else {
+            return;
+        };
+        pending.attempts += 1;
+        if pending.attempts > self.max_attempts {
+            // The old position is resolved as not-applied and no new
+            // write was issued: a definite failure.
+            pending.stage = Stage::GetPos;
+            self.fail(ctx.now(), op, "too many retries");
+            return;
+        }
+        ctx.metrics().incr("zlog.retries", 1);
+        self.step_get_pos(ctx, op);
+        self.arm_watchdog(ctx, op);
     }
 
     /// Collects completions from the embedded RADOS client and routes them
@@ -675,7 +882,7 @@ impl ZlogClient {
         };
         pending.attempts += 1;
         if pending.attempts > self.max_attempts {
-            self.fail(op, "too many retries");
+            self.fail_auto(ctx.now(), op, "too many retries");
             return;
         }
         ctx.metrics().incr("zlog.retries", 1);
@@ -686,8 +893,20 @@ impl ZlogClient {
             self.arm_watchdog(ctx, op);
             return;
         }
+        let write_pos = match pending.stage {
+            Stage::Write { pos } | Stage::WriteProbe { pos } | Stage::WriteSeal { pos } => {
+                Some(pos)
+            }
+            _ => None,
+        };
         match pending.kind.clone() {
-            OpKind::Append { .. } => self.step_get_pos(ctx, op),
+            OpKind::Append { .. } => match write_pos {
+                // A write was issued at `pos` and its fate is unknown:
+                // never abandon the position blindly (the payload may
+                // have landed and would be orphaned) — resolve it first.
+                Some(pos) => self.enter_write_probe(ctx, op, pos),
+                None => self.step_get_pos(ctx, op),
+            },
             OpKind::Read { .. } | OpKind::Fill { .. } | OpKind::Trim { .. } => {
                 self.step_storage_simple(ctx, op)
             }
@@ -755,6 +974,11 @@ impl ZlogClient {
         // Epoch guard: sealed object rejected our epoch.
         if let Err(OsdError::Class(ce)) = &result {
             if ce.code == -116 && !matches!(pending.stage, Stage::RecoverSeal { .. }) {
+                // A probe-seal fill bounced by the epoch guard was
+                // validated before applying: definitely not applied.
+                if matches!(pending.stage, Stage::WriteSeal { .. }) {
+                    self.close_seal_hist(ctx.now(), op, SealClose::NotApplied);
+                }
                 let epoch = self.epoch;
                 ctx.metrics().incr("zlog.estale_retries", 1);
                 self.blocked_on_epoch.push((op, epoch));
@@ -767,23 +991,79 @@ impl ZlogClient {
                 return;
             }
         }
+        let Some(pending) = self.ops.get_mut(&op) else {
+            return;
+        };
         match &mut pending.stage {
             Stage::Write { pos } => {
                 let pos = *pos;
                 match result {
-                    Ok(_) => self.finish(op, AppendResult::Ok(ZlogOut::Pos(pos))),
+                    Ok(_) => self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::Pos(pos))),
                     Err(OsdError::Class(ce)) if ce.code == -17 => {
-                        // Someone holds this position (only possible after
-                        // recovery races): take a fresh one.
-                        self.restart_op(ctx, op);
+                        // The cell is occupied. Either recovery reissued
+                        // the position to someone else, or a lost-reply
+                        // retransmit of our own write landed first: probe
+                        // before abandoning the position.
+                        self.enter_write_probe(ctx, op, pos);
                     }
-                    Err(e) => self.fail(op, format!("write failed: {e}")),
+                    Err(e) => self.fail(ctx.now(), op, format!("write failed: {e}")),
                 }
             }
+            Stage::WriteProbe { pos } => {
+                let pos = *pos;
+                match result {
+                    Ok(results) => {
+                        let Some(OpResult::CallOut(bytes)) = results.first() else {
+                            // Malformed reply: probe again with backoff.
+                            self.restart_op(ctx, op);
+                            return;
+                        };
+                        match bytes.first() {
+                            Some(b'D') => {
+                                let ours = match &self.ops[&op].kind {
+                                    OpKind::Append { data } => bytes[2..] == data[..],
+                                    _ => false,
+                                };
+                                if ours {
+                                    // Our write landed; the ack was lost.
+                                    ctx.metrics().incr("zlog.probes_claimed", 1);
+                                    self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::Pos(pos)));
+                                } else {
+                                    // Foreign entry: write-once means our
+                                    // write can never land here.
+                                    self.retry_fresh_pos(ctx, op);
+                                }
+                            }
+                            Some(b'F') | Some(b'T') => self.retry_fresh_pos(ctx, op),
+                            _ => self.enter_write_seal(ctx, op, pos),
+                        }
+                    }
+                    Err(OsdError::Class(ce)) if ce.code == -2 => {
+                        self.enter_write_seal(ctx, op, pos)
+                    }
+                    Err(OsdError::NoEnt) => self.enter_write_seal(ctx, op, pos),
+                    Err(_) => self.restart_op(ctx, op),
+                }
+            }
+            Stage::WriteSeal { .. } => match result {
+                Ok(_) => {
+                    // The hole is fenced: the zombie write can never land.
+                    self.close_seal_hist(ctx.now(), op, SealClose::Applied);
+                    ctx.metrics().incr("zlog.probes_sealed", 1);
+                    self.retry_fresh_pos(ctx, op);
+                }
+                Err(OsdError::Class(ce)) if ce.code == -17 => {
+                    // The cell got occupied between probe and fill —
+                    // possibly by our own in-flight write. Probe again.
+                    self.close_seal_hist(ctx.now(), op, SealClose::NotApplied);
+                    self.restart_op(ctx, op);
+                }
+                Err(_) => self.restart_op(ctx, op),
+            },
             Stage::ReadEntry => match result {
                 Ok(results) => {
                     let Some(OpResult::CallOut(bytes)) = results.first() else {
-                        self.fail(op, "malformed read reply");
+                        self.fail(ctx.now(), op, "malformed read reply");
                         return;
                     };
                     let outcome = match bytes.first() {
@@ -792,22 +1072,30 @@ impl ZlogClient {
                         Some(b'T') => ReadOutcome::Trimmed,
                         _ => ReadOutcome::NotWritten,
                     };
-                    self.finish(op, AppendResult::Ok(ZlogOut::Read(outcome)));
+                    self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::Read(outcome)));
                 }
                 Err(OsdError::Class(ce)) if ce.code == -2 => {
-                    self.finish(op, AppendResult::Ok(ZlogOut::Read(ReadOutcome::NotWritten)));
+                    self.finish(
+                        ctx.now(),
+                        op,
+                        AppendResult::Ok(ZlogOut::Read(ReadOutcome::NotWritten)),
+                    );
                 }
                 Err(OsdError::NoEnt) => {
-                    self.finish(op, AppendResult::Ok(ZlogOut::Read(ReadOutcome::NotWritten)));
+                    self.finish(
+                        ctx.now(),
+                        op,
+                        AppendResult::Ok(ZlogOut::Read(ReadOutcome::NotWritten)),
+                    );
                 }
-                Err(e) => self.fail(op, format!("read failed: {e}")),
+                Err(e) => self.fail(ctx.now(), op, format!("read failed: {e}")),
             },
             Stage::Mutate => match result {
-                Ok(_) => self.finish(op, AppendResult::Ok(ZlogOut::Done)),
+                Ok(_) => self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::Done)),
                 Err(OsdError::Class(ce)) if ce.code == -17 => {
-                    self.fail(op, "position already written")
+                    self.fail(ctx.now(), op, "position already written")
                 }
-                Err(e) => self.fail(op, format!("mutation failed: {e}")),
+                Err(e) => self.fail(ctx.now(), op, format!("mutation failed: {e}")),
             },
             Stage::RecoverSeal {
                 outstanding,
@@ -872,13 +1160,13 @@ impl ZlogClient {
                     );
                 }
                 Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
-                Err(e) => self.fail(op, format!("mkdir /zlog failed: {e}")),
+                Err(e) => self.fail(ctx.now(), op, format!("mkdir /zlog failed: {e}")),
             },
             (Stage::SetupSeq, MdsMsg::Created { result, .. }) => match result {
                 Ok(ino) => {
                     self.seq_ino = Some(ino);
                     self.register_layout(ctx, ino);
-                    self.finish(op, AppendResult::Ok(ZlogOut::SetUp(ino)));
+                    self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::SetUp(ino)));
                 }
                 Err(MdsError::Exists) => {
                     pending.stage = Stage::ResolveSeq;
@@ -887,7 +1175,7 @@ impl ZlogClient {
                     self.send_home(ctx, MdsMsg::Resolve { reqid, path });
                 }
                 Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
-                Err(e) => self.fail(op, format!("create sequencer failed: {e}")),
+                Err(e) => self.fail(ctx.now(), op, format!("create sequencer failed: {e}")),
             },
             (Stage::ResolveSeq, MdsMsg::Resolved { result, .. }) => match result {
                 Ok((ino, _rank)) => {
@@ -895,14 +1183,16 @@ impl ZlogClient {
                     let kind = pending.kind.clone();
                     self.register_layout(ctx, ino);
                     match kind {
-                        OpKind::Setup => self.finish(op, AppendResult::Ok(ZlogOut::SetUp(ino))),
+                        OpKind::Setup => {
+                            self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::SetUp(ino)))
+                        }
                         OpKind::Append { .. } => self.step_get_pos(ctx, op),
                         OpKind::CheckTail => self.step_tail(ctx, op),
                         _ => {}
                     }
                 }
                 Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
-                Err(e) => self.fail(op, format!("sequencer resolve failed: {e}")),
+                Err(e) => self.fail(ctx.now(), op, format!("sequencer resolve failed: {e}")),
             },
             (Stage::GetPos, MdsMsg::TypeOpReply { result, .. }) => match result {
                 Ok(pos) => {
@@ -916,17 +1206,18 @@ impl ZlogClient {
                     self.call_class(ctx, op, oid, "write", format!("{epoch}|{pos}|{payload}"));
                 }
                 Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
-                Err(e) => self.fail(op, format!("sequencer next failed: {e}")),
+                Err(e) => self.fail(ctx.now(), op, format!("sequencer next failed: {e}")),
             },
             (Stage::Tail, MdsMsg::TypeOpReply { result, .. }) => match result {
-                Ok(tail) => self.finish(op, AppendResult::Ok(ZlogOut::Tail(tail))),
+                Ok(tail) => self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::Tail(tail))),
                 Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
-                Err(e) => self.fail(op, format!("tail read failed: {e}")),
+                Err(e) => self.fail(ctx.now(), op, format!("tail read failed: {e}")),
             },
             (Stage::RecoverAdvance { new_epoch, tail }, MdsMsg::TypeOpReply { result, .. }) => {
                 let (new_epoch, tail) = (*new_epoch, *tail);
                 match result {
                     Ok(_) => self.finish(
+                        ctx.now(),
                         op,
                         AppendResult::Ok(ZlogOut::Recovered {
                             epoch: new_epoch,
@@ -934,7 +1225,7 @@ impl ZlogClient {
                         }),
                     ),
                     Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
-                    Err(e) => self.fail(op, format!("sequencer restart failed: {e}")),
+                    Err(e) => self.fail(ctx.now(), op, format!("sequencer restart failed: {e}")),
                 }
             }
             (Stage::RecoverAdvance { new_epoch, tail }, MdsMsg::Resolved { result, .. }) => {
@@ -954,7 +1245,11 @@ impl ZlogClient {
                         );
                     }
                     Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
-                    Err(e) => self.fail(op, format!("resolve during recovery failed: {e}")),
+                    Err(e) => self.fail(
+                        ctx.now(),
+                        op,
+                        format!("resolve during recovery failed: {e}"),
+                    ),
                 }
             }
             _ => {}
@@ -1087,7 +1382,7 @@ impl ZlogClient {
         if let Some(batch) = self.batches.get(&id) {
             for op in batch.members.clone() {
                 if self.ops.contains_key(&op) {
-                    self.fail(op, msg.clone());
+                    self.fail(ctx.now(), op, msg.clone());
                 }
             }
         }
@@ -1227,13 +1522,36 @@ impl ZlogClient {
                 for (i, pos) in group {
                     let op = members[i];
                     if self.ops.contains_key(&op) {
-                        self.finish(op, AppendResult::Ok(ZlogOut::Pos(pos)));
+                        self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::Pos(pos)));
+                    }
+                }
+            }
+            Err(OsdError::Timeout) => {
+                ctx.metrics().incr("zlog.rados_timeouts", 1);
+                // Ambiguous: the vectored write may have landed (it is
+                // group-atomic on the OSD). Never abandon the cells — a
+                // landed payload would be orphaned data no acknowledged
+                // op wrote. Each member resolves its own granted
+                // position through the probe/seal protocol and only then
+                // retries at a fresh one.
+                for (i, pos) in group {
+                    let op = members[i];
+                    if self.ops.contains_key(&op) {
+                        self.enter_write_probe(ctx, op, pos);
+                    } else {
+                        // The member died while the write was in flight;
+                        // fence its cell so readers never block on it.
+                        self.spawn_hole_fill(ctx, pos);
                     }
                 }
             }
             Err(err) => {
-                match &err {
-                    OsdError::Class(ce) if ce.code == -116 => {
+                // Class errors are authoritative rejections (`write_batch`
+                // validates the whole vector before applying anything):
+                // nothing landed, so re-enqueueing for a fresh grant and
+                // junk-filling the abandoned cells is safe.
+                if let OsdError::Class(ce) = &err {
+                    if ce.code == -116 {
                         ctx.metrics().incr("zlog.estale_retries", 1);
                         ctx.send(
                             self.config.monitor,
@@ -1242,16 +1560,9 @@ impl ZlogClient {
                             },
                         );
                     }
-                    OsdError::Timeout => {
-                        ctx.metrics().incr("zlog.rados_timeouts", 1);
-                    }
-                    _ => {}
                 }
                 let retry: Vec<u64> = group.iter().map(|(i, _)| members[*i]).collect();
                 self.requeue_members(ctx, &retry);
-                // A Timeout is ambiguous (the write may have landed); the
-                // fill then bounces with EEXIST, which is fine — the cell
-                // is occupied and readers don't block.
                 for (_, pos) in &group {
                     self.spawn_hole_fill(ctx, *pos);
                 }
@@ -1274,7 +1585,7 @@ impl ZlogClient {
             };
             pending.attempts += 1;
             if pending.attempts > self.max_attempts {
-                self.fail(op, "too many retries");
+                self.fail_auto(ctx.now(), op, "too many retries");
                 continue;
             }
             pending.stage = Stage::Queued;
@@ -1436,7 +1747,7 @@ impl Actor for ZlogClient {
             };
             if ctx.now() >= pending.deadline {
                 ctx.metrics().incr("zlog.timeouts", 1);
-                self.fail(op, "op deadline exceeded");
+                self.fail_auto(ctx.now(), op, "op deadline exceeded");
                 return;
             }
             match pending.stage {
@@ -1452,6 +1763,39 @@ impl Actor for ZlogClient {
             self.flush_timer = None;
             self.flush(ctx);
         }
+    }
+}
+
+/// The history-model operation a client op records as, if any (setup and
+/// recovery are administrative and stay out of the history).
+fn log_op_of(kind: &OpKind) -> Option<LogOp> {
+    match kind {
+        OpKind::Append { data } => Some(LogOp::Append { data: data.clone() }),
+        OpKind::Read { pos } => Some(LogOp::Read { pos: *pos }),
+        OpKind::Fill { pos } => Some(LogOp::Fill { pos: *pos }),
+        OpKind::Trim { pos } => Some(LogOp::Trim { pos: *pos }),
+        OpKind::CheckTail => Some(LogOp::ReadTail),
+        OpKind::Setup | OpKind::Recover => None,
+    }
+}
+
+fn log_ret_of(out: &ZlogOut) -> Option<LogRet> {
+    match out {
+        ZlogOut::Pos(p) => Some(LogRet::Pos(*p)),
+        ZlogOut::Read(o) => Some(LogRet::Read(log_read_of(o))),
+        ZlogOut::Done => Some(LogRet::Done),
+        ZlogOut::Tail(t) => Some(LogRet::Tail(*t)),
+        ZlogOut::Recovered { .. } | ZlogOut::SetUp(_) => None,
+    }
+}
+
+/// Maps a client read outcome onto the checker's model type.
+pub fn log_read_of(outcome: &ReadOutcome) -> LogRead {
+    match outcome {
+        ReadOutcome::Data(d) => LogRead::Data(d.clone()),
+        ReadOutcome::Filled => LogRead::Filled,
+        ReadOutcome::Trimmed => LogRead::Trimmed,
+        ReadOutcome::NotWritten => LogRead::NotWritten,
     }
 }
 

@@ -366,3 +366,177 @@ fn explicit_flush_short_circuits_the_window() {
         );
     }
 }
+
+#[test]
+fn junk_filled_holes_read_back_as_filled_from_any_client() {
+    let mut sim = build("rlog0");
+    append(&mut sim, CLIENT_A, "head");
+    // Fill two holes ahead of the write frontier from the *other* client.
+    for pos in [3u64, 4] {
+        let res = run_op(
+            &mut sim,
+            CLIENT_B,
+            SimDuration::from_secs(5),
+            move |c, ctx| c.fill(ctx, pos),
+        );
+        assert!(matches!(res, AppendResult::Ok(ZlogOut::Done)), "{res:?}");
+    }
+    for pos in [3u64, 4] {
+        assert_eq!(read(&mut sim, CLIENT_A, pos), ReadOutcome::Filled);
+        assert_eq!(read(&mut sim, CLIENT_B, pos), ReadOutcome::Filled);
+    }
+    // Filling never advances the sequencer: the next append lands right
+    // after the head entry, not past the filled cells.
+    assert_eq!(append(&mut sim, CLIENT_A, "next"), 1);
+    assert_eq!(
+        read(&mut sim, CLIENT_B, 1),
+        ReadOutcome::Data(b"next".to_vec())
+    );
+    // A fill aimed at an occupied data cell bounces without clobbering.
+    let res = run_op(&mut sim, CLIENT_B, SimDuration::from_secs(5), |c, ctx| {
+        c.fill(ctx, 0)
+    });
+    assert!(
+        matches!(&res, AppendResult::Err(e) if e.contains("already written")),
+        "{res:?}"
+    );
+    assert_eq!(
+        read(&mut sim, CLIENT_A, 0),
+        ReadOutcome::Data(b"head".to_vec())
+    );
+}
+
+#[test]
+fn read_after_trim_is_stable_and_trim_is_idempotent() {
+    let mut sim = build("rlog1");
+    for i in 0..3u64 {
+        assert_eq!(append(&mut sim, CLIENT_A, &format!("t{i}")), i);
+    }
+    // Trim the middle entry twice (GC retries are idempotent).
+    for _ in 0..2 {
+        let res = run_op(&mut sim, CLIENT_B, SimDuration::from_secs(5), |c, ctx| {
+            c.trim(ctx, 1)
+        });
+        assert!(matches!(res, AppendResult::Ok(ZlogOut::Done)), "{res:?}");
+    }
+    for node in [CLIENT_A, CLIENT_B] {
+        assert_eq!(read(&mut sim, node, 1), ReadOutcome::Trimmed);
+        assert_eq!(read(&mut sim, node, 0), ReadOutcome::Data(b"t0".to_vec()));
+        assert_eq!(read(&mut sim, node, 2), ReadOutcome::Data(b"t2".to_vec()));
+    }
+    // The trimmed cell stays trimmed across a seal (epoch bump).
+    let res = run_op(&mut sim, CLIENT_B, SimDuration::from_secs(10), |c, ctx| {
+        c.recover(ctx)
+    });
+    assert!(matches!(
+        res,
+        AppendResult::Ok(ZlogOut::Recovered { epoch: 1, .. })
+    ));
+    assert_eq!(read(&mut sim, CLIENT_A, 1), ReadOutcome::Trimmed);
+}
+
+#[test]
+fn read_racing_a_seal_still_returns_the_entry() {
+    let mut sim = build("rlog2");
+    for i in 0..4u64 {
+        assert_eq!(append(&mut sim, CLIENT_A, &format!("r{i}")), i);
+    }
+    // Launch the seal (recovery) and a read in the same sim instant so
+    // the read can hit a stripe mid-seal; the client must ride the epoch
+    // refresh and still deliver the entry, never an error or a phantom
+    // NotWritten.
+    let rec_op = sim.with_actor::<ZlogClient, _>(CLIENT_B, |c, ctx| c.recover(ctx));
+    let read_op = sim.with_actor::<ZlogClient, _>(CLIENT_A, |c, ctx| c.read(ctx, 2));
+    let deadline = sim.now() + SimDuration::from_secs(20);
+    let done = sim.run_until_pred(deadline, |s| {
+        s.actor::<ZlogClient>(CLIENT_B).is_done(rec_op)
+            && s.actor::<ZlogClient>(CLIENT_A).is_done(read_op)
+    });
+    assert!(done, "seal/read race did not settle");
+    let rec = sim.actor_mut::<ZlogClient>(CLIENT_B).take_result(rec_op);
+    assert!(
+        matches!(
+            rec,
+            Some(AppendResult::Ok(ZlogOut::Recovered { epoch: 1, tail: 4 }))
+        ),
+        "{rec:?}"
+    );
+    let got = sim.actor_mut::<ZlogClient>(CLIENT_A).take_result(read_op);
+    assert_eq!(
+        got,
+        Some(AppendResult::Ok(ZlogOut::Read(ReadOutcome::Data(
+            b"r2".to_vec()
+        ))))
+    );
+    // And the epoch converges everywhere once the dust settles.
+    sim.run_for(SimDuration::from_secs(1));
+    assert_eq!(sim.actor::<ZlogClient>(CLIENT_A).epoch(), 1);
+}
+
+#[test]
+fn tail_discovery_skips_abandoned_grants_after_batched_appends() {
+    // Occupy position 2 before any append: the first bulk grant [0, 4)
+    // will collide there, the batch's stripe group bounces (-17), the
+    // member re-enqueues under a fresh grant and the abandoned cell is
+    // junk-filled. Tail discovery — both the sequencer probe and a
+    // seal-based recovery scan — must account for the regranted range.
+    let mut sim = build_with(
+        "rlog3",
+        ZlogClient::with_batching(
+            zcfg("rlog3"),
+            BatchConfig {
+                queue_depth: 8,
+                flush_window: SimDuration::from_millis(1),
+            },
+        ),
+    );
+    let res = run_op(&mut sim, CLIENT_B, SimDuration::from_secs(5), |c, ctx| {
+        c.fill(ctx, 2)
+    });
+    assert!(matches!(res, AppendResult::Ok(ZlogOut::Done)), "{res:?}");
+
+    let positions = drive_async_appends(&mut sim, 4, SimDuration::from_secs(30));
+    // All four appends acked at unique positions, none of them the
+    // occupied cell.
+    let mut sorted = positions.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 4, "duplicate positions: {positions:?}");
+    assert!(!sorted.contains(&2), "append landed on a filled cell");
+    let max = *sorted.last().unwrap();
+    assert!(max >= 4, "collision must force a regrant: {positions:?}");
+
+    // The displaced member burned a retry and its abandoned cell was
+    // junk-filled (EEXIST on the already-filled cell counts as fenced).
+    assert!(sim.metrics().counter("zlog.retries") >= 1);
+    assert!(sim.metrics().counter("zlog.hole_fills") >= 1);
+
+    // Sequencer tail covers every grant ever issued...
+    let res = run_op(&mut sim, CLIENT_B, SimDuration::from_secs(30), |c, ctx| {
+        c.check_tail(ctx)
+    });
+    let AppendResult::Ok(ZlogOut::Tail(seq_tail)) = res else {
+        panic!("check_tail failed: {res:?}");
+    };
+    assert!(
+        seq_tail > max,
+        "tail {seq_tail} must pass the max ack {max}"
+    );
+
+    // ...and a seal-based scan finds the same frontier: max written + 1,
+    // with no unreadable cell below it.
+    let res = run_op(&mut sim, CLIENT_B, SimDuration::from_secs(10), |c, ctx| {
+        c.recover(ctx)
+    });
+    let AppendResult::Ok(ZlogOut::Recovered { tail, .. }) = res else {
+        panic!("recovery failed: {res:?}");
+    };
+    assert_eq!(tail, max + 1, "sealed tail is max written position + 1");
+    for pos in 0..tail {
+        let out = read(&mut sim, CLIENT_B, pos);
+        assert!(
+            !matches!(out, ReadOutcome::NotWritten),
+            "cell {pos} unreadable below the sealed tail: {out:?}"
+        );
+    }
+}

@@ -34,6 +34,31 @@
 
 use proptest::prelude::*;
 
+/// Linearizability harness glue shared by the fault suites (the
+/// trace-driven tentpole): every zlog client gets a cloned [`Recorder`],
+/// and after a schedule closes the captured op history replays through
+/// the WGL checker. A violation fails the test with the minimal
+/// counterexample rendered as an event timeline.
+///
+/// [`Recorder`]: mala_sim::history::Recorder
+mod lin {
+    use mala_sim::history::Recorder;
+    use mala_sim::linearize::{check_shared_log, CheckStats, LogOp, LogRet};
+
+    /// Fresh per-run recorder for zlog op histories.
+    pub fn recorder() -> Recorder<LogOp, LogRet> {
+        Recorder::new()
+    }
+
+    /// Replays the history through the WGL checker.
+    pub fn check_log(rec: &Recorder<LogOp, LogRet>, seed: u64) -> Result<CheckStats, String> {
+        let ops = rec.operations();
+        assert!(!ops.is_empty(), "history recorded no operations");
+        check_shared_log(&ops)
+            .map_err(|cex| format!("history not linearizable (seed {seed}):\n{cex}"))
+    }
+}
+
 mod zlog_fault_props {
     use super::*;
     use mala_rados::{Osd, OsdConfig};
@@ -70,7 +95,10 @@ mod zlog_fault_props {
                 home_rank: 0,
                 monitor: cluster.mon(),
             };
-            cluster.sim.add_node(node, ZlogClient::new(config));
+            let history = lin::recorder();
+            cluster
+                .sim
+                .add_node(node, ZlogClient::new(config).with_history(history.clone()));
             cluster.sim.run_for(SimDuration::from_secs(1));
             run_op(&mut cluster.sim, node, SimDuration::from_secs(10), |c, ctx| c.setup(ctx));
 
@@ -167,6 +195,13 @@ mod zlog_fault_props {
                     cluster.sim.metrics().counter("osd.journal_replays"),
                     seed
                 );
+            }
+
+            // Tentpole: the captured history (appends, ambiguous retries,
+            // verification reads) must be linearizable under the
+            // shared-log model.
+            if let Err(e) = lin::check_log(&history, seed) {
+                return Err(TestCaseError::fail(e));
             }
         }
     }
@@ -551,7 +586,14 @@ mod mds_failover_props {
         cluster
     }
 
-    fn add_zlog_client(cluster: &mut Cluster, name: &str) -> mala_sim::NodeId {
+    fn add_zlog_client(
+        cluster: &mut Cluster,
+        name: &str,
+        history: mala_sim::history::Recorder<
+            mala_sim::linearize::LogOp,
+            mala_sim::linearize::LogRet,
+        >,
+    ) -> mala_sim::NodeId {
         let node = cluster.alloc_node();
         let config = ZlogConfig {
             name: name.into(),
@@ -561,7 +603,9 @@ mod mds_failover_props {
             home_rank: 0,
             monitor: cluster.mon(),
         };
-        cluster.sim.add_node(node, ZlogClient::new(config));
+        cluster
+            .sim
+            .add_node(node, ZlogClient::new(config).with_history(history));
         cluster.sim.run_for(SimDuration::from_secs(1));
         run_op(
             &mut cluster.sim,
@@ -617,7 +661,8 @@ mod mds_failover_props {
         #[test]
         fn sequencer_failover_preserves_log_invariants(seed in 0u64..100_000) {
             let mut cluster = failover_cluster(seed);
-            let node = add_zlog_client(&mut cluster, "failover");
+            let history = lin::recorder();
+            let node = add_zlog_client(&mut cluster, "failover", history.clone());
 
             let mut acked: Vec<(u64, Vec<u8>)> = Vec::new();
             for k in 0..6u32 {
@@ -711,6 +756,13 @@ mod mds_failover_props {
                     )))
                 }
             }
+
+            // The whole failover trace — pre-crash appends, ambiguous
+            // in-flight ops cut off by the crash, post-takeover appends,
+            // and the verification reads — must linearize.
+            if let Err(e) = lin::check_log(&history, seed) {
+                return Err(TestCaseError::fail(e));
+            }
         }
 
         /// Random *cluster* schedules — MDS crashes, beacon-loss link
@@ -724,7 +776,8 @@ mod mds_failover_props {
         #[test]
         fn appends_survive_random_cluster_schedules(seed in 0u64..100_000) {
             let mut cluster = failover_cluster(seed);
-            let node = add_zlog_client(&mut cluster, "cluster-nemesis");
+            let history = lin::recorder();
+            let node = add_zlog_client(&mut cluster, "cluster-nemesis", history.clone());
 
             let targets = cluster.fault_targets();
             let schedule =
@@ -812,12 +865,21 @@ mod mds_failover_props {
                 matches!(res, AppendResult::Ok(ZlogOut::Pos(_))),
                 "healed cluster refused an append: {:?} (seed {})", res, seed
             );
+
+            // Under random cluster schedules some appends end as info
+            // (possibly applied); the checker must still find a
+            // linearization that explains every read.
+            if let Err(e) = lin::check_log(&history, seed) {
+                return Err(TestCaseError::fail(e));
+            }
         }
     }
 }
 
 mod cap_partition {
     use mala_mds::{Mds, MdsMsg};
+    use mala_sim::history::Recorder;
+    use mala_sim::linearize::check_registers;
     use mala_sim::{Actor, Context, NodeId, SimDuration};
     use malacology::cluster::ClusterBuilder;
     use std::any::Any;
@@ -864,6 +926,11 @@ mod cap_partition {
             .pool("meta", 8, 1)
             .build(77);
         let mds = cluster.mds_node(0);
+        let cap_hist = Recorder::new();
+        cluster
+            .sim
+            .actor_mut::<Mds>(mds)
+            .set_cap_history(cap_hist.clone());
         let a = cluster.alloc_node();
         let b = cluster.alloc_node();
         cluster.sim.add_node(a, CapClient::default());
@@ -950,6 +1017,23 @@ mod cap_partition {
             999,
             "evicted holder's write-back leaked into the inode"
         );
+
+        // The cap trace — both grants reading the embedded state plus the
+        // rejected stale write-back — linearizes under the register
+        // model, and the rejected write is recorded (as a failed op the
+        // checker excludes), not silently dropped.
+        let ops = cap_hist.operations();
+        assert!(
+            ops.iter().any(|op| matches!(
+                &op.outcome,
+                mala_sim::history::Outcome::Fail { reason, .. } if reason.contains("stale")
+            )),
+            "stale release missing from the cap history"
+        );
+        match check_registers(&ops) {
+            Ok(stats) => assert!(stats.ops >= 2, "cap history too thin: {stats:?}"),
+            Err(cex) => panic!("cap history not linearizable:\n{cex}"),
+        }
     }
 }
 
@@ -991,7 +1075,10 @@ mod smoke {
             home_rank: 0,
             monitor: cluster.mon(),
         };
-        cluster.sim.add_node(node, ZlogClient::new(config));
+        let history = super::lin::recorder();
+        cluster
+            .sim
+            .add_node(node, ZlogClient::new(config).with_history(history.clone()));
         cluster.sim.run_for(SimDuration::from_secs(1));
         run_op(
             &mut cluster.sim,
@@ -1056,6 +1143,9 @@ mod smoke {
             m.counter("nemesis.crash.mds") >= 1 && m.counter("nemesis.crash.osd") >= 1,
             "per-role fault metrics missing"
         );
+        if let Err(e) = super::lin::check_log(&history, seed) {
+            panic!("{e}");
+        }
     }
 }
 
@@ -1090,7 +1180,10 @@ mod retry_integration {
             home_rank: 0,
             monitor: cluster.mon(),
         };
-        cluster.sim.add_node(node, ZlogClient::new(config));
+        let history = super::lin::recorder();
+        cluster
+            .sim
+            .add_node(node, ZlogClient::new(config).with_history(history.clone()));
         cluster.sim.run_for(SimDuration::from_secs(1));
         run_op(
             &mut cluster.sim,
@@ -1130,6 +1223,11 @@ mod retry_integration {
             retries > 0,
             "5% drop over dozens of round trips must surface retries in metrics"
         );
+        // Retransmits and dedup must be invisible in the history: the
+        // lossy trace still linearizes.
+        if let Err(e) = super::lin::check_log(&history, 42) {
+            panic!("{e}");
+        }
     }
 }
 
@@ -1164,7 +1262,15 @@ mod batched_props {
         cluster
     }
 
-    fn add_batched_client(cluster: &mut Cluster, name: &str, depth: usize) -> mala_sim::NodeId {
+    fn add_batched_client(
+        cluster: &mut Cluster,
+        name: &str,
+        depth: usize,
+        history: mala_sim::history::Recorder<
+            mala_sim::linearize::LogOp,
+            mala_sim::linearize::LogRet,
+        >,
+    ) -> mala_sim::NodeId {
         let node = cluster.alloc_node();
         let config = ZlogConfig {
             name: name.into(),
@@ -1182,7 +1288,8 @@ mod batched_props {
                     queue_depth: depth,
                     flush_window: SimDuration::from_millis(1),
                 },
-            ),
+            )
+            .with_history(history),
         );
         cluster.sim.run_for(SimDuration::from_secs(1));
         run_op(
@@ -1210,7 +1317,8 @@ mod batched_props {
         #[test]
         fn batched_appends_keep_corfu_invariants_under_faults(seed in 0u64..100_000) {
             let mut cluster = batched_cluster(seed);
-            let node = add_batched_client(&mut cluster, "batched-nemesis", 4);
+            let history = lin::recorder();
+            let node = add_batched_client(&mut cluster, "batched-nemesis", 4, history.clone());
 
             let targets = cluster.fault_targets();
             let schedule =
@@ -1384,6 +1492,13 @@ mod batched_props {
                     }
                 }
             }
+
+            // The pipelined history — bulk grants, coalesced writes,
+            // requeues, reader-side fills, the tail probe, and the full
+            // scan — must linearize as one shared-log trace.
+            if let Err(e) = lin::check_log(&history, seed) {
+                return Err(TestCaseError::fail(e));
+            }
         }
     }
 }
@@ -1419,6 +1534,7 @@ mod batched_smoke {
             home_rank: 0,
             monitor: cluster.mon(),
         };
+        let history = super::lin::recorder();
         cluster.sim.add_node(
             node,
             ZlogClient::with_batching(
@@ -1427,7 +1543,8 @@ mod batched_smoke {
                     queue_depth: 4,
                     flush_window: SimDuration::from_millis(1),
                 },
-            ),
+            )
+            .with_history(history.clone()),
         );
         cluster.sim.run_for(SimDuration::from_secs(1));
         run_op(
@@ -1517,5 +1634,205 @@ mod batched_smoke {
         );
         assert!(m.counter("osd.journal_replays") >= 1, "OSD never replayed");
         assert!(m.counter("nemesis.crash.osd") >= 1, "fault metrics missing");
+        if let Err(e) = super::lin::check_log(&history, seed) {
+            panic!("{e}");
+        }
+    }
+}
+
+mod linearize_smoke {
+    use mala_rados::{Osd, OsdConfig};
+    use mala_sim::history::{Outcome, Recorder};
+    use mala_sim::linearize::{check_shared_log, LogOp, LogRet};
+    use mala_sim::{Fault, FaultSchedule, Nemesis, SimDuration, SimTime};
+    use mala_zlog::log::{run_op, ZlogOut};
+    use mala_zlog::{zlog_interface_update, AppendResult, ZlogClient, ZlogConfig};
+    use malacology::cluster::{Cluster, ClusterBuilder};
+
+    /// Two clients race appends on one log through an OSD crash/restart,
+    /// then cross-read each other's entries and probe the tail; returns
+    /// the shared history the two clients recorded.
+    fn run_two_client_trace(seed: u64) -> Recorder<LogOp, LogRet> {
+        let mut cluster = ClusterBuilder::new()
+            .monitors(1)
+            .osds(3)
+            .mds_ranks(1)
+            .pool("p", 16, 2)
+            .build(seed);
+        cluster.commit_updates(vec![zlog_interface_update()]);
+        let history = Recorder::new();
+        let mut nodes = Vec::new();
+        for _ in 0..2 {
+            let node = cluster.alloc_node();
+            let config = ZlogConfig {
+                name: "lin-smoke".into(),
+                pool: "p".into(),
+                stripe_width: 3,
+                mds_nodes: cluster.mds_nodes(),
+                home_rank: 0,
+                monitor: cluster.mon(),
+            };
+            cluster
+                .sim
+                .add_node(node, ZlogClient::new(config).with_history(history.clone()));
+            nodes.push(node);
+        }
+        cluster.sim.run_for(SimDuration::from_secs(1));
+        run_op(
+            &mut cluster.sim,
+            nodes[0],
+            SimDuration::from_secs(30),
+            |c, ctx| c.setup(ctx),
+        );
+
+        let t0 = cluster.sim.now();
+        let schedule = FaultSchedule::new()
+            .at(SimTime(t0.0 + 300_000), Fault::Crash(cluster.osd_node(0)))
+            .at(
+                SimTime(t0.0 + 2_000_000),
+                Fault::Restart(cluster.osd_node(0)),
+            );
+        let journals = cluster.journals().clone();
+        let mon = cluster.mon();
+        let mut nemesis = Nemesis::new(schedule)
+            .with_labels(Cluster::node_role)
+            .on_restart(move |sim, n| {
+                let osd =
+                    Osd::with_journal(n.0 - 10, mon, OsdConfig::default(), journals.journal(n));
+                sim.restart(n, osd);
+            });
+
+        // Each round launches one append per client *before* polling, so
+        // the invocations genuinely overlap in the history.
+        let mut acked = Vec::new();
+        for k in 0..6u32 {
+            let ops: Vec<(mala_sim::NodeId, u64)> = nodes
+                .iter()
+                .enumerate()
+                .map(|(i, &node)| {
+                    let payload = format!("lin-{seed}-{k}-c{i}").into_bytes();
+                    let op = cluster
+                        .sim
+                        .with_actor::<ZlogClient, _>(node, move |c, ctx| c.append(ctx, payload));
+                    (node, op)
+                })
+                .collect();
+            let deadline = cluster.sim.now() + SimDuration::from_secs(90);
+            loop {
+                let all_done = ops
+                    .iter()
+                    .all(|&(node, op)| cluster.sim.actor::<ZlogClient>(node).is_done(op));
+                if all_done {
+                    break;
+                }
+                assert!(cluster.sim.now() < deadline, "racing appends hung");
+                nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(200));
+            }
+            for (node, op) in ops {
+                let res = cluster
+                    .sim
+                    .actor_mut::<ZlogClient>(node)
+                    .take_result(op)
+                    .unwrap();
+                let AppendResult::Ok(ZlogOut::Pos(pos)) = res else {
+                    panic!("racing append failed: {res:?}");
+                };
+                acked.push(pos);
+            }
+        }
+        while !nemesis.finished() {
+            nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(500));
+        }
+        cluster.sim.run_for(SimDuration::from_secs(1));
+
+        // Cross-reads: each client reads every acked position.
+        for &node in &nodes {
+            for &pos in &acked {
+                let _ = run_op(
+                    &mut cluster.sim,
+                    node,
+                    SimDuration::from_secs(30),
+                    move |c, ctx| c.read(ctx, pos),
+                );
+            }
+        }
+        let _ = run_op(
+            &mut cluster.sim,
+            nodes[0],
+            SimDuration::from_secs(30),
+            |c, ctx| c.check_tail(ctx),
+        );
+        history
+    }
+
+    /// Fixed-seed CI smoke for the tentpole: a two-client trace through
+    /// an OSD crash passes the WGL checker end to end. `ci.sh` runs
+    /// exactly this test.
+    #[test]
+    fn smoke_fixed_seed_linearizability() {
+        let seed = 2017;
+        let history = run_two_client_trace(seed);
+        let ops = history.operations();
+        assert!(ops.len() >= 24, "trace too thin: {} ops", ops.len());
+        match check_shared_log(&ops) {
+            Ok(stats) => {
+                assert!(stats.partitions >= 12, "too few partitions: {stats:?}");
+                assert!(stats.visited >= stats.ops, "checker did no work: {stats:?}");
+            }
+            Err(cex) => panic!("smoke trace not linearizable:\n{cex}"),
+        }
+    }
+
+    /// Acceptance: a deliberately seeded ordering bug — two acked appends
+    /// claiming the same position, the classic duplicate-grant failure a
+    /// broken sequencer failover would produce — is caught, and the
+    /// counterexample names the violated partition.
+    #[test]
+    fn seeded_ordering_bug_is_caught_with_counterexample() {
+        let history = run_two_client_trace(4242);
+        let mut ops = history.operations();
+        // Test-only mutation of the real trace: rewrite the ack of the
+        // higher-positioned of the first two appends to claim the lower
+        // one's cell.
+        let acked: Vec<(usize, u64)> = ops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| match (&op.op, &op.outcome) {
+                (
+                    LogOp::Append { .. },
+                    Outcome::Ok {
+                        ret: LogRet::Pos(p),
+                        ..
+                    },
+                ) => Some((i, *p)),
+                _ => None,
+            })
+            .collect();
+        assert!(acked.len() >= 2, "need two acked appends to collide");
+        let (first, second) = (acked[0], acked[1]);
+        let (victim, dup_pos) = if first.1 < second.1 {
+            (second.0, first.1)
+        } else {
+            (first.0, second.1)
+        };
+        match &mut ops[victim].outcome {
+            Outcome::Ok { ret, .. } => *ret = LogRet::Pos(dup_pos),
+            _ => unreachable!("victim was filtered as Ok"),
+        }
+
+        let cex = check_shared_log(&ops).expect_err("duplicate ack must be caught");
+        let printed = cex.to_string();
+        assert!(
+            printed.contains("linearizability violation"),
+            "missing verdict line:\n{printed}"
+        );
+        assert!(
+            printed.contains(&format!("pos {dup_pos}")),
+            "counterexample must name the contested position {dup_pos}:\n{printed}"
+        );
+        assert!(
+            printed.contains("append("),
+            "counterexample must show the colliding appends:\n{printed}"
+        );
     }
 }
