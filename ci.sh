@@ -25,4 +25,7 @@ cargo test -q --test nemesis_invariants smoke_fixed_seed_batched_append
 echo "==> linearizability smoke (fixed seed: WGL check + seeded-bug counterexample)"
 cargo test -q --test nemesis_invariants linearize_smoke
 
+echo "==> trace smoke (fixed seed: contiguous spans + per-stage histograms)"
+cargo test -q -p mala-bench --lib exp::trace
+
 echo "CI gate passed."

@@ -1,0 +1,18 @@
+//! Traced pipelined-append latency breakdown; writes
+//! `results/BENCH_trace.json` next to the rendered table.
+
+use std::io::Write;
+
+fn main() {
+    let config = mala_bench::exp::trace::Config::default();
+    let data = mala_bench::exp::trace::run(&config);
+    print!("{}", mala_bench::exp::trace::render(&data));
+    let json = mala_bench::exp::trace::to_json(&data);
+    let path = std::path::Path::new("results/BENCH_trace.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    let mut f = std::fs::File::create(path).expect("create BENCH_trace.json");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("\nwrote {}", path.display());
+}

@@ -103,7 +103,8 @@ fn measure(config: &Config, label: &str, clients: u32, policy: CapPolicyConfig) 
         let name = format!("{prefix}.s0.c{i}.wait");
         let mut waits: Vec<f64> = metrics.series(&name).iter().map(|s| s.value).collect();
         all_waits.extend(waits.iter().copied());
-        waits.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        waits.retain(|w| w.is_finite());
+        waits.sort_by(f64::total_cmp);
         let client_ops = bench
             .cluster
             .sim

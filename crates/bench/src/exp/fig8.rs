@@ -188,7 +188,8 @@ pub fn run(config: &Config) -> Data {
             latencies_ms.push(s.at.saturating_since(*committed).as_millis_f64());
         }
     }
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    latencies_ms.retain(|l| l.is_finite());
+    latencies_ms.sort_by(f64::total_cmp);
 
     let commit_ms_1s = commit_latency_ms(config, SimDuration::from_secs(1));
     let commit_ms_222ms = commit_latency_ms(config, SimDuration::from_millis(222));

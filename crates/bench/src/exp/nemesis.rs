@@ -89,13 +89,16 @@ pub struct Data {
 }
 
 fn phase_stats(label: &str, samples: &[(f64, f64)], from_s: f64, until_s: f64) -> PhaseStats {
-    let mut lat: Vec<f64> = samples
+    let lat: Vec<f64> = samples
         .iter()
         .filter(|(t, _)| *t >= from_s && *t < until_s)
         .map(|(_, l)| *l)
         .collect();
-    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let p99 = report::quantiles(&lat, &[99.0])[0].1;
+    let lat_us: Vec<f64> = lat.iter().map(|ms| ms * 1e3).collect();
+    let p99 = mala_sim::Hist::from_values(&lat_us)
+        .quantile(0.99)
+        .unwrap_or(0.0)
+        / 1e3;
     PhaseStats {
         label: label.to_string(),
         appends: lat.len() as u64,

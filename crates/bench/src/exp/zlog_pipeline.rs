@@ -18,7 +18,7 @@ use mala_consensus::{MonConfig, MonMsg, Monitor};
 use mala_mds::server::Mds;
 use mala_mds::{MdsConfig, MdsMapView, NoBalancer};
 use mala_rados::{Osd, OsdConfig, OsdMapView, PoolInfo};
-use mala_sim::{NodeId, Sim, SimDuration};
+use mala_sim::{Hist, NodeId, Sim, SimDuration};
 use mala_zlog::log::{run_op, ZlogOut};
 use mala_zlog::{zlog_interface_update, AppendResult, BatchConfig, ZlogClient, ZlogConfig};
 
@@ -217,8 +217,10 @@ pub fn run_depth(config: &Config, depth: usize) -> DepthRun {
     dedup.sort_unstable();
     dedup.dedup();
     assert_eq!(dedup.len(), config.appends, "duplicate positions assigned");
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let qs = report::quantiles(&latencies_ms, &[50.0, 99.0]);
+    // Log-scale histogram over microseconds: same machinery the tracer
+    // uses, immune to NaN-poisoned comparison sorts.
+    let lat_us: Vec<f64> = latencies_ms.iter().map(|ms| ms * 1e3).collect();
+    let hist = Hist::from_values(&lat_us);
     let grants = if depth <= 1 {
         config.appends as u64
     } else {
@@ -227,8 +229,8 @@ pub fn run_depth(config: &Config, depth: usize) -> DepthRun {
     DepthRun {
         queue_depth: depth,
         throughput: config.appends as f64 / wall_s,
-        p50_ms: qs[0].1,
-        p99_ms: qs[1].1,
+        p50_ms: hist.quantile(0.5).unwrap_or(0.0) / 1e3,
+        p99_ms: hist.quantile(0.99).unwrap_or(0.0) / 1e3,
         wall_s,
         grants,
         batch_writes: sim.metrics().counter("zlog.batch_writes"),

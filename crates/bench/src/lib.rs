@@ -29,5 +29,6 @@ pub mod exp {
     pub mod linearize;
     pub mod nemesis;
     pub mod tables;
+    pub mod trace;
     pub mod zlog_pipeline;
 }

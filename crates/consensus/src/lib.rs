@@ -18,6 +18,9 @@
 //!
 //! The proposal interval is the experimental knob behind the paper's
 //! Figure 8 (interface-propagation latency).
+// Recovery and ingress paths must degrade, not abort: turn every stray
+// panic site into a handled error. Test code is exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod monitor;
 pub mod paxos;

@@ -14,7 +14,7 @@
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use mala_sim::{Actor, Context, NodeId, SimDuration, SimTime};
+use mala_sim::{Actor, Context, NodeId, SimDuration, SimTime, SpanContext};
 
 use crate::paxos::{Outbound, PaxosMsg, PaxosNode, ReplicaId, Slot};
 
@@ -214,6 +214,9 @@ pub struct Monitor {
     mds_proposed: HashMap<String, SimTime>,
     /// Next self-originated seq (see [`SELF_SEQ_BASE`]).
     self_seq: u64,
+    /// `mon.propose` spans for batches this monitor proposed, keyed by the
+    /// batch's first txid; closed when the batch commits locally.
+    propose_spans: HashMap<(NodeId, u64), SpanContext>,
 }
 
 impl Monitor {
@@ -236,6 +239,7 @@ impl Monitor {
             mds_beacons: HashMap::new(),
             mds_proposed: HashMap::new(),
             self_seq: SELF_SEQ_BASE,
+            propose_spans: HashMap::new(),
         }
     }
 
@@ -293,6 +297,14 @@ impl Monitor {
     }
 
     fn apply_batch(&mut self, ctx: &mut Context<'_>, tx: &TxBatch) {
+        // Close the propose→commit span if this monitor proposed the batch.
+        if let Some(span) = tx
+            .txids
+            .first()
+            .and_then(|first| self.propose_spans.remove(first))
+        {
+            ctx.span_end(span);
+        }
         // Dedup: a batch may contain transactions that were re-proposed
         // after a leader change; skip already-applied ones.
         let mut fresh_updates: Vec<&MapUpdate> = Vec::new();
@@ -341,7 +353,9 @@ impl Monitor {
         }
         let mut epochs = Vec::new();
         for (map, delta) in touched {
-            let snap = self.maps.get_mut(&map).expect("just inserted");
+            let Some(snap) = self.maps.get_mut(&map) else {
+                continue; // unreachable: every touched map was just inserted
+            };
             snap.epoch += 1;
             epochs.push((map.clone(), snap.epoch));
             if let Some(subs) = self.subs.get(&map) {
@@ -542,17 +556,21 @@ impl Actor for Monitor {
     fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Box<dyn Any>) {
         let msg = match msg.downcast::<MonWire>() {
             Ok(wire) => {
+                // A Paxos message from a node outside the configured quorum
+                // is hostile or misconfigured; participating would let a
+                // rogue sender steer consensus (or, previously, crash the
+                // monitor). Drop it on the floor and count it.
+                let Some(rank) = self.peers.iter().position(|p| *p == from) else {
+                    ctx.metrics().incr("mon.paxos_rogue_msgs", 1);
+                    return;
+                };
+                let rank = rank as ReplicaId;
                 if matches!(
                     wire.0,
                     PaxosMsg::Heartbeat { .. } | PaxosMsg::Prepare { .. }
                 ) {
                     self.last_leader_contact = ctx.now();
                 }
-                let rank = self
-                    .peers
-                    .iter()
-                    .position(|p| *p == from)
-                    .expect("paxos message from non-peer") as ReplicaId;
                 let out = self.paxos.on_message(rank, wire.0);
                 self.ship(ctx, out);
                 self.apply_chosen(ctx);
@@ -620,6 +638,11 @@ impl Actor for Monitor {
                             origin: self.rank,
                             updates: group.into_iter().flat_map(|(_, _, u)| u).collect(),
                         };
+                        if let Some(first) = batch.txids.first().copied() {
+                            let span = ctx.span_start("mon.propose", None);
+                            ctx.span_tag(span, "updates", &batch.updates.len().to_string());
+                            self.propose_spans.insert(first, span);
+                        }
                         let out = self.paxos.submit(batch);
                         self.ship(ctx, out);
                     }
@@ -923,5 +946,51 @@ mod tests {
             fast < slow,
             "222 ms interval ({fast} ms) must beat 1 s interval ({slow} ms)"
         );
+    }
+
+    #[test]
+    fn paxos_message_from_rogue_sender_is_dropped_not_fatal() {
+        use crate::paxos::Ballot;
+        let mut sim = build(3, MonConfig::default());
+        sim.run_for(SimDuration::from_millis(500));
+        assert!(sim.actor::<Monitor>(NodeId(0)).is_leader());
+        // NodeId(100) is the test client — not in the monitor quorum. Its
+        // Paxos traffic must be discarded, not crash the monitor or steer
+        // consensus.
+        sim.with_actor::<TestClient, _>(NodeId(100), |_, ctx| {
+            ctx.send(
+                NodeId(0),
+                MonWire(PaxosMsg::Heartbeat {
+                    ballot: Ballot {
+                        round: 99,
+                        proposer: 2,
+                    },
+                    chosen_up_to: 0,
+                }),
+            );
+            ctx.send(
+                NodeId(1),
+                MonWire(PaxosMsg::Prepare {
+                    ballot: Ballot {
+                        round: 100,
+                        proposer: 1,
+                    },
+                }),
+            );
+        });
+        sim.run_for(SimDuration::from_millis(200));
+        assert_eq!(sim.metrics().counter("mon.paxos_rogue_msgs"), 2);
+        // The quorum still commits afterwards.
+        sim.with_actor::<TestClient, _>(NodeId(100), |_, ctx| {
+            ctx.send(
+                NodeId(0),
+                MonMsg::Submit {
+                    seq: 1,
+                    updates: vec![MapUpdate::set(SERVICE_MAP_OSD, "k", b"v".to_vec())],
+                },
+            );
+        });
+        sim.run_for(SimDuration::from_secs(3));
+        assert_eq!(sim.actor::<TestClient>(NodeId(100)).acks.len(), 1);
     }
 }

@@ -54,12 +54,11 @@ pub struct BalanceView {
 }
 
 impl BalanceView {
-    /// The deciding rank's own sample.
-    pub fn me(&self) -> &LoadSample {
-        self.loads
-            .iter()
-            .find(|l| l.rank == self.whoami)
-            .expect("own load sample present")
+    /// The deciding rank's own sample, if the view carries one. A view
+    /// assembled mid-failover can lack it; policies must treat that as
+    /// "don't balance this tick", not a crash.
+    pub fn me(&self) -> Option<&LoadSample> {
+        self.loads.iter().find(|l| l.rank == self.whoami)
     }
 
     /// Mean total load across ranks.
@@ -198,9 +197,12 @@ impl Balancer for CephFsBalancer {
         if view.loads.len() < 2 {
             return Vec::new();
         }
-        let my = self.metric(view.me());
+        let Some(me) = view.me() else {
+            return Vec::new();
+        };
+        let my = self.metric(me);
         let avg = view.loads.iter().map(|l| self.metric(l)).sum::<f64>() / view.loads.len() as f64;
-        if avg <= 0.0 || my <= avg * (1.0 + self.threshold) {
+        if !my.is_finite() || !avg.is_finite() || avg <= 0.0 || my <= avg * (1.0 + self.threshold) {
             return Vec::new();
         }
         // Shed half the excess to the least-loaded rank (the stock
@@ -213,11 +215,8 @@ impl Balancer for CephFsBalancer {
             .loads
             .iter()
             .filter(|l| l.rank != view.whoami && Some(l.rank) != cooling)
-            .min_by(|a, b| {
-                self.metric(a)
-                    .partial_cmp(&self.metric(b))
-                    .expect("finite loads")
-            })
+            .filter(|l| self.metric(l).is_finite())
+            .min_by(|a, b| self.metric(a).total_cmp(&self.metric(b)))
             .map(|l| l.rank);
         let Some(target) = target else {
             return Vec::new();
@@ -457,6 +456,46 @@ mod tests {
         let resumed = b.decide(&v);
         assert!(!resumed.is_empty());
         assert_eq!(resumed[0].target, 1, "cooldown must expire");
+    }
+
+    #[test]
+    fn nan_load_rates_do_not_panic_and_are_ignored() {
+        let mut b = CephFsBalancer::new(CephFsMode::Workload);
+        // A NaN sample among the candidates must neither crash the
+        // min_by nor be chosen as the export target.
+        let v = view(
+            0,
+            vec![
+                sample(0, 300.0, 0.0),
+                sample(1, f64::NAN, f64::NAN),
+                sample(2, 10.0, 0.0),
+            ],
+            vec![(10, 150.0), (11, 150.0)],
+        );
+        let exports = b.decide(&v);
+        for e in &exports {
+            assert_ne!(e.target, 1, "NaN-rate rank must never be a target");
+        }
+        // My own sample being NaN disables balancing rather than panicking.
+        let mut b = CephFsBalancer::new(CephFsMode::Workload);
+        let v = view(
+            0,
+            vec![sample(0, f64::NAN, 0.0), sample(1, 10.0, 0.0)],
+            vec![(10, 100.0)],
+        );
+        assert!(b.decide(&v).is_empty());
+    }
+
+    #[test]
+    fn missing_own_sample_yields_no_exports() {
+        let mut b = CephFsBalancer::new(CephFsMode::Hybrid);
+        let v = view(
+            7,
+            vec![sample(0, 300.0, 0.0), sample(1, 0.0, 0.0)],
+            vec![(10, 100.0)],
+        );
+        assert!(v.me().is_none());
+        assert!(b.decide(&v).is_empty());
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! requests occupy the server back-to-back, so throughput saturates at
 //! `1/cost` — reproducing the saturation-and-crossover shapes in the
 //! paper's figures rather than their absolute numbers.
+// Recovery and ingress paths must degrade, not abort: turn every stray
+// panic site into a handled error. Test code is exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod balancer;
 pub mod caps;

@@ -352,53 +352,120 @@ pub fn replay_journal(data: &[u8]) -> Namespace {
     replay_journal_full(data).namespace
 }
 
+fn apply_entry(state: &mut ReplayState, entry: JournalEntry) {
+    match entry {
+        JournalEntry::Create {
+            ino,
+            parent,
+            name,
+            ftype,
+        } => {
+            let _ = state.namespace.apply_create(ino, parent, &name, ftype);
+        }
+        JournalEntry::SetEmbedded { ino, value } => {
+            if let Some(inode) = state.namespace.get_mut(ino) {
+                inode.embedded = value;
+            }
+        }
+        JournalEntry::CapGrant { ino, holder } => {
+            state.cap_holders.insert(ino, holder);
+        }
+        JournalEntry::CapDrop { ino } => {
+            state.cap_holders.remove(&ino);
+        }
+        JournalEntry::MantleVersion { version } => {
+            state.mantle_version = version;
+        }
+        JournalEntry::SeqLayout {
+            ino,
+            stripe_width,
+            pool,
+            name,
+        } => {
+            state.layouts.insert(
+                ino,
+                SeqLayout {
+                    pool,
+                    name,
+                    stripe_width,
+                },
+            );
+        }
+    }
+}
+
 /// Replays a journal blob, recovering namespace, cap holders, sequencer
-/// layouts, and the Mantle policy version.
+/// layouts, and the Mantle policy version. Lossy: undecodable bytes and
+/// lines are silently skipped.
 pub fn replay_journal_full(data: &[u8]) -> ReplayState {
     let mut state = ReplayState::default();
     for line in String::from_utf8_lossy(data).lines() {
-        match JournalEntry::decode(line) {
-            Some(JournalEntry::Create {
-                ino,
-                parent,
-                name,
-                ftype,
-            }) => {
-                let _ = state.namespace.apply_create(ino, parent, &name, ftype);
-            }
-            Some(JournalEntry::SetEmbedded { ino, value }) => {
-                if let Some(inode) = state.namespace.get_mut(ino) {
-                    inode.embedded = value;
-                }
-            }
-            Some(JournalEntry::CapGrant { ino, holder }) => {
-                state.cap_holders.insert(ino, holder);
-            }
-            Some(JournalEntry::CapDrop { ino }) => {
-                state.cap_holders.remove(&ino);
-            }
-            Some(JournalEntry::MantleVersion { version }) => {
-                state.mantle_version = version;
-            }
-            Some(JournalEntry::SeqLayout {
-                ino,
-                stripe_width,
-                pool,
-                name,
-            }) => {
-                state.layouts.insert(
-                    ino,
-                    SeqLayout {
-                        pool,
-                        name,
-                        stripe_width,
-                    },
-                );
-            }
-            None => {}
+        if let Some(entry) = JournalEntry::decode(line) {
+            apply_entry(&mut state, entry);
         }
     }
     state
+}
+
+/// Why a journal blob failed strict validation.
+///
+/// Carries the state rebuilt from the valid prefix, so the caller can
+/// degrade (e.g. re-enter recovery with partial state) instead of aborting.
+#[derive(Debug, Clone)]
+pub struct JournalCorruption {
+    /// 1-based number of the first corrupt line (0 when the blob is not
+    /// valid UTF-8).
+    pub line: usize,
+    /// Human-readable description of the damage.
+    pub reason: String,
+    /// Everything replayed from the journal prefix before the damage.
+    pub recovered: ReplayState,
+}
+
+impl std::fmt::Display for JournalCorruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "journal corrupt at line {}: {}", self.line, self.reason)
+    }
+}
+
+/// Strict replay: every line must decode, except a torn final line with no
+/// trailing newline (an in-progress append cut off by a crash, which is
+/// expected). Invalid UTF-8 or garbage mid-journal is reported as
+/// [`JournalCorruption`] instead of being skipped, so a recovering rank can
+/// tell "crash mid-write" apart from "the journal object was damaged".
+pub fn replay_journal_checked(data: &[u8]) -> Result<ReplayState, Box<JournalCorruption>> {
+    let text = match std::str::from_utf8(data) {
+        Ok(t) => t,
+        Err(e) => {
+            let valid = &data[..e.valid_up_to()];
+            return Err(Box::new(JournalCorruption {
+                line: 0,
+                reason: format!("invalid utf-8 at byte {}", e.valid_up_to()),
+                recovered: replay_journal_full(valid),
+            }));
+        }
+    };
+    let mut state = ReplayState::default();
+    let ends_complete = text.is_empty() || text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        match JournalEntry::decode(line) {
+            Some(entry) => apply_entry(&mut state, entry),
+            None => {
+                let is_torn_tail = !ends_complete && i + 1 == lines.len();
+                if is_torn_tail {
+                    break;
+                }
+                let excerpt: String = line.chars().take(64).collect();
+                return Err(Box::new(JournalCorruption {
+                    line: i + 1,
+                    reason: format!("undecodable entry: {excerpt:?}"),
+                    recovered: state,
+                }));
+            }
+        }
+    }
+    Ok(state)
 }
 
 #[cfg(test)]
@@ -587,5 +654,103 @@ mod tests {
         ns.create(ROOT_INO, "c", FileType::Sequencer).unwrap();
         assert_eq!(ns.inodes_of_type(&FileType::Sequencer).len(), 2);
         assert_eq!(ns.inodes_of_type(&FileType::Dir).len(), 1); // root
+    }
+
+    /// A valid journal blob of `n` entries, one per line.
+    fn valid_journal(n: u64) -> String {
+        let mut blob = String::new();
+        for i in 0..n {
+            blob.push_str(
+                &JournalEntry::Create {
+                    ino: 100 + i,
+                    parent: ROOT_INO,
+                    name: format!("f{i}"),
+                    ftype: FileType::Regular,
+                }
+                .encode(),
+            );
+        }
+        blob
+    }
+
+    #[test]
+    fn checked_replay_accepts_clean_journal_and_torn_tail() {
+        let mut blob = valid_journal(3);
+        let clean = replay_journal_checked(blob.as_bytes()).unwrap();
+        assert_eq!(clean.namespace.resolve("/f2"), Ok(102));
+        // A crash mid-append leaves a torn final line with no newline:
+        // expected damage, replay the prefix.
+        blob.push_str("C 103 1 f");
+        let torn = replay_journal_checked(blob.as_bytes()).unwrap();
+        assert_eq!(torn.namespace.resolve("/f2"), Ok(102));
+        assert!(torn.namespace.resolve("/f3").is_err());
+    }
+
+    #[test]
+    fn checked_replay_reports_midstream_garbage_with_prefix_state() {
+        let mut blob = valid_journal(2);
+        blob.push_str("XYZZY not a journal line\n");
+        blob.push_str(&valid_journal(1));
+        let err = replay_journal_checked(blob.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.reason.contains("undecodable"), "{}", err.reason);
+        // Everything before the damage was recovered.
+        assert_eq!(err.recovered.namespace.resolve("/f1"), Ok(101));
+    }
+
+    #[test]
+    fn checked_replay_reports_invalid_utf8() {
+        let mut data = valid_journal(2).into_bytes();
+        data.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+        let err = replay_journal_checked(&data).unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.reason.contains("invalid utf-8"), "{}", err.reason);
+        assert_eq!(err.recovered.namespace.resolve("/f1"), Ok(101));
+    }
+
+    mod corrupt_journal_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Replaying arbitrary bytes — checked or lossy — must never
+            /// panic: the journal object can come back from RADOS in any
+            /// state after enough faults.
+            #[test]
+            fn replay_never_panics_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+                let _ = replay_journal_checked(&data);
+                let _ = replay_journal_full(&data);
+            }
+
+            /// Flipping one byte of a valid journal to an arbitrary value
+            /// either still replays or reports typed corruption — never a
+            /// panic — and the recovered prefix never exceeds the clean
+            /// replay.
+            #[test]
+            fn single_byte_corruption_is_typed(entries in 1u64..8, pos in 0usize..256, byte in any::<u8>()) {
+                let clean = valid_journal(entries).into_bytes();
+                let mut data = clean.clone();
+                let idx = pos % data.len();
+                data[idx] = byte;
+                let clean_count = replay_journal_checked(&clean)
+                    .expect("clean journal replays")
+                    .namespace
+                    .inodes_of_type(&FileType::Regular)
+                    .len();
+                match replay_journal_checked(&data) {
+                    Ok(state) => {
+                        prop_assert!(
+                            state.namespace.inodes_of_type(&FileType::Regular).len() <= clean_count
+                        );
+                    }
+                    Err(corrupt) => {
+                        prop_assert!(
+                            corrupt.recovered.namespace.inodes_of_type(&FileType::Regular).len()
+                                <= clean_count
+                        );
+                    }
+                }
+            }
+        }
     }
 }

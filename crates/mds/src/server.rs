@@ -25,7 +25,7 @@ use mala_consensus::{MonMsg, SERVICE_MAP_MANTLE, SERVICE_MAP_MDS, SERVICE_MAP_OS
 use mala_rados::{ObjectId, Op, OpResult, OsdError, OsdMsg};
 use mala_sim::history::Recorder;
 use mala_sim::linearize::{RegOp, RegRet};
-use mala_sim::{Actor, Context, NodeId, SimDuration, SimTime};
+use mala_sim::{Actor, Context, NodeId, SimDuration, SimTime, SpanContext};
 use rand::Rng;
 
 use crate::balancer::{BalanceView, Balancer, Export, LoadSample};
@@ -250,6 +250,8 @@ pub struct Mds {
     // append they depend on is durable.
     unflushed_replies: Vec<(SimDuration, NodeId, MdsMsg)>,
     pending_replies: HashMap<u64, Vec<(SimDuration, NodeId, MdsMsg)>>,
+    /// Open `mds.journal` spans, keyed by the flush's OSD reqid.
+    journal_spans: HashMap<u64, SpanContext>,
 
     // Failover.
     /// True until this daemon is promoted into a rank.
@@ -313,6 +315,7 @@ impl Mds {
             stashed: VecDeque::new(),
             unflushed_replies: Vec::new(),
             pending_replies: HashMap::new(),
+            journal_spans: HashMap::new(),
             standby: false,
             recover_reqid: None,
             recovering_seqs: HashMap::new(),
@@ -478,7 +481,11 @@ impl Mds {
         ino: Ino,
         op: String,
     ) {
+        let span = ctx.span_start("mds.typeop", ctx.incoming_span());
+        ctx.span_tag(span, "op", &op);
         if self.frozen.contains(&ino) {
+            ctx.span_tag(span, "error", "frozen");
+            ctx.span_end(span);
             ctx.send(
                 from,
                 MdsMsg::TypeOpReply {
@@ -492,6 +499,8 @@ impl Mds {
         if self.recovering_seqs.contains_key(&ino) {
             // The seal protocol hasn't finished: issuing a position now
             // could duplicate one the store already holds.
+            ctx.span_tag(span, "error", "recovering");
+            ctx.span_end(span);
             ctx.send(
                 from,
                 MdsMsg::TypeOpReply {
@@ -516,6 +525,13 @@ impl Mds {
             let result = self.exec_type_op(ino, &op);
             let rank = self.rank;
             ctx.metrics().incr("mds.typeops", 1);
+            if result.is_err() {
+                ctx.span_tag(span, "error", "typeop failed");
+            }
+            // The reply leaves once the queueing delay elapses; that is
+            // when this rank's work on the request ends.
+            let done = ctx.now() + delay;
+            ctx.span_end_at(span, done);
             ctx.send_after(
                 delay,
                 from,
@@ -533,7 +549,10 @@ impl Mds {
             self.account_request(ino);
             ctx.metrics().incr("mds.proxied", 1);
             if let Some(node) = self.mdsmap.node_of(route.auth) {
-                ctx.send_after(
+                ctx.span_tag(span, "proxied", "true");
+                let done = ctx.now() + costs.forward;
+                ctx.span_end_at(span, done);
+                ctx.send_after_spanned(
                     costs.forward,
                     node,
                     MdsPeer::ProxyOp {
@@ -542,11 +561,14 @@ impl Mds {
                         ino,
                         op,
                     },
+                    Some(span),
                 );
             } else {
                 // The authoritative rank has no live node (failover in
                 // progress): a NotAuth redirect would just bounce the
                 // client back here. Tell it to wait for the map.
+                ctx.span_tag(span, "error", "mds unavailable");
+                ctx.span_end(span);
                 ctx.send(
                     from,
                     MdsMsg::TypeOpReply {
@@ -558,6 +580,8 @@ impl Mds {
             }
         } else {
             // Client mode: redirect.
+            ctx.span_tag(span, "error", "not auth");
+            ctx.span_end(span);
             ctx.send(
                 from,
                 MdsMsg::TypeOpReply {
@@ -577,11 +601,15 @@ impl Mds {
         ino: Ino,
         op: String,
     ) {
+        let span = ctx.span_start("mds.typeop", ctx.incoming_span());
+        ctx.span_tag(span, "op", &op);
         let cost = self.config.costs.find;
         let delay = self.enqueue(ctx.now(), cost);
         self.account_request(ino);
         let result = self.exec_type_op(ino, &op);
         let rank = self.rank;
+        let done = ctx.now() + delay;
+        ctx.span_end_at(span, done);
         ctx.send_after(
             delay,
             client,
@@ -607,6 +635,7 @@ impl Mds {
             match action {
                 CapAction::Grant { to } => {
                     ctx.metrics().incr("mds.cap_grants", 1);
+                    let span = ctx.span_start("mds.cap_grant", ctx.incoming_span());
                     if let Some(rec) = &self.cap_history {
                         let id = rec.invoke(u64::from(to.0), ctx.now(), RegOp::Read { key: ino });
                         rec.ok(id, ctx.now(), RegRet::Value(state));
@@ -614,7 +643,9 @@ impl Mds {
                     // Journal the grant so a promoted standby knows who to
                     // recall during its reconnect window.
                     self.journal_now(ctx, JournalEntry::CapGrant { ino, holder: to });
-                    ctx.send_after(
+                    let done = ctx.now() + delay;
+                    ctx.span_end_at(span, done);
+                    ctx.send_after_spanned(
                         delay,
                         to,
                         MdsMsg::CapGrant {
@@ -623,6 +654,7 @@ impl Mds {
                             quota: policy.quota,
                             max_hold: policy.max_hold,
                         },
+                        Some(span),
                     );
                 }
                 CapAction::Recall { from } => {
@@ -779,7 +811,10 @@ impl Mds {
                     .map(|inode| (*ino, *rate, inode.ftype.clone()))
             })
             .collect();
-        my_inodes.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rates"));
+        // Rates come from wall-clock division and peer samples; a NaN or
+        // infinite rate must not take down the balancer tick.
+        my_inodes.retain(|(_, rate, _)| rate.is_finite());
+        my_inodes.sort_by(|a, b| b.1.total_cmp(&a.1));
         let view = BalanceView {
             whoami: self.rank,
             now,
@@ -927,7 +962,11 @@ impl Mds {
             .and_then(|a| a.first().copied())
             .and_then(|p| self.osdmap.node_of(p))
         {
-            ctx.send(
+            // The flush's lifetime — send to durable-ack — is the journal
+            // commit latency the group-committed replies wait on.
+            let span = ctx.span_start("mds.journal", ctx.incoming_span());
+            self.journal_spans.insert(reqid, span);
+            ctx.send_spanned(
                 primary,
                 OsdMsg::ClientOp {
                     reqid,
@@ -935,6 +974,7 @@ impl Mds {
                     txn: vec![Op::Append { data }],
                     map_epoch: self.osdmap.epoch,
                 },
+                Some(span),
             );
             ctx.metrics().incr("mds.journal_flushes", 1);
             // Group commit: acks gated on this flush are released when
@@ -944,8 +984,12 @@ impl Mds {
                     .insert(reqid, std::mem::take(&mut self.unflushed_replies));
             }
         } else {
-            // No store reachable: keep buffering.
-            self.journal_buf = String::from_utf8(data).expect("journal is utf8");
+            // No store reachable: keep buffering. The bytes were our own
+            // buffer a moment ago, but never abort on the round-trip.
+            self.journal_buf = match String::from_utf8(data) {
+                Ok(s) => s,
+                Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+            };
         }
     }
 
@@ -1151,7 +1195,9 @@ impl Mds {
                     let seq = self.mon_seq;
                     self.mon_seq += 1;
                     self.seal_mon_waiting.insert(seq, ino);
-                    let rec = self.recovering_seqs.get_mut(&ino).expect("present");
+                    let Some(rec) = self.recovering_seqs.get_mut(&ino) else {
+                        continue;
+                    };
                     rec.new_epoch = new_epoch;
                     rec.stage = SealStage::AwaitCommit;
                     ctx.send(
@@ -1295,7 +1341,8 @@ impl Mds {
         let store_tail = rec
             .maxpos
             .iter()
-            .map(|m| m.expect("checked") + 1)
+            .filter_map(|m| *m)
+            .map(|m| m + 1)
             .max()
             .unwrap_or(0)
             .max(0) as u64;
@@ -1624,6 +1671,9 @@ impl Actor for Mds {
         let msg = match msg.downcast::<OsdMsg>() {
             Ok(osd) => {
                 if let OsdMsg::ClientReply { reqid, result, .. } = *osd {
+                    if let Some(span) = self.journal_spans.remove(&reqid) {
+                        ctx.span_end(span);
+                    }
                     if Some(reqid) == self.recover_reqid {
                         if self.ready {
                             // Late duplicate of the recovery read:
@@ -1639,7 +1689,23 @@ impl Actor for Mds {
                             },
                             Err(_) => Vec::new(), // NoEnt: nothing journaled yet
                         };
-                        let replay = crate::namespace::replay_journal_full(&data);
+                        let replay = match crate::namespace::replay_journal_checked(&data) {
+                            Ok(replay) => replay,
+                            Err(err) => {
+                                // A corrupt journal must degrade the rank
+                                // into recovery, never abort the daemon:
+                                // keep the clean prefix, surface the rest.
+                                ctx.metrics().incr("mds.journal_corrupt_replays", 1);
+                                ctx.send(
+                                    self.monitor,
+                                    MonMsg::ClusterLog {
+                                        source: format!("mds.{}", self.rank),
+                                        line: format!("journal corrupt: {err}"),
+                                    },
+                                );
+                                err.recovered
+                            }
+                        };
                         self.namespace = replay.namespace;
                         self.seq_layouts.extend(replay.layouts);
                         self.replayed_mantle_version = replay.mantle_version;

@@ -6,7 +6,7 @@ use std::any::Any;
 use std::collections::HashMap;
 
 use mala_consensus::{MonMsg, SERVICE_MAP_OSD};
-use mala_sim::{Actor, Context, NodeId, Sim, SimDuration, SimTime, TimerHandle};
+use mala_sim::{Actor, Context, NodeId, Sim, SimDuration, SimTime, SpanContext, TimerHandle};
 use rand::Rng;
 
 use crate::object::ObjectId;
@@ -43,6 +43,9 @@ struct InFlight {
     blocked_on_epoch: Option<u64>,
     /// The pending retransmit timer, if armed.
     retry_timer: Option<TimerHandle>,
+    /// The `rados.op` span covering submission → completion; travels on
+    /// every (re)transmission so the OSD parents its work under it.
+    span: Option<SpanContext>,
 }
 
 /// Retry/timeout knobs for [`RadosClient`].
@@ -106,8 +109,23 @@ impl RadosClient {
     /// and collect the outcome with [`RadosClient::take_completed`] (or use
     /// [`request`] for a synchronous harness call).
     pub fn submit(&mut self, ctx: &mut Context<'_>, oid: ObjectId, txn: Transaction) -> u64 {
+        self.submit_spanned(ctx, oid, txn, None)
+    }
+
+    /// Like [`RadosClient::submit`], but parents the request's `rados.op`
+    /// span under `parent` (e.g. a ZLog append span) instead of rooting a
+    /// fresh trace.
+    pub fn submit_spanned(
+        &mut self,
+        ctx: &mut Context<'_>,
+        oid: ObjectId,
+        txn: Transaction,
+        parent: Option<SpanContext>,
+    ) -> u64 {
         let reqid = self.next_reqid;
         self.next_reqid += 1;
+        let span = ctx.span_start("rados.op", parent);
+        ctx.span_tag(span, "oid", &oid.name);
         self.inflight.insert(
             reqid,
             InFlight {
@@ -118,6 +136,7 @@ impl RadosClient {
                 deadline: ctx.now() + self.retry.deadline,
                 blocked_on_epoch: None,
                 retry_timer: None,
+                span: Some(span),
             },
         );
         self.dispatch(ctx, reqid);
@@ -149,8 +168,16 @@ impl RadosClient {
         }
         let latency = ctx.now().since(inflight.submitted_at);
         let now = ctx.now();
+        if let Some(span) = inflight.span {
+            if result.is_err() {
+                ctx.span_tag(span, "error", "true");
+            }
+            ctx.span_end(span);
+        }
         ctx.metrics()
             .observe("client.latency_us", now, latency.as_micros() as f64);
+        ctx.metrics()
+            .observe_hist("client.latency_us", latency.as_micros() as f64);
         ctx.metrics().incr("client.completed", 1);
         if matches!(result, Err(OsdError::Timeout)) {
             ctx.metrics().incr("client.timeouts", 1);
@@ -202,7 +229,8 @@ impl RadosClient {
                     txn: inflight.txn.clone(),
                     map_epoch: self.map.epoch,
                 };
-                ctx.send(node, msg);
+                let span = inflight.span;
+                ctx.send_spanned(node, msg, span);
             }
             None => {
                 // No usable map yet: block until a newer epoch arrives.
@@ -373,5 +401,5 @@ pub fn request(
     assert!(done, "rados request {reqid} timed out after {timeout}");
     sim.actor_mut::<RadosClient>(client_node)
         .take_completed(reqid)
-        .expect("completion present")
+        .unwrap_or_else(|| panic!("completion for request {reqid} missing"))
 }

@@ -26,6 +26,9 @@
 //! * **Journal** ([`journal`]) — a per-OSD write-ahead journal held
 //!   outside the actor so durable state survives [`mala_sim::Sim::crash`];
 //!   a restarted OSD replays it and serves exactly the writes it acked.
+// Recovery and ingress paths must degrade, not abort: turn every stray
+// panic site into a handled error. Test code is exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod class;
 pub mod class_registry;

@@ -21,7 +21,7 @@ use std::any::Any;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use mala_consensus::{MonMsg, SERVICE_MAP_INTERFACES, SERVICE_MAP_OSD};
-use mala_sim::{Actor, Context, NodeId, SimDuration};
+use mala_sim::{Actor, Context, NodeId, SimDuration, SpanContext};
 use rand::seq::SliceRandom;
 
 use crate::class::ClassRegistry;
@@ -158,6 +158,12 @@ struct PendingRepl {
     txn: Transaction,
     results: Vec<OpResult>,
     waiting_on: HashSet<u32>,
+    /// The `osd.op` span of the originating client op, closed when the
+    /// final reply leaves.
+    op_span: Option<SpanContext>,
+    /// The `osd.replica_ack` span covering the replication round trip,
+    /// closed when the last ack lands.
+    ack_span: Option<SpanContext>,
 }
 
 /// Reply-cache entry: a request we have admitted but not yet answered, or
@@ -620,6 +626,10 @@ impl Osd {
             ctx.metrics().incr("osd.not_primary_rejects", 1);
             return;
         }
+        // The admitted op's span, parented under whatever travelled with
+        // the request (the client's `rados.op`).
+        let parent = ctx.incoming_span();
+        let op_span = ctx.span_start("osd.op", parent);
         let is_mutation = txn.iter().any(|op| op.is_mutation(&self.registry));
         let mut slot = self.store.remove(&oid);
         let result = apply_transaction(TxnTarget { slot: &mut slot }, &txn, &self.registry);
@@ -632,6 +642,9 @@ impl Osd {
             // (e.g. a zlog `write_batch`); txn_ops / journal_commits is
             // the journal coalescing factor.
             self.journal_object(&oid);
+            let jspan = ctx.span_start("osd.journal_commit", Some(op_span));
+            let done_at = ctx.now() + self.config.service_time;
+            ctx.span_end_at(jspan, done_at);
             ctx.metrics().incr("osd.journal_commits", 1);
             ctx.metrics().incr("osd.txn_ops", txn.len() as u64);
         }
@@ -646,9 +659,10 @@ impl Osd {
                 if is_mutation && !replicas.is_empty() {
                     let repl_id = self.next_repl_id;
                     self.next_repl_id += 1;
+                    let ack_span = ctx.span_start("osd.replica_ack", Some(op_span));
                     for osd in &replicas {
                         if let Some(node) = self.map.node_of(*osd) {
-                            ctx.send(
+                            ctx.send_spanned(
                                 node,
                                 OsdMsg::Repl {
                                     repl_id,
@@ -657,6 +671,7 @@ impl Osd {
                                     origin_client: from,
                                     origin_reqid: reqid,
                                 },
+                                Some(ack_span),
                             );
                         }
                     }
@@ -678,6 +693,8 @@ impl Osd {
                             txn,
                             results,
                             waiting_on: replicas.into_iter().collect(),
+                            op_span: Some(op_span),
+                            ack_span: Some(ack_span),
                         },
                     );
                 } else {
@@ -687,6 +704,8 @@ impl Osd {
                         self.cache_reply(from, reqid, &result);
                     }
                     let msg = reply(self, result);
+                    let done_at = ctx.now() + self.config.service_time;
+                    ctx.span_end_at(op_span, done_at);
                     ctx.send_after(self.config.service_time, from, msg);
                 }
             }
@@ -699,7 +718,10 @@ impl Osd {
                     self.journal_reply(from, reqid, &result);
                     self.cache_reply(from, reqid, &result);
                 }
+                ctx.span_tag(op_span, "error", "true");
                 let msg = reply(self, result);
+                let done_at = ctx.now() + self.config.service_time;
+                ctx.span_end_at(op_span, done_at);
                 ctx.send_after(self.config.service_time, from, msg);
             }
         }
@@ -810,6 +832,8 @@ impl Actor for Osd {
                 if applied {
                     ctx.metrics().incr("osd.dup_repls", 1);
                 } else {
+                    let parent = ctx.incoming_span();
+                    let jspan = ctx.span_start("osd.repl_journal", parent);
                     let mut slot = self.store.remove(&oid);
                     // Replicas apply unconditionally; the primary already
                     // validated the transaction. The locally-computed
@@ -826,6 +850,8 @@ impl Actor for Osd {
                     self.journal_object(&oid);
                     self.journal_reply(origin_client, origin_reqid, &result);
                     self.cache_reply(origin_client, origin_reqid, &result);
+                    let done_at = ctx.now() + self.config.service_time;
+                    ctx.span_end_at(jspan, done_at);
                 }
                 ctx.send_after(self.config.service_time, from, OsdMsg::ReplAck { repl_id });
             }
@@ -844,6 +870,13 @@ impl Actor for Osd {
                         let epoch = self.map.epoch;
                         let result = Ok(pending.results);
                         self.cache_reply(pending.client, pending.reqid, &result);
+                        if let Some(span) = pending.ack_span {
+                            ctx.span_end(span);
+                        }
+                        if let Some(span) = pending.op_span {
+                            let done_at = ctx.now() + self.config.service_time;
+                            ctx.span_end_at(span, done_at);
+                        }
                         ctx.send_after(
                             self.config.service_time,
                             pending.client,

@@ -5,6 +5,7 @@ use std::any::Any;
 use rand::rngs::StdRng;
 
 use crate::sched::SimInner;
+use crate::trace::{SpanContext, Tracer};
 use crate::{Metrics, NodeId, SimDuration, SimTime};
 
 /// A simulated daemon or client.
@@ -87,6 +88,65 @@ impl Context<'_> {
     /// The simulation-wide metric sink.
     pub fn metrics(&mut self) -> &mut Metrics {
         &mut self.inner.metrics
+    }
+
+    /// The simulation-wide span collector.
+    pub fn tracer(&mut self) -> &mut Tracer {
+        &mut self.inner.tracer
+    }
+
+    /// The trace context that travelled with the message currently being
+    /// dispatched, if the sender attached one via [`Context::send_spanned`].
+    /// `None` during `on_start`/`on_timer` callbacks and for untraced
+    /// messages.
+    pub fn incoming_span(&self) -> Option<SpanContext> {
+        self.inner.incoming_span
+    }
+
+    /// Like [`Context::send`], but carries `span` on the wire so the
+    /// receiver can parent its work under it.
+    pub fn send_spanned<M: Any>(&mut self, to: NodeId, msg: M, span: Option<SpanContext>) {
+        let me = self.me;
+        self.inner
+            .send_from_spanned(me, to, Box::new(msg), SimDuration::ZERO, span);
+    }
+
+    /// Like [`Context::send_after`], but carries `span` on the wire.
+    pub fn send_after_spanned<M: Any>(
+        &mut self,
+        delay: SimDuration,
+        to: NodeId,
+        msg: M,
+        span: Option<SpanContext>,
+    ) {
+        let me = self.me;
+        self.inner
+            .send_from_spanned(me, to, Box::new(msg), delay, span);
+    }
+
+    /// Opens a span named `name` on this node at the current virtual time.
+    /// With `parent = None` the span roots a fresh trace.
+    pub fn span_start(&mut self, name: &str, parent: Option<SpanContext>) -> SpanContext {
+        let me = self.me;
+        let now = self.inner.now;
+        self.inner.tracer.start(me, name, parent, now)
+    }
+
+    /// Closes `span` at the current virtual time.
+    pub fn span_end(&mut self, span: SpanContext) {
+        let now = self.inner.now;
+        self.inner.tracer.end(span, now);
+    }
+
+    /// Closes `span` at an explicit timestamp — used when the modeled work
+    /// completes at a known future instant (e.g. after a service delay).
+    pub fn span_end_at(&mut self, span: SpanContext, at: SimTime) {
+        self.inner.tracer.end(span, at);
+    }
+
+    /// Attaches a key/value annotation to `span`.
+    pub fn span_tag(&mut self, span: SpanContext, key: &str, value: &str) {
+        self.inner.tracer.tag(span, key, value);
     }
 }
 

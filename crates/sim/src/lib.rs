@@ -47,16 +47,18 @@ pub mod metrics;
 pub mod nemesis;
 pub mod net;
 pub mod time;
+pub mod trace;
 
 pub mod actor;
 mod sched;
 
 pub use actor::{Actor, Context, TimerHandle};
-pub use metrics::Metrics;
+pub use metrics::{Hist, Metrics};
 pub use nemesis::{Fault, FaultSchedule, FaultTargets, Nemesis};
 pub use net::{NetConfig, Network};
 pub use sched::Sim;
 pub use time::{SimDuration, SimTime};
+pub use trace::{SpanContext, SpanId, SpanRecord, TraceId, Tracer};
 
 /// Identifier of a simulated node (daemon or client).
 ///

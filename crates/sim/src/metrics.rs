@@ -24,6 +24,7 @@ pub struct Metrics {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     series: BTreeMap<String, Vec<Sample>>,
+    hists: BTreeMap<String, Hist>,
 }
 
 impl Metrics {
@@ -75,11 +76,176 @@ impl Metrics {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Folds `value` into the named log-scale histogram.
+    pub fn observe_hist(&mut self, name: &str, value: f64) {
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Merges another histogram into the named one (e.g. when aggregating
+    /// per-phase histograms into a run total).
+    pub fn merge_hist(&mut self, name: &str, other: &Hist) {
+        self.hists.entry(name.to_string()).or_default().merge(other);
+    }
+
+    /// Reads the named histogram, `None` if never observed.
+    pub fn hist(&self, name: &str) -> Option<&Hist> {
+        self.hists.get(name)
+    }
+
+    /// Iterates over all `(name, histogram)` pairs.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Hist)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Drops every recorded metric. Used between experiment phases.
     pub fn clear(&mut self) {
         self.counters.clear();
         self.gauges.clear();
         self.series.clear();
+        self.hists.clear();
+    }
+}
+
+/// Sub-buckets per power of two; 4 bounds the relative quantile error at
+/// about 9% (half a bucket width of 2^(1/4)).
+const HIST_SUB: u32 = 4;
+/// Bucket count covering values from 1 up to 2^64.
+const HIST_BUCKETS: usize = 64 * HIST_SUB as usize;
+
+/// A mergeable log-scale histogram with bounded memory.
+///
+/// Bucket `i` covers `[2^(i/4), 2^((i+1)/4))`; values at or below 1 land in
+/// bucket 0. Quantiles are read back as the geometric midpoint of the
+/// holding bucket (clamped to the observed min/max), so they are exact to
+/// within one bucket width regardless of sample count — unlike the raw
+/// series, memory does not grow with observations and two histograms merge
+/// by bucket-wise addition.
+#[derive(Debug, Clone)]
+pub struct Hist {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Hist {
+    /// Creates an empty histogram.
+    pub fn new() -> Hist {
+        Hist::default()
+    }
+
+    /// Builds a histogram from a slice of values in one shot.
+    pub fn from_values(values: &[f64]) -> Hist {
+        let mut h = Hist::new();
+        for &v in values {
+            h.observe(v);
+        }
+        h
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if value <= 1.0 {
+            return 0;
+        }
+        let idx = (value.log2() * f64::from(HIST_SUB)).floor() as usize;
+        idx.min(HIST_BUCKETS - 1)
+    }
+
+    /// Folds one observation in. Non-finite values (NaN, ±inf) are ignored;
+    /// negative values land in the lowest bucket.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds all of `other`'s observations to `self`.
+    pub fn merge(&mut self, other: &Hist) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest observed value, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observed value, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest rank over the buckets,
+    /// `None` when empty. The answer is the geometric midpoint of the
+    /// holding bucket, clamped into `[min, max]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen > rank {
+                let lo = 2f64.powf(i as f64 / f64::from(HIST_SUB));
+                let hi = 2f64.powf((i + 1) as f64 / f64::from(HIST_SUB));
+                let mid = if i == 0 { lo } else { (lo * hi).sqrt() };
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
     }
 }
 
@@ -134,7 +300,7 @@ pub fn quantile(samples: &[Sample], q: f64) -> Option<f64> {
         return None;
     }
     let mut values: Vec<f64> = samples.iter().map(|s| s.value).collect();
-    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    values.sort_by(f64::total_cmp);
     let rank = ((q.clamp(0.0, 1.0)) * (values.len() - 1) as f64).round() as usize;
     Some(values[rank])
 }
@@ -205,8 +371,77 @@ mod tests {
         let mut m = Metrics::new();
         m.incr("a", 1);
         m.observe("b", SimTime(0), 1.0);
+        m.observe_hist("c", 5.0);
         m.clear();
         assert_eq!(m.counter("a"), 0);
         assert!(m.series("b").is_empty());
+        assert!(m.hist("c").is_none());
+    }
+
+    #[test]
+    fn quantile_ignores_nan_ordering_panics() {
+        let samples = vec![s(0, 3.0), s(1, f64::NAN), s(2, 1.0)];
+        // Must not panic; NaN sorts last under total_cmp.
+        assert_eq!(quantile(&samples, 0.0), Some(1.0));
+    }
+
+    #[test]
+    fn hist_quantiles_are_bucket_accurate() {
+        let mut h = Hist::new();
+        for i in 1..=1000u64 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(1000.0));
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // Log-scale buckets guarantee ~9% relative accuracy.
+        assert!((450.0..560.0).contains(&p50), "p50 = {p50}");
+        assert!((890.0..1000.1).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(1000.0));
+    }
+
+    #[test]
+    fn hist_merge_equals_union() {
+        let a = Hist::from_values(&[1.0, 10.0, 100.0]);
+        let b = Hist::from_values(&[5.0, 50.0, 500.0]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let direct = Hist::from_values(&[1.0, 10.0, 100.0, 5.0, 50.0, 500.0]);
+        assert_eq!(merged.count(), direct.count());
+        assert_eq!(merged.sum(), direct.sum());
+        assert_eq!(merged.quantile(0.5), direct.quantile(0.5));
+        assert_eq!(merged.min(), direct.min());
+        assert_eq!(merged.max(), direct.max());
+    }
+
+    #[test]
+    fn hist_skips_non_finite_and_clamps_negatives() {
+        let mut h = Hist::new();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert!(h.is_empty());
+        h.observe(-5.0);
+        h.observe(0.5);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.0), Some(-5.0));
+        // Both land in the lowest bucket; the midpoint clamps to max.
+        assert_eq!(h.quantile(0.5), Some(0.5));
+    }
+
+    #[test]
+    fn metrics_hist_roundtrip() {
+        let mut m = Metrics::new();
+        for v in [10.0, 20.0, 30.0] {
+            m.observe_hist("lat", v);
+        }
+        let other = Hist::from_values(&[40.0]);
+        m.merge_hist("lat", &other);
+        let h = m.hist("lat").unwrap();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), Some(40.0));
+        assert_eq!(m.hists().count(), 1);
     }
 }

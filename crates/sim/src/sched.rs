@@ -8,6 +8,7 @@ use rand::SeedableRng;
 
 use crate::actor::{Actor, AnyActor, Context, TimerHandle};
 use crate::net::{Delivery, Network};
+use crate::trace::{SpanContext, Tracer};
 use crate::{Metrics, NodeId, SimDuration, SimTime};
 
 enum EventKind {
@@ -16,6 +17,9 @@ enum EventKind {
         from: NodeId,
         to: NodeId,
         msg: Box<dyn Any>,
+        /// Trace context travelling with the message, if the sender opened
+        /// one; surfaces as [`Context::incoming_span`] on delivery.
+        span: Option<SpanContext>,
     },
     Timer {
         node: NodeId,
@@ -59,6 +63,9 @@ pub(crate) struct SimInner {
     pub(crate) now: SimTime,
     pub(crate) rng: StdRng,
     pub(crate) metrics: Metrics,
+    pub(crate) tracer: Tracer,
+    /// Span context of the message currently being dispatched, if any.
+    pub(crate) incoming_span: Option<SpanContext>,
     pub(crate) net: Network,
     queue: BinaryHeap<Event>,
     seq: u64,
@@ -82,7 +89,7 @@ impl SimInner {
     }
 
     pub(crate) fn send_from(&mut self, from: NodeId, to: NodeId, msg: Box<dyn Any>) {
-        self.send_from_after(from, to, msg, SimDuration::ZERO);
+        self.send_from_spanned(from, to, msg, SimDuration::ZERO, None);
     }
 
     pub(crate) fn send_from_after(
@@ -91,6 +98,17 @@ impl SimInner {
         to: NodeId,
         msg: Box<dyn Any>,
         extra: SimDuration,
+    ) {
+        self.send_from_spanned(from, to, msg, extra, None);
+    }
+
+    pub(crate) fn send_from_spanned(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: Box<dyn Any>,
+        extra: SimDuration,
+        span: Option<SpanContext>,
     ) {
         match self.net.route(from, to, &mut self.rng) {
             Delivery::After(lat) => {
@@ -104,7 +122,15 @@ impl SimInner {
                     }
                 }
                 self.last_delivery.insert(key, at);
-                self.push(at, EventKind::Deliver { from, to, msg });
+                self.push(
+                    at,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        msg,
+                        span,
+                    },
+                );
                 self.metrics.incr("sim.messages_sent", 1);
             }
             Delivery::Drop => {
@@ -162,6 +188,8 @@ impl Sim {
                 now: SimTime::ZERO,
                 rng: StdRng::seed_from_u64(seed),
                 metrics: Metrics::new(),
+                tracer: Tracer::new(),
+                incoming_span: None,
                 net,
                 queue: BinaryHeap::new(),
                 seq: 0,
@@ -193,6 +221,17 @@ impl Sim {
     /// The network model, for partition/latency manipulation mid-run.
     pub fn network_mut(&mut self) -> &mut Network {
         &mut self.inner.net
+    }
+
+    /// The span collector (read side for harnesses).
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// The span collector (write side, e.g. to set the slow-op threshold
+    /// or clear between phases).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.inner.tracer
     }
 
     /// Adds a node running `actor`. Its [`Actor::on_start`] is scheduled at
@@ -244,6 +283,7 @@ impl Sim {
                 from: to,
                 to,
                 msg: Box::new(msg),
+                span: None,
             },
         );
     }
@@ -310,8 +350,15 @@ impl Sim {
             EventKind::Start(node) => {
                 self.dispatch(node, |actor, ctx| actor.on_start(ctx));
             }
-            EventKind::Deliver { from, to, msg } => {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                span,
+            } => {
+                self.inner.incoming_span = span;
                 self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                self.inner.incoming_span = None;
             }
             EventKind::Timer {
                 node,

@@ -18,7 +18,7 @@ use mala_rados::client::RETRY_TOKEN_BASE as RADOS_RETRY_TOKEN_BASE;
 use mala_rados::{ObjectId, Op, OpResult, OsdError, RadosClient};
 use mala_sim::history::Recorder;
 use mala_sim::linearize::{LogOp, LogRead, LogRet};
-use mala_sim::{Actor, Context, NodeId, Sim, SimDuration, SimTime, TimerHandle};
+use mala_sim::{Actor, Context, NodeId, Sim, SimDuration, SimTime, SpanContext, TimerHandle};
 use rand::Rng;
 
 use crate::storage::{encode_write_batch, ZLOG_CLASS};
@@ -169,6 +169,11 @@ struct PendingOp {
     /// its own history op even though the append's state machine drives
     /// it.
     seal_hist: Option<u64>,
+    /// Root trace span for the whole op (`zlog.append`), ended at
+    /// completion.
+    span: Option<SpanContext>,
+    /// Open `zlog.queue` child while the op waits in the append queue.
+    queue_span: Option<SpanContext>,
 }
 
 /// How an open probe-seal fill record resolves.
@@ -190,6 +195,8 @@ struct Batch {
     attempts: u32,
     /// Pending batch watchdog timer, replaced on each re-arm.
     watch: Option<TimerHandle>,
+    /// Open `zlog.grant` span for the in-flight grant round trip.
+    grant_span: Option<SpanContext>,
 }
 
 enum BatchStage {
@@ -256,6 +263,8 @@ pub struct ZlogClient {
     mds_batch_waiting: HashMap<u64, u64>,
     /// rados reqid → (batch id, stripe group as `(member index, pos)`).
     rados_batch_waiting: HashMap<u64, (u64, Vec<(usize, u64)>)>,
+    /// Open `zlog.stripe_write` spans by rados reqid.
+    stripe_spans: HashMap<u64, SpanContext>,
     /// First watchdog delay; doubles per attempt, capped.
     retry_base: SimDuration,
     /// Cap on the watchdog backoff.
@@ -292,6 +301,7 @@ impl ZlogClient {
             next_batch: 1,
             mds_batch_waiting: HashMap::new(),
             rados_batch_waiting: HashMap::new(),
+            stripe_spans: HashMap::new(),
             retry_base: SimDuration::from_millis(20),
             retry_cap: SimDuration::from_secs(2),
             op_deadline: SimDuration::from_secs(60),
@@ -356,6 +366,8 @@ impl ZlogClient {
                 internal: false,
                 hist,
                 seal_hist: None,
+                span: None,
+                queue_span: None,
             },
         );
         // Every op runs under a watchdog: lost replies anywhere in the
@@ -419,6 +431,12 @@ impl ZlogClient {
     /// an explicit [`ZlogClient::flush`].
     pub fn append_async(&mut self, ctx: &mut Context<'_>, data: Vec<u8>) -> u64 {
         let op = self.begin(ctx, OpKind::Append { data }, Stage::Queued);
+        let root = ctx.span_start("zlog.append", None);
+        let queue = ctx.span_start("zlog.queue", Some(root));
+        if let Some(pending) = self.ops.get_mut(&op) {
+            pending.span = Some(root);
+            pending.queue_span = Some(queue);
+        }
         self.append_queue.push(op);
         if self.append_queue.len() >= self.batch_cfg.queue_depth.max(1) {
             self.flush(ctx);
@@ -519,8 +537,12 @@ impl ZlogClient {
     /// unroutable the message is withheld — the watchdog re-drives the op
     /// with backoff, exactly as for a typed `MdsUnavailable` reply.
     fn send_home(&mut self, ctx: &mut Context<'_>, msg: MdsMsg) {
+        self.send_home_spanned(ctx, msg, None);
+    }
+
+    fn send_home_spanned(&mut self, ctx: &mut Context<'_>, msg: MdsMsg, span: Option<SpanContext>) {
         match self.home_node() {
-            Some(node) => ctx.send(node, msg),
+            Some(node) => ctx.send_spanned(node, msg, span),
             None => ctx.metrics().incr("zlog.mds_unroutable", 1),
         }
     }
@@ -568,27 +590,43 @@ impl ZlogClient {
         )
     }
 
-    fn finish(&mut self, now: SimTime, op: u64, result: AppendResult) {
-        self.conclude(now, op, result, false);
+    fn finish(&mut self, ctx: &mut Context<'_>, op: u64, result: AppendResult) {
+        self.conclude(ctx, op, result, false);
     }
 
     /// Definite failure: the op certainly did not take effect.
-    fn fail(&mut self, now: SimTime, op: u64, msg: impl Into<String>) {
-        self.conclude(now, op, AppendResult::Err(msg.into()), false);
+    fn fail(&mut self, ctx: &mut Context<'_>, op: u64, msg: impl Into<String>) {
+        self.conclude(ctx, op, AppendResult::Err(msg.into()), false);
     }
 
     /// Failure whose history classification depends on the stage the op
     /// died in: an op that gives up while a write/fill/trim request may
     /// still be in flight (or may already have applied) records `info` —
     /// possibly applied — instead of `fail`.
-    fn fail_auto(&mut self, now: SimTime, op: u64, msg: impl Into<String>) {
-        self.conclude(now, op, AppendResult::Err(msg.into()), true);
+    fn fail_auto(&mut self, ctx: &mut Context<'_>, op: u64, msg: impl Into<String>) {
+        self.conclude(ctx, op, AppendResult::Err(msg.into()), true);
     }
 
-    fn conclude(&mut self, now: SimTime, op: u64, result: AppendResult, ambiguous_hint: bool) {
+    fn conclude(
+        &mut self,
+        ctx: &mut Context<'_>,
+        op: u64,
+        result: AppendResult,
+        ambiguous_hint: bool,
+    ) {
+        let now = ctx.now();
         let Some(pending) = self.ops.remove(&op) else {
             return;
         };
+        if let Some(queue) = pending.queue_span {
+            ctx.span_end(queue);
+        }
+        if let Some(span) = pending.span {
+            if let AppendResult::Err(msg) = &result {
+                ctx.span_tag(span, "error", msg);
+            }
+            ctx.span_end(span);
+        }
         if !self.append_queue.is_empty() {
             self.append_queue.retain(|o| *o != op);
         }
@@ -829,7 +867,7 @@ impl ZlogClient {
             // The old position is resolved as not-applied and no new
             // write was issued: a definite failure.
             pending.stage = Stage::GetPos;
-            self.fail(ctx.now(), op, "too many retries");
+            self.fail(ctx, op, "too many retries");
             return;
         }
         ctx.metrics().incr("zlog.retries", 1);
@@ -852,6 +890,9 @@ impl ZlogClient {
         for reqid in waiting {
             if let Some(event) = self.rados.take_completed(reqid) {
                 if let Some((id, group)) = self.rados_batch_waiting.remove(&reqid) {
+                    if let Some(span) = self.stripe_spans.remove(&reqid) {
+                        ctx.span_end(span);
+                    }
                     self.on_batch_write_done(ctx, id, group, event.result);
                 }
             }
@@ -882,7 +923,7 @@ impl ZlogClient {
         };
         pending.attempts += 1;
         if pending.attempts > self.max_attempts {
-            self.fail_auto(ctx.now(), op, "too many retries");
+            self.fail_auto(ctx, op, "too many retries");
             return;
         }
         ctx.metrics().incr("zlog.retries", 1);
@@ -998,7 +1039,7 @@ impl ZlogClient {
             Stage::Write { pos } => {
                 let pos = *pos;
                 match result {
-                    Ok(_) => self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::Pos(pos))),
+                    Ok(_) => self.finish(ctx, op, AppendResult::Ok(ZlogOut::Pos(pos))),
                     Err(OsdError::Class(ce)) if ce.code == -17 => {
                         // The cell is occupied. Either recovery reissued
                         // the position to someone else, or a lost-reply
@@ -1006,7 +1047,7 @@ impl ZlogClient {
                         // before abandoning the position.
                         self.enter_write_probe(ctx, op, pos);
                     }
-                    Err(e) => self.fail(ctx.now(), op, format!("write failed: {e}")),
+                    Err(e) => self.fail(ctx, op, format!("write failed: {e}")),
                 }
             }
             Stage::WriteProbe { pos } => {
@@ -1027,7 +1068,7 @@ impl ZlogClient {
                                 if ours {
                                     // Our write landed; the ack was lost.
                                     ctx.metrics().incr("zlog.probes_claimed", 1);
-                                    self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::Pos(pos)));
+                                    self.finish(ctx, op, AppendResult::Ok(ZlogOut::Pos(pos)));
                                 } else {
                                     // Foreign entry: write-once means our
                                     // write can never land here.
@@ -1063,7 +1104,7 @@ impl ZlogClient {
             Stage::ReadEntry => match result {
                 Ok(results) => {
                     let Some(OpResult::CallOut(bytes)) = results.first() else {
-                        self.fail(ctx.now(), op, "malformed read reply");
+                        self.fail(ctx, op, "malformed read reply");
                         return;
                     };
                     let outcome = match bytes.first() {
@@ -1072,30 +1113,30 @@ impl ZlogClient {
                         Some(b'T') => ReadOutcome::Trimmed,
                         _ => ReadOutcome::NotWritten,
                     };
-                    self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::Read(outcome)));
+                    self.finish(ctx, op, AppendResult::Ok(ZlogOut::Read(outcome)));
                 }
                 Err(OsdError::Class(ce)) if ce.code == -2 => {
                     self.finish(
-                        ctx.now(),
+                        ctx,
                         op,
                         AppendResult::Ok(ZlogOut::Read(ReadOutcome::NotWritten)),
                     );
                 }
                 Err(OsdError::NoEnt) => {
                     self.finish(
-                        ctx.now(),
+                        ctx,
                         op,
                         AppendResult::Ok(ZlogOut::Read(ReadOutcome::NotWritten)),
                     );
                 }
-                Err(e) => self.fail(ctx.now(), op, format!("read failed: {e}")),
+                Err(e) => self.fail(ctx, op, format!("read failed: {e}")),
             },
             Stage::Mutate => match result {
-                Ok(_) => self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::Done)),
+                Ok(_) => self.finish(ctx, op, AppendResult::Ok(ZlogOut::Done)),
                 Err(OsdError::Class(ce)) if ce.code == -17 => {
-                    self.fail(ctx.now(), op, "position already written")
+                    self.fail(ctx, op, "position already written")
                 }
-                Err(e) => self.fail(ctx.now(), op, format!("mutation failed: {e}")),
+                Err(e) => self.fail(ctx, op, format!("mutation failed: {e}")),
             },
             Stage::RecoverSeal {
                 outstanding,
@@ -1160,13 +1201,13 @@ impl ZlogClient {
                     );
                 }
                 Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
-                Err(e) => self.fail(ctx.now(), op, format!("mkdir /zlog failed: {e}")),
+                Err(e) => self.fail(ctx, op, format!("mkdir /zlog failed: {e}")),
             },
             (Stage::SetupSeq, MdsMsg::Created { result, .. }) => match result {
                 Ok(ino) => {
                     self.seq_ino = Some(ino);
                     self.register_layout(ctx, ino);
-                    self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::SetUp(ino)));
+                    self.finish(ctx, op, AppendResult::Ok(ZlogOut::SetUp(ino)));
                 }
                 Err(MdsError::Exists) => {
                     pending.stage = Stage::ResolveSeq;
@@ -1175,7 +1216,7 @@ impl ZlogClient {
                     self.send_home(ctx, MdsMsg::Resolve { reqid, path });
                 }
                 Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
-                Err(e) => self.fail(ctx.now(), op, format!("create sequencer failed: {e}")),
+                Err(e) => self.fail(ctx, op, format!("create sequencer failed: {e}")),
             },
             (Stage::ResolveSeq, MdsMsg::Resolved { result, .. }) => match result {
                 Ok((ino, _rank)) => {
@@ -1184,7 +1225,7 @@ impl ZlogClient {
                     self.register_layout(ctx, ino);
                     match kind {
                         OpKind::Setup => {
-                            self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::SetUp(ino)))
+                            self.finish(ctx, op, AppendResult::Ok(ZlogOut::SetUp(ino)))
                         }
                         OpKind::Append { .. } => self.step_get_pos(ctx, op),
                         OpKind::CheckTail => self.step_tail(ctx, op),
@@ -1192,7 +1233,7 @@ impl ZlogClient {
                     }
                 }
                 Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
-                Err(e) => self.fail(ctx.now(), op, format!("sequencer resolve failed: {e}")),
+                Err(e) => self.fail(ctx, op, format!("sequencer resolve failed: {e}")),
             },
             (Stage::GetPos, MdsMsg::TypeOpReply { result, .. }) => match result {
                 Ok(pos) => {
@@ -1206,18 +1247,18 @@ impl ZlogClient {
                     self.call_class(ctx, op, oid, "write", format!("{epoch}|{pos}|{payload}"));
                 }
                 Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
-                Err(e) => self.fail(ctx.now(), op, format!("sequencer next failed: {e}")),
+                Err(e) => self.fail(ctx, op, format!("sequencer next failed: {e}")),
             },
             (Stage::Tail, MdsMsg::TypeOpReply { result, .. }) => match result {
-                Ok(tail) => self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::Tail(tail))),
+                Ok(tail) => self.finish(ctx, op, AppendResult::Ok(ZlogOut::Tail(tail))),
                 Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
-                Err(e) => self.fail(ctx.now(), op, format!("tail read failed: {e}")),
+                Err(e) => self.fail(ctx, op, format!("tail read failed: {e}")),
             },
             (Stage::RecoverAdvance { new_epoch, tail }, MdsMsg::TypeOpReply { result, .. }) => {
                 let (new_epoch, tail) = (*new_epoch, *tail);
                 match result {
                     Ok(_) => self.finish(
-                        ctx.now(),
+                        ctx,
                         op,
                         AppendResult::Ok(ZlogOut::Recovered {
                             epoch: new_epoch,
@@ -1225,7 +1266,7 @@ impl ZlogClient {
                         }),
                     ),
                     Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
-                    Err(e) => self.fail(ctx.now(), op, format!("sequencer restart failed: {e}")),
+                    Err(e) => self.fail(ctx, op, format!("sequencer restart failed: {e}")),
                 }
             }
             (Stage::RecoverAdvance { new_epoch, tail }, MdsMsg::Resolved { result, .. }) => {
@@ -1245,11 +1286,7 @@ impl ZlogClient {
                         );
                     }
                     Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
-                    Err(e) => self.fail(
-                        ctx.now(),
-                        op,
-                        format!("resolve during recovery failed: {e}"),
-                    ),
+                    Err(e) => self.fail(ctx, op, format!("resolve during recovery failed: {e}")),
                 }
             }
             _ => {}
@@ -1287,6 +1324,9 @@ impl ZlogClient {
         for &op in &members {
             if let Some(p) = self.ops.get_mut(&op) {
                 p.stage = Stage::InBatch;
+                if let Some(queue) = p.queue_span.take() {
+                    ctx.span_end(queue);
+                }
             }
         }
         self.batches.insert(
@@ -1296,6 +1336,7 @@ impl ZlogClient {
                 stage: BatchStage::Grant,
                 attempts: 0,
                 watch: None,
+                grant_span: None,
             },
         );
         self.drive_batch_grant(ctx, id);
@@ -1322,9 +1363,18 @@ impl ZlogClient {
             return;
         }
         let n = live.len() as u64;
+        // The grant round trip is traced under the first member's append
+        // span; the MDS parents its own work beneath it via the wire.
+        let parent = live
+            .first()
+            .and_then(|op| self.ops.get(op))
+            .and_then(|p| p.span);
+        let span = ctx.span_start("zlog.grant", parent);
+        ctx.span_tag(span, "members", &n.to_string());
         if let Some(batch) = self.batches.get_mut(&id) {
             batch.members = live;
             batch.stage = BatchStage::Grant;
+            batch.grant_span = Some(span);
         }
         let reqid = self.next_seq;
         self.next_seq += 1;
@@ -1336,7 +1386,7 @@ impl ZlogClient {
                 path: format!("/zlog/{}", self.config.name),
             },
         };
-        self.send_home(ctx, msg);
+        self.send_home_spanned(ctx, msg, Some(span));
         self.arm_batch_watchdog(ctx, id);
     }
 
@@ -1382,7 +1432,7 @@ impl ZlogClient {
         if let Some(batch) = self.batches.get(&id) {
             for op in batch.members.clone() {
                 if self.ops.contains_key(&op) {
-                    self.fail(ctx.now(), op, msg.clone());
+                    self.fail(ctx, op, msg.clone());
                 }
             }
         }
@@ -1396,12 +1446,24 @@ impl ZlogClient {
             }
         }
         self.mds_batch_waiting.retain(|_, b| *b != id);
-        self.rados_batch_waiting.retain(|_, (b, _)| *b != id);
+        let stale: Vec<u64> = self
+            .rados_batch_waiting
+            .iter()
+            .filter(|(_, (b, _))| *b == id)
+            .map(|(reqid, _)| *reqid)
+            .collect();
+        for reqid in stale {
+            self.rados_batch_waiting.remove(&reqid);
+            self.stripe_spans.remove(&reqid);
+        }
     }
 
     fn on_batch_mds_reply(&mut self, ctx: &mut Context<'_>, id: u64, msg: MdsMsg) {
-        if !self.batches.contains_key(&id) {
+        let Some(batch) = self.batches.get_mut(&id) else {
             return;
+        };
+        if let Some(span) = batch.grant_span.take() {
+            ctx.span_end(span);
         }
         match msg {
             MdsMsg::Resolved { result, .. } => match result {
@@ -1470,7 +1532,15 @@ impl ZlogClient {
                 entries.iter().map(|(p, d)| (*p, d.as_slice())).collect();
             let input = encode_write_batch(epoch, &borrowed);
             let oid = self.stripe_oid(entries[0].0);
-            let reqid = self.rados.submit(
+            // One stripe-write span per vectored call, parented under the
+            // first member's append; the rados.op rides beneath it.
+            let parent = group
+                .first()
+                .and_then(|(i, _)| self.ops.get(&members[*i]))
+                .and_then(|p| p.span);
+            let wspan = ctx.span_start("zlog.stripe_write", parent);
+            ctx.span_tag(wspan, "entries", &group.len().to_string());
+            let reqid = self.rados.submit_spanned(
                 ctx,
                 oid,
                 vec![Op::Call {
@@ -1478,8 +1548,10 @@ impl ZlogClient {
                     method: "write_batch".into(),
                     input,
                 }],
+                Some(wspan),
             );
             self.rados_batch_waiting.insert(reqid, (id, group));
+            self.stripe_spans.insert(reqid, wspan);
             outstanding += 1;
         }
         if outstanding == 0 {
@@ -1522,7 +1594,7 @@ impl ZlogClient {
                 for (i, pos) in group {
                     let op = members[i];
                     if self.ops.contains_key(&op) {
-                        self.finish(ctx.now(), op, AppendResult::Ok(ZlogOut::Pos(pos)));
+                        self.finish(ctx, op, AppendResult::Ok(ZlogOut::Pos(pos)));
                     }
                 }
             }
@@ -1585,10 +1657,12 @@ impl ZlogClient {
             };
             pending.attempts += 1;
             if pending.attempts > self.max_attempts {
-                self.fail_auto(ctx.now(), op, "too many retries");
+                self.fail_auto(ctx, op, "too many retries");
                 continue;
             }
             pending.stage = Stage::Queued;
+            let root = pending.span;
+            pending.queue_span = Some(ctx.span_start("zlog.queue", root));
             self.append_queue.push(op);
             ctx.metrics().incr("zlog.retries", 1);
         }
@@ -1747,7 +1821,7 @@ impl Actor for ZlogClient {
             };
             if ctx.now() >= pending.deadline {
                 ctx.metrics().incr("zlog.timeouts", 1);
-                self.fail_auto(ctx.now(), op, "op deadline exceeded");
+                self.fail_auto(ctx, op, "op deadline exceeded");
                 return;
             }
             match pending.stage {
@@ -1813,5 +1887,5 @@ pub fn run_op(
     assert!(done, "zlog op {op} timed out after {timeout}");
     sim.actor_mut::<ZlogClient>(node)
         .take_result(op)
-        .expect("completion present")
+        .unwrap_or_else(|| panic!("completion for zlog op {op} missing"))
 }
