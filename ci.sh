@@ -28,4 +28,7 @@ cargo test -q --test nemesis_invariants linearize_smoke
 echo "==> trace smoke (fixed seed: contiguous spans + per-stage histograms)"
 cargo test -q -p mala-bench --lib exp::trace
 
+echo "==> elastic smoke (fixed seed: live OSD join+drain, backfill + WGL check)"
+cargo test -q --test nemesis_invariants elastic_membership::smoke
+
 echo "CI gate passed."

@@ -1,0 +1,18 @@
+//! Elastic-membership sweep (live OSD join + drain under load); writes
+//! `results/BENCH_elastic.json` next to the rendered tables.
+
+use std::io::Write;
+
+fn main() {
+    let config = mala_bench::exp::elastic::Config::default();
+    let data = mala_bench::exp::elastic::run(&config);
+    print!("{}", mala_bench::exp::elastic::render(&data));
+    let json = mala_bench::exp::elastic::to_json(&data);
+    let path = std::path::Path::new("results/BENCH_elastic.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    let mut f = std::fs::File::create(path).expect("create BENCH_elastic.json");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("\nwrote {}", path.display());
+}

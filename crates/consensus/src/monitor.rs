@@ -330,6 +330,18 @@ impl Monitor {
         }
         let mut touched: BTreeMap<String, Vec<MapDelta>> = BTreeMap::new();
         for up in fresh_updates {
+            // Pool entries are operator-writable and parameterize
+            // placement math on every daemon: validate at commit time so a
+            // `pg_num=0` (or unparseable) pool can never enter the
+            // authoritative map. Deterministic — every replica applies the
+            // same batch and skips the same updates.
+            if up.map == SERVICE_MAP_OSD
+                && up.key.starts_with("pool.")
+                && matches!(&up.value, Some(value) if !pool_entry_is_valid(value))
+            {
+                ctx.metrics().incr("mon.osdmap_rejected_updates", 1);
+                continue;
+            }
             let snap = self
                 .maps
                 .entry(up.map.clone())
@@ -359,7 +371,12 @@ impl Monitor {
             snap.epoch += 1;
             epochs.push((map.clone(), snap.epoch));
             if let Some(subs) = self.subs.get(&map) {
-                for sub in subs.clone() {
+                // Notify in node order: the set hashes by a per-process
+                // seed, and send order feeds the network's latency RNG,
+                // so an unsorted walk makes runs non-replayable.
+                let mut subs: Vec<NodeId> = subs.iter().copied().collect();
+                subs.sort_unstable();
+                for sub in subs {
                     ctx.send(
                         sub,
                         MonMsg::Changed {
@@ -535,6 +552,25 @@ impl Monitor {
         self.submit_self(vec![MapUpdate::set(SERVICE_MAP_MDS, &key, b"1".to_vec())]);
         ctx.metrics().incr("mon.mds_standbys_registered", 1);
     }
+}
+
+/// Commit-time validation for `pool.*` osdmap entries: the `k=v` value
+/// must parse to a non-zero `pg_num` and `replicas`. A zero (or garbage)
+/// in either would feed degenerate parameters into every daemon's
+/// placement math; a daemon-side clamp exists as defense in depth, but the
+/// authoritative map should never carry the entry at all.
+fn pool_entry_is_valid(value: &[u8]) -> bool {
+    let value = String::from_utf8_lossy(value);
+    let mut pg_num: Option<u32> = None;
+    let mut replicas: Option<u32> = None;
+    for part in value.split(',') {
+        match part.split_once('=') {
+            Some(("pg_num", v)) => pg_num = v.parse().ok(),
+            Some(("replicas", v)) => replicas = v.parse().ok(),
+            _ => {}
+        }
+    }
+    matches!((pg_num, replicas), (Some(p), Some(r)) if p > 0 && r > 0)
 }
 
 impl Actor for Monitor {
@@ -992,5 +1028,63 @@ mod tests {
         });
         sim.run_for(SimDuration::from_secs(3));
         assert_eq!(sim.actor::<TestClient>(NodeId(100)).acks.len(), 1);
+    }
+
+    #[test]
+    fn invalid_pool_updates_are_rejected_at_commit() {
+        let mut sim = build(3, MonConfig::default());
+        sim.run_for(SimDuration::from_millis(500));
+        sim.with_actor::<TestClient, _>(NodeId(100), |_, ctx| {
+            ctx.send(
+                NodeId(0),
+                MonMsg::Submit {
+                    seq: 1,
+                    updates: vec![
+                        // Operator typo: a zero pg_num would panic-or-wedge
+                        // placement on every daemon.
+                        MapUpdate::set(
+                            SERVICE_MAP_OSD,
+                            "pool.bad",
+                            b"pg_num=0,replicas=3".to_vec(),
+                        ),
+                        MapUpdate::set(
+                            SERVICE_MAP_OSD,
+                            "pool.typo",
+                            b"pg_num=sixty,replicas=3".to_vec(),
+                        ),
+                        MapUpdate::set(SERVICE_MAP_OSD, "pool.ok", b"pg_num=8,replicas=2".to_vec()),
+                    ],
+                },
+            );
+        });
+        sim.run_for(SimDuration::from_secs(3));
+        // The valid update committed; the invalid ones never entered the
+        // authoritative map, on any replica.
+        for rank in 0..3 {
+            let m = sim.actor::<Monitor>(NodeId(rank));
+            let snap = m.map(SERVICE_MAP_OSD).unwrap();
+            assert!(snap.entries.contains_key("pool.ok"));
+            assert!(!snap.entries.contains_key("pool.bad"));
+            assert!(!snap.entries.contains_key("pool.typo"));
+        }
+        assert!(sim.metrics().counter("mon.osdmap_rejected_updates") >= 2);
+        // Deleting a pool entry is still allowed (value None skips
+        // validation).
+        sim.with_actor::<TestClient, _>(NodeId(100), |_, ctx| {
+            ctx.send(
+                NodeId(0),
+                MonMsg::Submit {
+                    seq: 2,
+                    updates: vec![MapUpdate::del(SERVICE_MAP_OSD, "pool.ok")],
+                },
+            );
+        });
+        sim.run_for(SimDuration::from_secs(3));
+        let snap_entries = &sim
+            .actor::<Monitor>(NodeId(0))
+            .map(SERVICE_MAP_OSD)
+            .unwrap()
+            .entries;
+        assert!(!snap_entries.contains_key("pool.ok"));
     }
 }

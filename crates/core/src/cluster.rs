@@ -332,6 +332,16 @@ impl Cluster {
         assert!(committed, "map update did not commit in 30 s");
     }
 
+    /// Submits service-metadata updates without waiting for the commit.
+    /// Benchmarks that must keep a workload running through a map change
+    /// use this and observe the effect through epochs or metrics.
+    pub fn submit_updates(&mut self, updates: Vec<mala_consensus::MapUpdate>) {
+        let seq = self.next_mon_seq;
+        self.next_mon_seq += 1;
+        let mon = self.mon();
+        self.sim.inject(mon, MonMsg::Submit { seq, updates });
+    }
+
     /// Synchronous RADOS request through pre-created client 0.
     pub fn rados(&mut self, oid: ObjectId, txn: Transaction) -> Result<Vec<OpResult>, OsdError> {
         let client = self.client_node(0);
@@ -359,6 +369,68 @@ impl Cluster {
         let osd = Osd::with_journal(i, mon, self.osd_config.clone(), self.journals.journal(node));
         self.sim.restart(node, osd);
         self.commit_updates(vec![OsdMapView::update_osd(i, node, true)]);
+    }
+
+    /// Adds a brand-new OSD to the running cluster: spawns its actor on
+    /// the next node id in the OSD range, commits an osdmap entry at full
+    /// weight, and returns its index. The joiner's first map arrives at an
+    /// epoch past bootstrap, so it backfills every PG it now owns from the
+    /// previous acting sets before serving.
+    pub fn add_osd(&mut self) -> u32 {
+        let (i, update) = self.spawn_osd();
+        self.commit_updates(vec![update]);
+        i
+    }
+
+    /// Like [`Cluster::add_osd`] but returns as soon as the map update is
+    /// submitted, so a live workload keeps running while the join commits
+    /// and propagates.
+    pub fn add_osd_nowait(&mut self) -> u32 {
+        let (i, update) = self.spawn_osd();
+        self.submit_updates(vec![update]);
+        i
+    }
+
+    /// Spawns the next OSD's actor and returns its index plus the osdmap
+    /// update that admits it at full weight.
+    fn spawn_osd(&mut self) -> (u32, mala_consensus::MapUpdate) {
+        let i = self.osds;
+        let node = NodeId(10 + i);
+        let mon = self.mon();
+        let osd = Osd::with_journal(i, mon, self.osd_config.clone(), self.journals.journal(node));
+        self.sim.add_node(node, osd);
+        self.osds += 1;
+        let update = OsdMapView::update_osd_weighted(i, node, true, mala_rados::WEIGHT_UNIT);
+        (i, update)
+    }
+
+    /// Commits a new weight for OSD `i` (hundredths; `WEIGHT_UNIT` = full,
+    /// `0` = drained). Every weight change bumps the osdmap epoch and
+    /// remaps only the PGs whose rendezvous scores the change touches.
+    pub fn set_osd_weight(&mut self, i: u32, weight: u32) {
+        let node = self.osd_node(i);
+        self.commit_updates(vec![OsdMapView::update_osd_weighted(i, node, true, weight)]);
+    }
+
+    /// Drains OSD `i`: weight → 0. The daemon stays up — it keeps serving
+    /// reads and sourcing backfill for its old PGs — but wins no new
+    /// placements, so its data migrates off under the epoch guard.
+    pub fn drain_osd(&mut self, i: u32) {
+        self.set_osd_weight(i, 0);
+    }
+
+    /// Like [`Cluster::drain_osd`] but returns as soon as the weight-0
+    /// update is submitted, without waiting for the commit.
+    pub fn drain_osd_nowait(&mut self, i: u32) {
+        let node = self.osd_node(i);
+        self.submit_updates(vec![OsdMapView::update_osd_weighted(i, node, true, 0)]);
+    }
+
+    /// Removes OSD `i` from the osdmap entirely (typically after a drain).
+    /// The actor keeps running but owns nothing; remaining PGs remap.
+    pub fn remove_osd(&mut self, i: u32) {
+        let _ = self.osd_node(i);
+        self.commit_updates(vec![OsdMapView::remove_osd(i)]);
     }
 
     /// Crashes MDS rank `r` and commits an mdsmap marking it down.
@@ -484,6 +556,83 @@ mod tests {
         let out = cluster.rados(oid, durability::get_blob()).unwrap();
         assert_eq!(out[0], OpResult::Data(b"acked".to_vec()));
         assert!(cluster.sim.metrics().counter("osd.journal_replays") >= 1);
+    }
+
+    #[test]
+    fn added_osd_backfills_and_serves() {
+        let mut cluster = ClusterBuilder::new().osds(3).pool("data", 32, 2).build(11);
+        for i in 0..24 {
+            cluster
+                .rados(
+                    ObjectId::new("data", &format!("obj{i}")),
+                    durability::put_blob(vec![i as u8; 64]),
+                )
+                .unwrap();
+        }
+        let joiner = cluster.add_osd();
+        cluster.sim.run_for(SimDuration::from_secs(5));
+        // The joiner won placements and pulled their objects over.
+        let owned = cluster
+            .sim
+            .actor::<Osd>(cluster.osd_node(joiner))
+            .store()
+            .len();
+        assert!(owned > 0, "joiner owns no objects after backfill");
+        assert!(cluster.sim.metrics().counter("osd.backfills_completed") > 0);
+        // Everything is still readable after the remap.
+        for i in 0..24 {
+            let out = cluster
+                .rados(
+                    ObjectId::new("data", &format!("obj{i}")),
+                    durability::get_blob(),
+                )
+                .unwrap();
+            assert_eq!(out[0], OpResult::Data(vec![i as u8; 64]));
+        }
+    }
+
+    #[test]
+    fn drained_osd_hands_off_all_placements() {
+        let mut cluster = ClusterBuilder::new().osds(4).pool("data", 32, 2).build(12);
+        for i in 0..24 {
+            cluster
+                .rados(
+                    ObjectId::new("data", &format!("obj{i}")),
+                    durability::put_blob(vec![i as u8; 64]),
+                )
+                .unwrap();
+        }
+        cluster.drain_osd(1);
+        cluster.sim.run_for(SimDuration::from_secs(5));
+        // Weight 0 ⇒ the drained OSD appears in no acting set.
+        let map = cluster
+            .sim
+            .actor::<Osd>(cluster.osd_node(0))
+            .osdmap()
+            .clone();
+        for pg in 0..32 {
+            let set = map.acting_set_for_pg("data", pg).unwrap();
+            assert!(
+                !set.contains(&1),
+                "pg {pg} still maps to drained osd 1: {set:?}"
+            );
+        }
+        for i in 0..24 {
+            let out = cluster
+                .rados(
+                    ObjectId::new("data", &format!("obj{i}")),
+                    durability::get_blob(),
+                )
+                .unwrap();
+            assert_eq!(out[0], OpResult::Data(vec![i as u8; 64]));
+        }
+        // Removing the drained OSD after handoff keeps the cluster healthy.
+        cluster.remove_osd(1);
+        cluster.sim.run_for(SimDuration::from_secs(2));
+        let out = cluster
+            .rados(ObjectId::new("data", "obj0"), durability::get_blob())
+            .unwrap();
+        assert_eq!(out[0], OpResult::Data(vec![0u8; 64]));
     }
 
     #[test]

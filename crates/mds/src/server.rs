@@ -243,6 +243,12 @@ pub struct Mds {
     // Journal.
     journal_buf: String,
     journal_reqid: u64,
+    /// The flush currently in doubt: `(reqid, bytes)` of an append sent
+    /// to the store but not yet acknowledged. Kept so a lost message or
+    /// reply is retransmitted (same reqid — the OSD reply cache dedups)
+    /// instead of silently dropping journaled entries; further entries
+    /// accumulate in `journal_buf` behind it so appends stay ordered.
+    journal_inflight: Option<(u64, Vec<u8>)>,
     ready: bool,
     stashed: VecDeque<(NodeId, MdsMsg)>,
 
@@ -263,6 +269,12 @@ pub struct Mds {
     /// Sequencer inodes mid-seal after a takeover; type ops answer
     /// `Recovering` until the protocol completes.
     recovering_seqs: HashMap<Ino, SealRecovery>,
+    /// Sequencer inodes inherited from a journal replay with *no* layout
+    /// on record: the in-memory tail may understate the store, and
+    /// without a layout the seal/maxpos protocol cannot run. Their type
+    /// ops answer `Recovering` until a client re-registers the layout
+    /// (which triggers the seal) or drives `advance_to` itself.
+    unsealed_seqs: HashSet<Ino>,
     /// Registered sequencer layouts (journaled; survive failover).
     seq_layouts: HashMap<Ino, crate::namespace::SeqLayout>,
     /// Mantle policy version recovered from the journal (0 = none).
@@ -311,6 +323,7 @@ impl Mds {
             last_tick_at: SimTime::ZERO,
             journal_buf: String::new(),
             journal_reqid: 1,
+            journal_inflight: None,
             ready: false,
             stashed: VecDeque::new(),
             unflushed_replies: Vec::new(),
@@ -319,6 +332,7 @@ impl Mds {
             standby: false,
             recover_reqid: None,
             recovering_seqs: HashMap::new(),
+            unsealed_seqs: HashSet::new(),
             seq_layouts: HashMap::new(),
             replayed_mantle_version: 0,
             mon_seq: 1,
@@ -435,7 +449,21 @@ impl Mds {
 
     // ---- type operations ----
 
-    fn exec_type_op(&mut self, ino: Ino, op: &str) -> Result<u64, MdsError> {
+    fn exec_type_op(&mut self, ctx: &mut Context<'_>, ino: Ino, op: &str) -> Result<u64, MdsError> {
+        // A sequencer inherited from a journal replay without a layout
+        // cannot prove its in-memory tail covers the store: minting or
+        // reading positions before the seal/maxpos protocol runs could
+        // double-issue a position or report a regressed tail. The one
+        // exception is `advance_to`, which *is* recovery — the client
+        // sealed the stripes itself and is writing back the derived tail.
+        if self.unsealed_seqs.contains(&ino) {
+            if op.starts_with("advance_to:") {
+                self.unsealed_seqs.remove(&ino);
+            } else {
+                ctx.metrics().incr("mds.unsealed_seq_rejects", 1);
+                return Err(MdsError::Recovering);
+            }
+        }
         let inode = self.namespace.get_mut(ino).ok_or(MdsError::NotFound)?;
         match (&inode.ftype, op) {
             (FileType::Sequencer, "next") => {
@@ -522,7 +550,7 @@ impl Mds {
             let cost = costs.handle + costs.find + self.split_surcharge();
             let delay = self.enqueue(ctx.now(), cost);
             self.account_request(ino);
-            let result = self.exec_type_op(ino, &op);
+            let result = self.exec_type_op(ctx, ino, &op);
             let rank = self.rank;
             ctx.metrics().incr("mds.typeops", 1);
             if result.is_err() {
@@ -606,7 +634,7 @@ impl Mds {
         let cost = self.config.costs.find;
         let delay = self.enqueue(ctx.now(), cost);
         self.account_request(ino);
-        let result = self.exec_type_op(ino, &op);
+        let result = self.exec_type_op(ctx, ino, &op);
         let rank = self.rank;
         let done = ctx.now() + delay;
         ctx.span_end_at(span, done);
@@ -946,14 +974,43 @@ impl Mds {
         if self.standby {
             return;
         }
-        if self.journal_buf.is_empty() || self.osdmap.pools.is_empty() {
-            return;
-        }
-        let data = std::mem::take(&mut self.journal_buf).into_bytes();
         let oid = ObjectId::new(
             self.config.meta_pool.clone(),
             format!("mds_journal.{}", self.rank),
         );
+        // A flush in doubt is retransmitted before anything new goes out:
+        // a second append racing a retry could land out of order, and the
+        // OSD reply cache dedups the repeated reqid, so entries stay
+        // exactly-once and ordered. Fresh entries wait in `journal_buf`.
+        if let Some((reqid, data)) = self.journal_inflight.clone() {
+            if let Some(primary) = self
+                .osdmap
+                .acting_set_for(&oid.pool, &oid.name)
+                .and_then(|a| a.first().copied())
+                .and_then(|p| self.osdmap.node_of(p))
+            {
+                ctx.send(
+                    primary,
+                    OsdMsg::ClientOp {
+                        reqid,
+                        oid,
+                        txn: vec![Op::Append { data }],
+                        map_epoch: self.osdmap.epoch,
+                    },
+                );
+                ctx.metrics().incr("mds.journal_retransmits", 1);
+            }
+            return;
+        }
+        if self.journal_buf.is_empty() || self.osdmap.pools.is_empty() {
+            return;
+        }
+        // Reqids must stay unique across incarnations of this node: a
+        // restarted daemon reusing a low reqid would have its first flush
+        // answered from the reply cache of its previous life. Virtual
+        // time is strictly increasing across restarts.
+        self.journal_reqid = self.journal_reqid.max(ctx.now().as_micros());
+        let data = std::mem::take(&mut self.journal_buf).into_bytes();
         let reqid = self.journal_reqid;
         self.journal_reqid += 1;
         if let Some(primary) = self
@@ -966,6 +1023,7 @@ impl Mds {
             // commit latency the group-committed replies wait on.
             let span = ctx.span_start("mds.journal", ctx.incoming_span());
             self.journal_spans.insert(reqid, span);
+            self.journal_inflight = Some((reqid, data.clone()));
             ctx.send_spanned(
                 primary,
                 OsdMsg::ClientOp {
@@ -984,8 +1042,12 @@ impl Mds {
                     .insert(reqid, std::mem::take(&mut self.unflushed_replies));
             }
         } else {
-            // No store reachable: keep buffering. The bytes were our own
-            // buffer a moment ago, but never abort on the round-trip.
+            // No store reachable (every journal-pool OSD down or
+            // drained): keep buffering. The bytes were our own buffer a
+            // moment ago, but never abort on the round-trip. Surfaced as
+            // a metric so a stalled journal is visible to operators
+            // instead of silently accumulating.
+            ctx.metrics().incr("mds.journal_stall_no_osd", 1);
             self.journal_buf = match String::from_utf8(data) {
                 Ok(s) => s,
                 Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
@@ -1035,6 +1097,10 @@ impl Mds {
                     map_epoch: self.osdmap.epoch,
                 },
             );
+        } else {
+            // Recovery cannot start while no journal-pool OSD is placed;
+            // TIMER_RECOVER re-drives, but make the stall observable.
+            ctx.metrics().incr("mds.recover_stall_no_osd", 1);
         }
     }
 
@@ -1100,10 +1166,12 @@ impl Mds {
         self.ready = false;
         self.caps.clear();
         self.journal_buf.clear();
+        self.journal_inflight = None;
         self.unflushed_replies.clear();
         self.pending_replies.clear();
         self.recover_reqid = None;
         self.recovering_seqs.clear();
+        self.unsealed_seqs.clear();
         self.seal_mon_waiting.clear();
         self.seal_osd_waiting.clear();
         self.stashed.clear();
@@ -1165,6 +1233,34 @@ impl Mds {
                 },
             );
         }
+        ctx.send(
+            self.monitor,
+            MonMsg::Get {
+                map: ZLOG_EPOCH_MAP.to_string(),
+            },
+        );
+        ctx.set_timer(SimDuration::from_millis(500), TIMER_SEAL);
+    }
+
+    /// Begins the seal/maxpos protocol for one sequencer whose layout
+    /// arrived after replay (see `unsealed_seqs`). Same protocol as
+    /// [`Mds::start_seal_recovery`], scoped to a single inode.
+    fn start_seal_for(
+        &mut self,
+        ctx: &mut Context<'_>,
+        ino: Ino,
+        layout: crate::namespace::SeqLayout,
+    ) {
+        self.mon_seq = self.mon_seq.max(ctx.now().as_micros());
+        self.recovering_seqs.insert(
+            ino,
+            SealRecovery {
+                maxpos: vec![None; layout.stripe_width as usize],
+                layout,
+                stage: SealStage::GetEpoch,
+                new_epoch: 0,
+            },
+        );
         ctx.send(
             self.monitor,
             MonMsg::Get {
@@ -1272,7 +1368,11 @@ impl Mds {
             .and_then(|a| a.first().copied())
             .and_then(|p| self.osdmap.node_of(p))
         else {
-            return; // TIMER_SEAL re-drives once the osdmap is usable
+            // TIMER_SEAL re-drives once the osdmap is usable; count the
+            // stall so an undrainable seal (no OSD up for the stripe) is
+            // visible rather than silent.
+            ctx.metrics().incr("mds.seal_stall_no_osd", 1);
+            return;
         };
         let reqid = self.journal_reqid;
         self.journal_reqid += 1;
@@ -1521,7 +1621,16 @@ impl Mds {
                             name: layout.name.clone(),
                         },
                     );
-                    self.seq_layouts.insert(ino, layout);
+                    self.seq_layouts.insert(ino, layout.clone());
+                }
+                // A layout arriving for a replay-inherited sequencer is
+                // the missing piece of its recovery: run the seal/maxpos
+                // protocol now. Until it completes the inode stays in
+                // `recovering_seqs`, so grants keep answering
+                // `Recovering` with no window for a double issue.
+                if self.unsealed_seqs.remove(&ino) {
+                    ctx.metrics().incr("mds.late_layout_seals", 1);
+                    self.start_seal_for(ctx, ino, layout);
                 }
             }
             MdsMsg::AdminExport { ino, target, style } => {
@@ -1708,6 +1817,16 @@ impl Actor for Mds {
                         };
                         self.namespace = replay.namespace;
                         self.seq_layouts.extend(replay.layouts);
+                        // Sequencers the journal knows about but has no
+                        // layout for cannot be sealed here: their tails
+                        // stay suspect until a client re-registers the
+                        // layout (every grant/tail drive re-sends it).
+                        for ino in self.namespace.inodes_of_type(&FileType::Sequencer) {
+                            if !self.seq_layouts.contains_key(&ino) {
+                                self.unsealed_seqs.insert(ino);
+                                ctx.metrics().incr("mds.unsealed_seq_replays", 1);
+                            }
+                        }
                         self.replayed_mantle_version = replay.mantle_version;
                         // Reconnect window: recall every journaled holder.
                         // A live one reasserts its cap (and flushes state);
@@ -1727,6 +1846,31 @@ impl Actor for Mds {
                         self.become_ready(ctx);
                     } else if let Some((ino, stripe)) = self.seal_osd_waiting.remove(&reqid) {
                         self.on_seal_reply(ctx, ino, stripe, result);
+                    } else if self
+                        .journal_inflight
+                        .as_ref()
+                        .is_some_and(|(inflight, _)| *inflight == reqid)
+                    {
+                        if result.is_ok() {
+                            self.journal_inflight = None;
+                            ctx.metrics().incr("mds.journal_commits", 1);
+                            if let Some(replies) = self.pending_replies.remove(&reqid) {
+                                for (delay, to, msg) in replies {
+                                    ctx.send_after(delay, to, msg);
+                                }
+                            }
+                            // Entries that accumulated behind the
+                            // in-doubt flush go out now.
+                            if !self.journal_buf.is_empty() {
+                                self.flush_journal(ctx);
+                            }
+                        } else {
+                            // The flush stays in doubt: TIMER_JOURNAL
+                            // retransmits it under the same reqid (the
+                            // reply cache dedups), and the gated acks
+                            // stay withheld until the store confirms.
+                            ctx.metrics().incr("mds.journal_flush_errors", 1);
+                        }
                     } else if let Some(replies) = self.pending_replies.remove(&reqid) {
                         if result.is_ok() {
                             ctx.metrics().incr("mds.journal_commits", 1);

@@ -216,25 +216,37 @@ impl RadosClient {
         if attempts > 1 {
             ctx.metrics().incr("client.retries", 1);
         }
-        let target = self
-            .map
-            .acting_set_for(&inflight.oid.pool, &inflight.oid.name)
+        let oid = inflight.oid.clone();
+        let txn = inflight.txn.clone();
+        let span = inflight.span;
+        let acting = self.map.acting_set_for(&oid.pool, &oid.name);
+        // A committed map that places no OSD for this object (every
+        // candidate down or drained) is a typed, retryable condition the
+        // caller must see now — blocking until the deadline just converts
+        // an operator-visible state into an opaque timeout.
+        if self.map.epoch > 0 && acting.as_ref().is_some_and(|set| set.is_empty()) {
+            ctx.metrics().incr("client.no_osds_up", 1);
+            self.complete(ctx, reqid, Err(OsdError::NoOsdsUp));
+            return;
+        }
+        let target = acting
             .and_then(|acting| acting.first().copied())
             .and_then(|primary| self.map.node_of(primary));
         match target {
             Some(node) => {
                 let msg = OsdMsg::ClientOp {
                     reqid,
-                    oid: inflight.oid.clone(),
-                    txn: inflight.txn.clone(),
+                    oid,
+                    txn,
                     map_epoch: self.map.epoch,
                 };
-                let span = inflight.span;
                 ctx.send_spanned(node, msg, span);
             }
             None => {
                 // No usable map yet: block until a newer epoch arrives.
-                inflight.blocked_on_epoch = Some(self.map.epoch);
+                if let Some(inflight) = self.inflight.get_mut(&reqid) {
+                    inflight.blocked_on_epoch = Some(self.map.epoch);
+                }
                 ctx.send(
                     self.monitor,
                     MonMsg::Get {

@@ -47,4 +47,4 @@ pub use object::{Object, ObjectId};
 pub use ops::{Op, OpResult, OsdError, Transaction};
 pub use osd::{Osd, OsdConfig, OsdMsg};
 pub use osdmap::{OsdMapView, PoolInfo};
-pub use placement::{pg_of, primary_and_replicas, PgId};
+pub use placement::{pg_of, primary_and_replicas, PgId, WEIGHT_UNIT};

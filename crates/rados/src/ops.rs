@@ -113,9 +113,30 @@ pub enum OsdError {
     NotPrimary,
     /// The OSD is not serving (stopped/recovering).
     NotReady,
+    /// The committed map places no OSD for the object: every candidate is
+    /// down or drained to weight zero. Retryable — membership changes
+    /// (join, weight restore) clear it — but surfaced immediately so
+    /// callers see the condition instead of wedging until their deadline.
+    NoOsdsUp,
     /// The client gave up: the request deadline passed with no reply
     /// despite retransmissions.
     Timeout,
+}
+
+impl OsdError {
+    /// Whether the error is transient routing/availability trouble that a
+    /// caller should retry (with backoff), as opposed to a verdict about
+    /// the operation itself.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            OsdError::StaleEpoch { .. }
+                | OsdError::NotPrimary
+                | OsdError::NotReady
+                | OsdError::NoOsdsUp
+                | OsdError::Timeout
+        )
+    }
 }
 
 impl std::fmt::Display for OsdError {
@@ -129,6 +150,7 @@ impl std::fmt::Display for OsdError {
             OsdError::StaleEpoch { current } => write!(f, "stale map epoch (osd at {current})"),
             OsdError::NotPrimary => write!(f, "not primary"),
             OsdError::NotReady => write!(f, "osd not ready"),
+            OsdError::NoOsdsUp => write!(f, "no osds up for placement"),
             OsdError::Timeout => write!(f, "request deadline exceeded"),
         }
     }

@@ -51,6 +51,11 @@ pub struct OsdConfig {
     pub subscribe_to_monitor: bool,
     /// Scrub period; `None` disables background scrubbing.
     pub scrub_interval: Option<SimDuration>,
+    /// How often an OSD with unfinished backfills re-issues pulls (the
+    /// first pull goes out immediately on map change; the timer only
+    /// covers lost pulls, crashed sources, and sources that were not yet
+    /// at our epoch).
+    pub backfill_retry_interval: SimDuration,
 }
 
 impl Default for OsdConfig {
@@ -61,6 +66,7 @@ impl Default for OsdConfig {
             gossip_interval: SimDuration::from_millis(100),
             subscribe_to_monitor: true,
             scrub_interval: None,
+            backfill_retry_interval: SimDuration::from_millis(50),
         }
     }
 }
@@ -113,21 +119,44 @@ pub enum OsdMsg {
         /// The osdmap `(epoch, entries)`, if carried.
         osdmap: Option<(u64, BTreeMap<String, Vec<u8>>)>,
     },
-    /// Recovery: a new acting-set member asks the primary for a PG's
-    /// objects.
+    /// Backfill: a new acting-set member asks a prior member for a PG's
+    /// objects. Epoch-stamped so a source that has not yet learned the
+    /// remap (and so could still be admitting old-epoch writes) defers
+    /// serving it; the puller retries on its backfill timer.
     PgPull {
         /// Pool name.
         pool: String,
         /// PG index within the pool.
         pg_index: u32,
+        /// The puller's map epoch when the pull was issued.
+        epoch: u64,
     },
-    /// Recovery or repair: objects of one PG.
+    /// Backfill: an authoritative snapshot of one PG from a prior member.
+    /// Overwrites the receiver's copies (the source's state is a superset
+    /// of anything the backfilling newcomer holds); replicated writes that
+    /// raced the snapshot are reconciled via `applied`.
+    BackfillPush {
+        /// Pool name (echoed from the pull).
+        pool: String,
+        /// PG index (echoed from the pull).
+        pg_index: u32,
+        /// The pull's epoch; a push for a superseded backfill is dropped.
+        epoch: u64,
+        /// The PG's objects at the source.
+        objects: Vec<(ObjectId, Object)>,
+        /// The source's reply-cache window: `(client, reqid, result)` of
+        /// ops whose effects the snapshot already contains. Deferred
+        /// replications matching an entry are acked without re-applying
+        /// (the PG-log role in Ceph's backfill).
+        applied: Vec<AppliedReply>,
+    },
+    /// Repair: objects of one PG, pushed by the scrub path. Repair pushes
+    /// overwrite existing copies.
     PgPush {
         /// The objects.
         objects: Vec<(ObjectId, Object)>,
-        /// Repair pushes overwrite existing copies; recovery fills only
-        /// absent ones (a newcomer may already hold newer replicated
-        /// writes).
+        /// Repair pushes overwrite existing copies; legacy recovery pushes
+        /// fill only absent ones.
         overwrite: bool,
     },
     /// Scrub: primary sends its fingerprints for a PG.
@@ -150,6 +179,7 @@ pub enum OsdMsg {
 
 const TIMER_GOSSIP: u64 = 1;
 const TIMER_SCRUB: u64 = 2;
+const TIMER_BACKFILL: u64 = 3;
 
 struct PendingRepl {
     client: NodeId,
@@ -172,6 +202,37 @@ struct PendingRepl {
 enum DupState {
     InFlight,
     Done(Result<Vec<OpResult>, OsdError>),
+}
+
+/// A replicated mutation parked while its PG backfills; replayed (with
+/// dedup against the source's shipped reply window) once the snapshot
+/// lands.
+/// One source reply-cache entry carried by [`OsdMsg::BackfillPush`]:
+/// `(origin client, reqid, result)` of an op the snapshot already
+/// reflects.
+pub type AppliedReply = (NodeId, u64, Result<Vec<OpResult>, OsdError>);
+
+struct DeferredRepl {
+    from: NodeId,
+    repl_id: u64,
+    oid: ObjectId,
+    txn: Transaction,
+    origin_client: NodeId,
+    origin_reqid: u64,
+}
+
+/// One in-progress PG backfill on the receiving OSD.
+struct Backfill {
+    /// The map epoch this backfill was (re-)issued under; pushes stamped
+    /// with an older epoch are discarded.
+    epoch: u64,
+    /// Candidate source OSDs, prior acting-set members first. Rotated on
+    /// each retry; pruned of departed OSDs as maps change.
+    sources: Vec<u32>,
+    /// Index into `sources` of the next pull target.
+    next_source: usize,
+    /// Replicated writes parked until the snapshot lands.
+    deferred: Vec<DeferredRepl>,
 }
 
 /// The OSD daemon actor.
@@ -197,6 +258,10 @@ pub struct Osd {
     journal: Option<Journal>,
     /// Reply cache for client-op dedup, per client, keyed by reqid.
     replies: HashMap<NodeId, BTreeMap<u64, DupState>>,
+    /// In-progress PG backfills, keyed by `(pool, pg_index)`. A PG with an
+    /// entry here is not served (`NotReady`) and its replications are
+    /// deferred until the snapshot lands.
+    backfills: HashMap<(String, u32), Backfill>,
 }
 
 impl Osd {
@@ -215,6 +280,7 @@ impl Osd {
             next_repl_id: 1,
             journal: None,
             replies: HashMap::new(),
+            backfills: HashMap::new(),
         }
     }
 
@@ -247,6 +313,12 @@ impl Osd {
     /// The osdmap epoch this OSD currently operates under.
     pub fn map_epoch(&self) -> u64 {
         self.map.epoch
+    }
+
+    /// The osdmap this OSD currently operates under (placement checks in
+    /// tests and harnesses).
+    pub fn osdmap(&self) -> &OsdMapView {
+        &self.map
     }
 
     /// The interfaces-map epoch currently live on this OSD.
@@ -429,6 +501,20 @@ impl Osd {
                 entries,
             }),
         );
+        if self.map.skipped > 0 {
+            // Surfaced exactly once per epoch per daemon: install_osdmap
+            // is guarded on `epoch > self.map.epoch`, so a bad entry shows
+            // up here the first time each daemon adopts the epoch carrying
+            // it — visible without flooding on every gossip exchange.
+            ctx.metrics()
+                .incr("rados.osdmap_skipped_entries", self.map.skipped);
+            let now = ctx.now();
+            ctx.metrics().observe(
+                &format!("rados.osdmap_skipped.e{epoch}"),
+                now,
+                self.map.skipped as f64,
+            );
+        }
         self.on_map_change(ctx, &old);
         true
     }
@@ -446,6 +532,9 @@ impl Osd {
                 completed.push(*repl_id);
             }
         }
+        // `pending` is a HashMap: order the releases so replies leave in
+        // the same order in every process (determinism).
+        completed.sort_unstable();
         for repl_id in completed {
             let Some(pending) = self.pending.remove(&repl_id) else {
                 continue;
@@ -463,43 +552,143 @@ impl Osd {
                 },
             );
         }
-        // Recovery: for every pool/PG where I am now acting but was not
-        // before, pull objects from the new primary (or, if I became
-        // primary, from any prior member still up).
+        // Drop backfills for PGs this map takes away from us. The parked
+        // replications are replayed through the normal replica path —
+        // replicas apply shipped mutations unconditionally, so this keeps
+        // the primary's ack accounting moving even though we no longer
+        // serve the PG.
+        let mut dropped: Vec<(String, u32)> = self
+            .backfills
+            .keys()
+            .filter(|(pool, pg_index)| {
+                !self
+                    .map
+                    .acting_set_for_pg(pool, *pg_index)
+                    .is_some_and(|set| set.contains(&self.id))
+            })
+            .cloned()
+            .collect();
+        dropped.sort();
+        for key in dropped {
+            ctx.metrics().incr("osd.backfill_dropped", 1);
+            self.finish_backfill(ctx, key, &[]);
+        }
+        // Backfill: for every pool/PG where I am now acting but was not
+        // before, copy the PG from a prior member before serving it. An
+        // OSD whose first map arrives mid-life (a joiner, or a restart
+        // without a journal) has no usable history: treat every acquired
+        // PG as remapped and pull from current peers, who do hold the
+        // data. The cluster's very first map (epoch 1) is exempt — there
+        // is nothing to copy at creation.
+        let unknown_history = old.epoch == 0 && self.map.epoch > 1;
         for (pool, info) in self.map.pools.clone() {
-            let up_now = self.map.up_osds();
-            let up_before = old.up_osds();
             for pg_index in 0..info.pg_num {
-                let pg = crate::placement::PgId {
-                    pool_hash: crate::placement::stable_hash(&pool),
-                    index: pg_index,
+                let Some(now_set) = self.map.acting_set_for_pg(&pool, pg_index) else {
+                    continue;
                 };
-                let now_set = crate::placement::acting_set(pg, &up_now, info.replicas as usize);
                 if !now_set.contains(&self.id) {
                     continue;
                 }
-                let before_set =
-                    crate::placement::acting_set(pg, &up_before, info.replicas as usize);
-                if before_set.contains(&self.id) {
+                let key = (pool.clone(), pg_index);
+                let before_set = old.acting_set_for_pg(&pool, pg_index).unwrap_or_default();
+                if let Some(backfill) = self.backfills.get_mut(&key) {
+                    // Still backfilling across another remap: re-stamp to
+                    // the new epoch (pushes for the old epoch are now
+                    // stale) and refresh the source candidates.
+                    backfill.epoch = self.map.epoch;
+                    let sources = source_candidates(self.id, &before_set, &now_set, &up);
+                    if !sources.is_empty() {
+                        backfill.sources = sources;
+                        backfill.next_source = 0;
+                    }
+                    self.send_backfill_pull(ctx, &key);
                     continue;
                 }
-                // Pull from a surviving prior member, preferring its head.
-                let source = before_set
-                    .iter()
-                    .find(|osd| up.contains(osd) && **osd != self.id)
-                    .or_else(|| now_set.iter().find(|osd| **osd != self.id));
-                if let Some(source) = source {
-                    if let Some(node) = self.map.node_of(*source) {
-                        ctx.send(
-                            node,
-                            OsdMsg::PgPull {
-                                pool: pool.clone(),
-                                pg_index,
-                            },
-                        );
-                        ctx.metrics().incr("osd.recovery_pulls", 1);
-                    }
+                if !unknown_history && before_set.contains(&self.id) {
+                    continue;
                 }
+                if !unknown_history && before_set.is_empty() {
+                    // Brand-new PG (pool just created): nothing to copy.
+                    continue;
+                }
+                // Prior members first — they are known to hold the data;
+                // current peers as fallback (for a joiner they are the
+                // only candidates).
+                let sources = source_candidates(self.id, &before_set, &now_set, &up);
+                if sources.is_empty() {
+                    // Nobody holds a copy we could pull; serve as-is.
+                    ctx.metrics().incr("osd.backfill_no_source", 1);
+                    continue;
+                }
+                self.backfills.insert(
+                    key.clone(),
+                    Backfill {
+                        epoch: self.map.epoch,
+                        sources,
+                        next_source: 0,
+                        deferred: Vec::new(),
+                    },
+                );
+                ctx.metrics().incr("osd.backfills_started", 1);
+                self.send_backfill_pull(ctx, &key);
+            }
+        }
+    }
+
+    /// Sends the next pull for an in-progress backfill, rotating through
+    /// the source candidates.
+    fn send_backfill_pull(&mut self, ctx: &mut Context<'_>, key: &(String, u32)) {
+        let Some(backfill) = self.backfills.get_mut(key) else {
+            return;
+        };
+        if backfill.sources.is_empty() {
+            return;
+        }
+        let source = backfill.sources[backfill.next_source % backfill.sources.len()];
+        backfill.next_source += 1;
+        let epoch = backfill.epoch;
+        if let Some(node) = self.map.node_of(source) {
+            ctx.send(
+                node,
+                OsdMsg::PgPull {
+                    pool: key.0.clone(),
+                    pg_index: key.1,
+                    epoch,
+                },
+            );
+            ctx.metrics().incr("osd.recovery_pulls", 1);
+        }
+    }
+
+    /// Closes a backfill and replays its parked replications. Entries in
+    /// `applied` (the source's reply window) are already reflected in the
+    /// snapshot: record the outcome and ack without re-applying. The rest
+    /// go through the normal replica path, which dedups by
+    /// `(client, reqid)`.
+    fn finish_backfill(
+        &mut self,
+        ctx: &mut Context<'_>,
+        key: (String, u32),
+        applied: &[AppliedReply],
+    ) {
+        let Some(backfill) = self.backfills.remove(&key) else {
+            return;
+        };
+        for d in backfill.deferred {
+            let done = applied
+                .iter()
+                .find(|(client, reqid, _)| *client == d.origin_client && *reqid == d.origin_reqid);
+            if let Some((client, reqid, result)) = done {
+                self.journal_reply(*client, *reqid, result);
+                self.cache_reply(*client, *reqid, result);
+                ctx.send_after(
+                    self.config.service_time,
+                    d.from,
+                    OsdMsg::ReplAck { repl_id: d.repl_id },
+                );
+                ctx.metrics().incr("osd.backfill_deduped_repls", 1);
+            } else {
+                self.handle_repl(ctx, d);
             }
         }
     }
@@ -522,7 +711,13 @@ impl Osd {
         for (id, e) in &self.map.osds {
             entries.insert(
                 format!("osd.{id}"),
-                format!("node={},up={}", e.node.0, u8::from(e.up)).into_bytes(),
+                format!(
+                    "node={},up={},weight={}",
+                    e.node.0,
+                    u8::from(e.up),
+                    e.weight
+                )
+                .into_bytes(),
             );
         }
         for (pool, info) in &self.map.pools {
@@ -615,15 +810,31 @@ impl Osd {
             ctx.metrics().incr("osd.stale_epoch_rejects", 1);
             return;
         }
-        let Some(acting) = self.map.acting_set_for(&oid.pool, &oid.name) else {
+        let Some(info) = self.map.pools.get(&oid.pool).copied() else {
             let msg = reply(self, Err(OsdError::NotReady));
             ctx.send(from, msg);
             return;
         };
+        let pg = pg_of(&oid.pool, &oid.name, info.pg_num);
+        let acting = crate::placement::acting_set_weighted(
+            pg,
+            &self.map.weighted_up_osds(),
+            info.replicas as usize,
+        );
         if acting.first() != Some(&self.id) {
             let msg = reply(self, Err(OsdError::NotPrimary));
             ctx.send(from, msg);
             ctx.metrics().incr("osd.not_primary_rejects", 1);
+            return;
+        }
+        if self.backfills.contains_key(&(oid.pool.clone(), pg.index)) {
+            // This PG's snapshot has not landed yet; serving now could
+            // miss acknowledged writes. The client retries on its backoff
+            // timer — this rejection window is the availability cost of a
+            // remap, measured by the elastic benchmark.
+            let msg = reply(self, Err(OsdError::NotReady));
+            ctx.send(from, msg);
+            ctx.metrics().incr("osd.backfill_rejects", 1);
             return;
         }
         // The admitted op's span, parented under whatever travelled with
@@ -727,17 +938,66 @@ impl Osd {
         }
     }
 
+    /// Applies a primary-shipped mutation on this replica and acks it.
+    /// Retransmits are deduped by `(client, reqid)` — applying a
+    /// non-idempotent transaction (Append) twice would corrupt the copy —
+    /// and answered from the reply cache.
+    fn handle_repl(&mut self, ctx: &mut Context<'_>, repl: DeferredRepl) {
+        let DeferredRepl {
+            from,
+            repl_id,
+            oid,
+            txn,
+            origin_client,
+            origin_reqid,
+        } = repl;
+        let applied = self
+            .replies
+            .get(&origin_client)
+            .is_some_and(|w| w.contains_key(&origin_reqid));
+        if applied {
+            ctx.metrics().incr("osd.dup_repls", 1);
+        } else {
+            let parent = ctx.incoming_span();
+            let jspan = ctx.span_start("osd.repl_journal", parent);
+            let mut slot = self.store.remove(&oid);
+            // Replicas apply unconditionally; the primary already
+            // validated the transaction. The locally-computed
+            // result is identical to the primary's (deterministic
+            // state machine), so recording it lets this replica
+            // answer client retransmits correctly after a failover.
+            let result = apply_transaction(TxnTarget { slot: &mut slot }, &txn, &self.registry);
+            if let Some(obj) = slot {
+                self.store.insert(oid.clone(), obj);
+            }
+            // Journal before acking: the primary counts this ack as
+            // a durable replica.
+            self.journal_object(&oid);
+            self.journal_reply(origin_client, origin_reqid, &result);
+            self.cache_reply(origin_client, origin_reqid, &result);
+            let done_at = ctx.now() + self.config.service_time;
+            ctx.span_end_at(jspan, done_at);
+        }
+        ctx.send_after(self.config.service_time, from, OsdMsg::ReplAck { repl_id });
+    }
+
     fn objects_in_pg(&self, pool: &str, pg_index: u32) -> Vec<(ObjectId, Object)> {
         let Some(info) = self.map.pools.get(pool) else {
             return Vec::new();
         };
-        self.store
+        let mut objects: Vec<(ObjectId, Object)> = self
+            .store
             .iter()
             .filter(|(oid, _)| {
                 oid.pool == pool && pg_of(&oid.pool, &oid.name, info.pg_num).index == pg_index
             })
             .map(|(oid, obj)| (oid.clone(), obj.clone()))
-            .collect()
+            .collect();
+        // The store is a HashMap; callers put these on the wire (backfill
+        // pushes, scrub fingerprints), so the order must not depend on
+        // per-process hash seeds or replayability is lost.
+        objects.sort_by(|(a, _), (b, _)| (&a.pool, &a.name).cmp(&(&b.pool, &b.name)));
+        objects
     }
 }
 
@@ -768,6 +1028,7 @@ impl Actor for Osd {
         if let Some(interval) = self.config.scrub_interval {
             ctx.set_timer(interval, TIMER_SCRUB);
         }
+        ctx.set_timer(self.config.backfill_retry_interval, TIMER_BACKFILL);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Box<dyn Any>) {
@@ -822,38 +1083,41 @@ impl Actor for Osd {
                 origin_client,
                 origin_reqid,
             } => {
-                // Dedup retransmitted replication: applying a non-idempotent
-                // transaction (Append) twice would corrupt the replica. A
-                // duplicate is acked without re-applying.
-                let applied = self
-                    .replies
-                    .get(&origin_client)
-                    .is_some_and(|w| w.contains_key(&origin_reqid));
-                if applied {
-                    ctx.metrics().incr("osd.dup_repls", 1);
+                // A mutation for a PG we are still backfilling is parked:
+                // applying it to the incomplete copy could interleave
+                // wrongly with the snapshot. It is replayed (deduped
+                // against the source's reply window) when the snapshot
+                // lands, and the primary's ack arrives then.
+                let pg_index = self
+                    .map
+                    .pools
+                    .get(&oid.pool)
+                    .map(|info| pg_of(&oid.pool, &oid.name, info.pg_num).index);
+                let backfill =
+                    pg_index.and_then(|index| self.backfills.get_mut(&(oid.pool.clone(), index)));
+                if let Some(backfill) = backfill {
+                    backfill.deferred.push(DeferredRepl {
+                        from,
+                        repl_id,
+                        oid,
+                        txn,
+                        origin_client,
+                        origin_reqid,
+                    });
+                    ctx.metrics().incr("osd.backfill_deferred_repls", 1);
                 } else {
-                    let parent = ctx.incoming_span();
-                    let jspan = ctx.span_start("osd.repl_journal", parent);
-                    let mut slot = self.store.remove(&oid);
-                    // Replicas apply unconditionally; the primary already
-                    // validated the transaction. The locally-computed
-                    // result is identical to the primary's (deterministic
-                    // state machine), so recording it lets this replica
-                    // answer client retransmits correctly after a failover.
-                    let result =
-                        apply_transaction(TxnTarget { slot: &mut slot }, &txn, &self.registry);
-                    if let Some(obj) = slot {
-                        self.store.insert(oid.clone(), obj);
-                    }
-                    // Journal before acking: the primary counts this ack as
-                    // a durable replica.
-                    self.journal_object(&oid);
-                    self.journal_reply(origin_client, origin_reqid, &result);
-                    self.cache_reply(origin_client, origin_reqid, &result);
-                    let done_at = ctx.now() + self.config.service_time;
-                    ctx.span_end_at(jspan, done_at);
+                    self.handle_repl(
+                        ctx,
+                        DeferredRepl {
+                            from,
+                            repl_id,
+                            oid,
+                            txn,
+                            origin_client,
+                            origin_reqid,
+                        },
+                    );
                 }
-                ctx.send_after(self.config.service_time, from, OsdMsg::ReplAck { repl_id });
             }
             OsdMsg::ReplAck { repl_id } => {
                 let from_osd = self
@@ -902,15 +1166,83 @@ impl Actor for Osd {
                     self.push_gossip(ctx);
                 }
             }
-            OsdMsg::PgPull { pool, pg_index } => {
+            OsdMsg::PgPull {
+                pool,
+                pg_index,
+                epoch,
+            } => {
+                // Serve only when safe: our map must be at least the
+                // puller's epoch (otherwise we might still admit writes
+                // under the old map after taking the snapshot), and our
+                // own copy must be complete. The puller's backfill timer
+                // retries against rotated sources.
+                if self.map.epoch < epoch || self.backfills.contains_key(&(pool.clone(), pg_index))
+                {
+                    ctx.metrics().incr("osd.backfill_pulls_unserved", 1);
+                    return;
+                }
                 let objects = self.objects_in_pg(&pool, pg_index);
+                let bytes: u64 = objects.iter().map(|(_, obj)| object_bytes(obj)).sum();
+                ctx.metrics()
+                    .incr("osd.backfill_objects_sent", objects.len() as u64);
+                ctx.metrics().incr("osd.backfill_bytes_sent", bytes);
+                // Ship the reply window too: it tells the puller which
+                // replicated writes the snapshot already contains (the
+                // PG-log role in Ceph's backfill).
+                let mut applied: Vec<(NodeId, u64, Result<Vec<OpResult>, OsdError>)> = self
+                    .replies
+                    .iter()
+                    .flat_map(|(client, window)| {
+                        window.iter().filter_map(|(reqid, state)| match state {
+                            DupState::Done(result) => Some((*client, *reqid, result.clone())),
+                            DupState::InFlight => None,
+                        })
+                    })
+                    .collect();
+                // Hash-map order must not reach the wire (determinism).
+                applied.sort_by_key(|(client, reqid, _)| (*client, *reqid));
                 ctx.send(
                     from,
-                    OsdMsg::PgPush {
+                    OsdMsg::BackfillPush {
+                        pool,
+                        pg_index,
+                        epoch,
                         objects,
-                        overwrite: false,
+                        applied,
                     },
                 );
+            }
+            OsdMsg::BackfillPush {
+                pool,
+                pg_index,
+                epoch,
+                objects,
+                applied,
+            } => {
+                let key = (pool, pg_index);
+                let live = self
+                    .backfills
+                    .get(&key)
+                    .is_some_and(|backfill| backfill.epoch == epoch);
+                if !live {
+                    // A push for a backfill we no longer run (superseded
+                    // epoch, duplicate source reply, or already finished).
+                    ctx.metrics().incr("osd.backfill_stale_pushes", 1);
+                    return;
+                }
+                let bytes: u64 = objects.iter().map(|(_, obj)| object_bytes(obj)).sum();
+                ctx.metrics()
+                    .incr("osd.backfill_objects", objects.len() as u64);
+                ctx.metrics().incr("osd.backfill_bytes", bytes);
+                // The snapshot is authoritative: the source held the PG
+                // before the remap, so its copy supersedes anything this
+                // newcomer might hold from an earlier tenure.
+                for (oid, obj) in objects {
+                    self.store.insert(oid.clone(), obj);
+                    self.journal_object(&oid);
+                }
+                self.finish_backfill(ctx, key, &applied);
+                ctx.metrics().incr("osd.backfills_completed", 1);
             }
             OsdMsg::PgPush { objects, overwrite } => {
                 for (oid, obj) in objects {
@@ -980,15 +1312,47 @@ impl Actor for Osd {
                 self.push_gossip(ctx);
                 ctx.set_timer(self.config.gossip_interval, TIMER_GOSSIP);
             }
+            TIMER_BACKFILL => {
+                // Liveness: re-issue pulls for backfills whose pull or
+                // push was lost, whose source crashed, or whose source was
+                // not yet at our epoch. Sources that left the up set are
+                // pruned; a backfill with no remaining source finishes
+                // with what it has (the data is unreachable — availability
+                // over completeness, and scrub repairs any divergence), as
+                // does one whose sources ignored several full rotations.
+                let up: HashSet<u32> = self.map.up_osds().into_iter().collect();
+                let mut finished: Vec<(String, u32)> = Vec::new();
+                let mut pulls: Vec<(String, u32)> = Vec::new();
+                for (key, backfill) in self.backfills.iter_mut() {
+                    backfill.sources.retain(|osd| up.contains(osd));
+                    if backfill.sources.is_empty()
+                        || backfill.next_source >= backfill.sources.len() * 8
+                    {
+                        finished.push(key.clone());
+                    } else {
+                        pulls.push(key.clone());
+                    }
+                }
+                // `backfills` is a HashMap: fix the retry order so runs
+                // replay identically across processes.
+                finished.sort();
+                pulls.sort();
+                for key in finished {
+                    ctx.metrics().incr("osd.backfill_aborted", 1);
+                    self.finish_backfill(ctx, key, &[]);
+                }
+                for key in pulls {
+                    ctx.metrics().incr("osd.backfill_retries", 1);
+                    self.send_backfill_pull(ctx, &key);
+                }
+                ctx.set_timer(self.config.backfill_retry_interval, TIMER_BACKFILL);
+            }
             TIMER_SCRUB => {
                 for (pool, info) in self.map.pools.clone() {
-                    let up = self.map.up_osds();
                     for pg_index in 0..info.pg_num {
-                        let pg = crate::placement::PgId {
-                            pool_hash: crate::placement::stable_hash(&pool),
-                            index: pg_index,
+                        let Some(acting) = self.map.acting_set_for_pg(&pool, pg_index) else {
+                            continue;
                         };
-                        let acting = crate::placement::acting_set(pg, &up, info.replicas as usize);
                         if acting.first() != Some(&self.id) {
                             continue;
                         }
@@ -1022,6 +1386,26 @@ impl Actor for Osd {
             _ => {}
         }
     }
+}
+
+/// Approximate wire size of an object for data-movement accounting.
+fn object_bytes(obj: &Object) -> u64 {
+    let omap: usize = obj.omap.iter().map(|(k, v)| k.len() + v.len()).sum();
+    let xattrs: usize = obj.xattrs.iter().map(|(k, v)| k.len() + v.len()).sum();
+    (obj.data.len() + omap + xattrs) as u64
+}
+
+/// Backfill source candidates: prior acting-set members first (they hold
+/// the data), then current peers, deduplicated, excluding `me` and anyone
+/// not up.
+fn source_candidates(me: u32, before_set: &[u32], now_set: &[u32], up: &HashSet<u32>) -> Vec<u32> {
+    let mut sources = Vec::new();
+    for osd in before_set.iter().chain(now_set.iter()) {
+        if *osd != me && up.contains(osd) && !sources.contains(osd) {
+            sources.push(*osd);
+        }
+    }
+    sources
 }
 
 fn apply_delta(entries: &mut BTreeMap<String, Vec<u8>>, delta: Vec<(String, Option<Vec<u8>>)>) {

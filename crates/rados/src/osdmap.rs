@@ -27,6 +27,11 @@ pub struct OsdEntry {
     pub node: NodeId,
     /// Whether the OSD is in the up set.
     pub up: bool,
+    /// Placement weight in hundredths (100 = 1.0×). Zero means draining:
+    /// the OSD stays up to serve reads and source backfills, but wins no
+    /// new acting sets. Entries written before weights existed parse as
+    /// weight 100.
+    pub weight: u32,
 }
 
 /// A parsed, versioned view of the OSD map.
@@ -38,6 +43,9 @@ pub struct OsdMapView {
     pub osds: BTreeMap<u32, OsdEntry>,
     /// Pool name → parameters.
     pub pools: BTreeMap<String, PoolInfo>,
+    /// Entries in the snapshot that failed to parse (operator typos).
+    /// Surfaced once per epoch by daemons as `rados.osdmap_skipped_entries`.
+    pub skipped: u64,
 }
 
 impl OsdMapView {
@@ -53,18 +61,27 @@ impl OsdMapView {
         for (key, value) in &snap.entries {
             let value = String::from_utf8_lossy(value);
             if let Some(id) = key.strip_prefix("osd.") {
-                let Ok(id) = id.parse::<u32>() else { continue };
+                let Ok(id) = id.parse::<u32>() else {
+                    view.skipped += 1;
+                    continue;
+                };
                 let mut node = None;
                 let mut up = None;
+                let mut weight = crate::placement::WEIGHT_UNIT;
                 for part in value.split(',') {
                     match part.split_once('=') {
                         Some(("node", n)) => node = n.parse::<u32>().ok().map(NodeId),
                         Some(("up", u)) => up = Some(u == "1"),
+                        Some(("weight", w)) => {
+                            weight = w.parse().unwrap_or(crate::placement::WEIGHT_UNIT)
+                        }
                         _ => {}
                     }
                 }
                 if let (Some(node), Some(up)) = (node, up) {
-                    view.osds.insert(id, OsdEntry { node, up });
+                    view.osds.insert(id, OsdEntry { node, up, weight });
+                } else {
+                    view.skipped += 1;
                 }
             } else if let Some(pool) = key.strip_prefix("pool.") {
                 let mut pg_num = None;
@@ -76,9 +93,16 @@ impl OsdMapView {
                         _ => {}
                     }
                 }
-                if let (Some(pg_num), Some(replicas)) = (pg_num, replicas) {
-                    view.pools
-                        .insert(pool.to_string(), PoolInfo { pg_num, replicas });
+                match (pg_num, replicas) {
+                    // The monitor validates pool entries at commit time;
+                    // a zero that slips past (hand-written snapshot) is
+                    // dropped here rather than clamped so the daemons and
+                    // the monitor agree on which pools exist.
+                    (Some(pg_num), Some(replicas)) if pg_num > 0 && replicas > 0 => {
+                        view.pools
+                            .insert(pool.to_string(), PoolInfo { pg_num, replicas });
+                    }
+                    _ => view.skipped += 1,
                 }
             }
         }
@@ -99,27 +123,62 @@ impl OsdMapView {
         self.osds.get(&osd).map(|e| e.node)
     }
 
+    /// Up OSDs paired with their placement weight (hundredths). Includes
+    /// weight-zero (draining) entries; `acting_set_weighted` filters them.
+    pub fn weighted_up_osds(&self) -> Vec<(u32, u32)> {
+        self.osds
+            .iter()
+            .filter(|(_, e)| e.up)
+            .map(|(id, e)| (*id, e.weight))
+            .collect()
+    }
+
     /// The acting set (primary first) for an object, given this map.
     ///
     /// Returns `None` when the pool is unknown.
     pub fn acting_set_for(&self, pool: &str, object_name: &str) -> Option<Vec<u32>> {
         let info = self.pools.get(pool)?;
-        Some(crate::placement::primary_and_replicas(
-            pool,
-            object_name,
-            info.pg_num,
-            &self.up_osds(),
+        let pg = crate::placement::pg_of(pool, object_name, info.pg_num);
+        Some(crate::placement::acting_set_weighted(
+            pg,
+            &self.weighted_up_osds(),
             info.replicas as usize,
         ))
     }
 
-    /// Builds the update registering (or re-marking) an OSD.
+    /// The acting set for one PG of a pool (backfill works per-PG, not
+    /// per-object). Returns `None` when the pool is unknown.
+    pub fn acting_set_for_pg(&self, pool: &str, pg_index: u32) -> Option<Vec<u32>> {
+        let info = self.pools.get(pool)?;
+        let pg = crate::placement::PgId {
+            pool_hash: crate::placement::stable_hash(pool),
+            index: pg_index,
+        };
+        Some(crate::placement::acting_set_weighted(
+            pg,
+            &self.weighted_up_osds(),
+            info.replicas as usize,
+        ))
+    }
+
+    /// Builds the update registering (or re-marking) an OSD at weight 1.0×.
     pub fn update_osd(id: u32, node: NodeId, up: bool) -> MapUpdate {
+        Self::update_osd_weighted(id, node, up, crate::placement::WEIGHT_UNIT)
+    }
+
+    /// Builds the update registering an OSD with an explicit placement
+    /// weight (hundredths; 0 = draining).
+    pub fn update_osd_weighted(id: u32, node: NodeId, up: bool, weight: u32) -> MapUpdate {
         MapUpdate::set(
             SERVICE_MAP_OSD,
             &format!("osd.{id}"),
-            format!("node={},up={}", node.0, u8::from(up)).into_bytes(),
+            format!("node={},up={},weight={}", node.0, u8::from(up), weight).into_bytes(),
         )
+    }
+
+    /// Builds the update removing an OSD from the map entirely.
+    pub fn remove_osd(id: u32) -> MapUpdate {
+        MapUpdate::del(SERVICE_MAP_OSD, &format!("osd.{id}"))
     }
 
     /// Builds the update creating (or resizing) a pool.
@@ -174,14 +233,16 @@ mod tests {
             view.osds[&0],
             OsdEntry {
                 node: NodeId(10),
-                up: true
+                up: true,
+                weight: 100
             }
         );
         assert_eq!(
             view.osds[&1],
             OsdEntry {
                 node: NodeId(11),
-                up: false
+                up: false,
+                weight: 100
             }
         );
         assert_eq!(
@@ -212,6 +273,81 @@ mod tests {
         assert_eq!(view.osds.len(), 1);
         assert!(view.osds.contains_key(&3));
         assert!(view.pools.is_empty());
+        // osd.x (bad id), osd.2 (garbage), pool.p (bad pg_num) — but not
+        // the unrelated key, which is simply not ours to parse.
+        assert_eq!(view.skipped, 3);
+    }
+
+    #[test]
+    fn weights_round_trip_and_legacy_entries_default_to_unit() {
+        let snap = snapshot(
+            vec![
+                // Legacy entry written before weights existed.
+                ("osd.0", "node=10,up=1"),
+                ("osd.1", "node=11,up=1,weight=250"),
+                ("osd.2", "node=12,up=1,weight=0"),
+                ("pool.data", "pg_num=8,replicas=2"),
+            ],
+            3,
+        );
+        let view = OsdMapView::from_snapshot(&snap);
+        assert_eq!(view.osds[&0].weight, 100);
+        assert_eq!(view.osds[&1].weight, 250);
+        assert_eq!(view.osds[&2].weight, 0);
+        assert_eq!(view.skipped, 0);
+        // Draining osd 2 is up but never placed.
+        assert_eq!(view.weighted_up_osds(), vec![(0, 100), (1, 250), (2, 0)]);
+        let set = view.acting_set_for("data", "obj").unwrap();
+        assert!(!set.contains(&2), "draining osd placed: {set:?}");
+
+        // Builder round-trip.
+        let update = OsdMapView::update_osd_weighted(7, NodeId(17), true, 50);
+        assert_eq!(update.key, "osd.7");
+        assert_eq!(
+            update.value.as_deref(),
+            Some(&b"node=17,up=1,weight=50"[..])
+        );
+        let removal = OsdMapView::remove_osd(7);
+        assert_eq!(removal.key, "osd.7");
+        assert!(removal.value.is_none());
+    }
+
+    #[test]
+    fn zero_pg_num_pools_are_dropped_not_clamped() {
+        let snap = snapshot(
+            vec![
+                ("osd.0", "node=10,up=1"),
+                ("pool.bad", "pg_num=0,replicas=3"),
+                ("pool.worse", "pg_num=8,replicas=0"),
+                ("pool.ok", "pg_num=8,replicas=2"),
+            ],
+            1,
+        );
+        let view = OsdMapView::from_snapshot(&snap);
+        assert_eq!(view.pools.len(), 1);
+        assert!(view.pools.contains_key("ok"));
+        assert_eq!(view.skipped, 2);
+        assert!(view.acting_set_for("bad", "obj").is_none());
+    }
+
+    #[test]
+    fn per_pg_acting_set_matches_per_object_path() {
+        let snap = snapshot(
+            vec![
+                ("osd.0", "node=10,up=1"),
+                ("osd.1", "node=11,up=1"),
+                ("osd.2", "node=12,up=1"),
+                ("pool.data", "pg_num=8,replicas=2"),
+            ],
+            1,
+        );
+        let view = OsdMapView::from_snapshot(&snap);
+        let pg = crate::placement::pg_of("data", "obj", 8);
+        assert_eq!(
+            view.acting_set_for_pg("data", pg.index).unwrap(),
+            view.acting_set_for("data", "obj").unwrap()
+        );
+        assert!(view.acting_set_for_pg("nope", 0).is_none());
     }
 
     #[test]

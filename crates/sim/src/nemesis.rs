@@ -58,6 +58,15 @@ pub enum Fault {
     Sever(NodeId, NodeId),
     /// Restore a link cut by [`Fault::Sever`].
     HealLink(NodeId, NodeId),
+    /// Commit an osdmap change adding (or restoring to full weight) the
+    /// OSD on this node. Membership is a cluster-level operation the
+    /// simulator cannot perform itself, so this dispatches to the
+    /// harness's [`Nemesis::on_membership`] callback.
+    OsdJoin(NodeId),
+    /// Commit an osdmap change draining the OSD on this node (weight → 0:
+    /// it stays up and serves reads / sources backfill, but wins no new
+    /// placements). Dispatches to [`Nemesis::on_membership`].
+    OsdDrain(NodeId),
 }
 
 impl Fault {
@@ -75,6 +84,8 @@ impl Fault {
             Fault::DelaySpike { .. } => "delay_spike",
             Fault::Sever(_, _) => "sever",
             Fault::HealLink(_, _) => "heal_link",
+            Fault::OsdJoin(_) => "osd_join",
+            Fault::OsdDrain(_) => "osd_drain",
         }
     }
 
@@ -84,6 +95,7 @@ impl Fault {
         match self {
             Fault::Crash(n) | Fault::Restart(n) | Fault::Isolate(n) | Fault::Rejoin(n) => Some(*n),
             Fault::Sever(n, _) | Fault::HealLink(n, _) => Some(*n),
+            Fault::OsdJoin(n) | Fault::OsdDrain(n) => Some(*n),
             _ => None,
         }
     }
@@ -102,6 +114,8 @@ impl Fault {
             Fault::DelaySpike { .. } => 9.0,
             Fault::Sever(_, _) => 10.0,
             Fault::HealLink(_, _) => 11.0,
+            Fault::OsdJoin(_) => 12.0,
+            Fault::OsdDrain(_) => 13.0,
         }
     }
 }
@@ -300,6 +314,11 @@ enum Action {
 /// Harness callback rebuilding a crashed node's actor on restart.
 type RestartFn = Box<dyn FnMut(&mut Sim, NodeId)>;
 
+/// Harness callback committing a membership change for an OSD node:
+/// `joining == true` for [`Fault::OsdJoin`], `false` for
+/// [`Fault::OsdDrain`].
+type MembershipFn = Box<dyn FnMut(&mut Sim, NodeId, bool)>;
+
 /// Harness callback classifying a node into a role label for metrics.
 type LabelFn = Box<dyn Fn(NodeId) -> &'static str>;
 
@@ -308,6 +327,7 @@ pub struct Nemesis {
     actions: Vec<(SimTime, Action)>,
     next: usize,
     restart: Option<RestartFn>,
+    membership: Option<MembershipFn>,
     label: Option<LabelFn>,
     /// Network config before any loss/delay window opened; restored (with
     /// remaining windows re-applied) as windows close.
@@ -348,6 +368,7 @@ impl Nemesis {
             actions,
             next: 0,
             restart: None,
+            membership: None,
             label: None,
             baseline: None,
             active_loss: Vec::new(),
@@ -358,6 +379,15 @@ impl Nemesis {
     /// Registers the harness callback invoked for [`Fault::Restart`].
     pub fn on_restart(mut self, f: impl FnMut(&mut Sim, NodeId) + 'static) -> Nemesis {
         self.restart = Some(Box::new(f));
+        self
+    }
+
+    /// Registers the harness callback invoked for [`Fault::OsdJoin`]
+    /// (`joining == true`) and [`Fault::OsdDrain`] (`joining == false`).
+    /// Scheduling a membership fault without one is a loud configuration
+    /// error, mirroring [`Nemesis::on_restart`].
+    pub fn on_membership(mut self, f: impl FnMut(&mut Sim, NodeId, bool) + 'static) -> Nemesis {
+        self.membership = Some(Box::new(f));
         self
     }
 
@@ -444,6 +474,17 @@ impl Nemesis {
                     Fault::Rejoin(node) => sim.network_mut().rejoin(node),
                     Fault::Sever(a, b) => sim.network_mut().sever(a, b),
                     Fault::HealLink(a, b) => sim.network_mut().heal(a, b),
+                    Fault::OsdJoin(node) | Fault::OsdDrain(node) => {
+                        let joining = matches!(fault, Fault::OsdJoin(_));
+                        let mut cb = self.membership.take().unwrap_or_else(|| {
+                            panic!(
+                                "nemesis schedule changes membership of {node} but no \
+                                 membership callback was registered (Nemesis::on_membership)"
+                            )
+                        });
+                        cb(sim, node, joining);
+                        self.membership = Some(cb);
+                    }
                     Fault::HealAll => sim.network_mut().heal_all(),
                     Fault::LossBurst { probability, .. } => {
                         self.active_loss.push(probability);
@@ -626,6 +667,35 @@ mod tests {
         );
         nemesis.run_until(&mut sim, SimTime(100));
         assert_eq!(sim.network_mut().config().base_latency, base);
+    }
+
+    #[test]
+    fn membership_faults_dispatch_to_callback() {
+        let mut sim = sim();
+        let schedule = FaultSchedule::new()
+            .at(SimTime(10), Fault::OsdJoin(NodeId(2)))
+            .at(SimTime(20), Fault::OsdDrain(NodeId(3)));
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = log.clone();
+        let mut nemesis = Nemesis::new(schedule).on_membership(move |_sim, node, joining| {
+            sink.borrow_mut().push((node, joining));
+        });
+        nemesis.run_until(&mut sim, SimTime(30));
+        assert_eq!(
+            log.borrow().as_slice(),
+            &[(NodeId(2), true), (NodeId(3), false)]
+        );
+        assert_eq!(sim.metrics().counter("nemesis.osd_join"), 1);
+        assert_eq!(sim.metrics().counter("nemesis.osd_drain"), 1);
+        assert_eq!(sim.metrics().series("nemesis.events").len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no membership callback")]
+    fn membership_without_callback_is_loud() {
+        let mut sim = sim();
+        let schedule = FaultSchedule::new().at(SimTime(10), Fault::OsdJoin(NodeId(0)));
+        Nemesis::new(schedule).run_until(&mut sim, SimTime(20));
     }
 
     #[test]

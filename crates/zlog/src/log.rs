@@ -559,7 +559,10 @@ impl ZlogClient {
 
     /// Tells the authoritative MDS where this log's stripe objects live so
     /// a promoted standby can seal them before reissuing positions.
-    /// Fire-and-forget and idempotent; re-sent on every resolve.
+    /// Fire-and-forget and idempotent; re-sent on every resolve and on
+    /// every grant/tail drive, so a single lost copy (or an MDS whose
+    /// journal missed the `SeqLayout` entry before a crash) cannot leave
+    /// the authority permanently layout-blind.
     fn register_layout(&mut self, ctx: &mut Context<'_>, ino: Ino) {
         self.send_home(
             ctx,
@@ -744,6 +747,10 @@ impl ZlogClient {
         if let Some(p) = self.ops.get_mut(&op) {
             p.stage = Stage::GetPos;
         }
+        // Re-assert the layout with every grant request: a promoted MDS
+        // whose journal never captured it refuses grants until it can
+        // seal, and this is what lets it.
+        self.register_layout(ctx, ino);
         let reqid = self.mds_reqid(op);
         self.send_home(
             ctx,
@@ -770,6 +777,10 @@ impl ZlogClient {
         if let Some(p) = self.ops.get_mut(&op) {
             p.stage = Stage::Tail;
         }
+        // As in `step_get_pos`: a tail read against a promoted MDS that
+        // lost the layout must carry it, or the seal that makes the tail
+        // trustworthy can never run.
+        self.register_layout(ctx, ino);
         let reqid = self.mds_reqid(op);
         self.send_home(
             ctx,
@@ -1007,6 +1018,15 @@ impl ZlogClient {
         if matches!(result, Err(OsdError::Timeout)) {
             ctx.metrics().incr("zlog.rados_timeouts", 1);
             self.restart_op(ctx, op);
+            return;
+        }
+        // The committed map places no OSD for the stripe (drain/removal
+        // emptied the acting set). Unlike Timeout this arrives instantly,
+        // so re-drive through the backoff watchdog rather than restarting
+        // in a hot loop; a membership change clears the condition.
+        if matches!(result, Err(OsdError::NoOsdsUp)) {
+            ctx.metrics().incr("zlog.no_osds_up_retries", 1);
+            self.retry_shortly(ctx, op);
             return;
         }
         let Some(pending) = self.ops.get_mut(&op) else {
@@ -1375,6 +1395,10 @@ impl ZlogClient {
             batch.members = live;
             batch.stage = BatchStage::Grant;
             batch.grant_span = Some(span);
+        }
+        // Bulk grants re-assert the layout too (see `step_get_pos`).
+        if let Some(ino) = self.seq_ino {
+            self.register_layout(ctx, ino);
         }
         let reqid = self.next_seq;
         self.next_seq += 1;

@@ -27,6 +27,11 @@
 //!   coalesced write dies mid-flight: unwritten members retry under a
 //!   fresh grant, abandoned positions are junk-filled, no duplicates, no
 //!   tail regression, no permanently unreadable holes after recovery.
+//! * **Elastic membership** — OSDs join and drain mid-workload via
+//!   nemesis `OsdJoin`/`OsdDrain` faults: remapped PGs backfill from the
+//!   old acting sets under the epoch guard while appends keep flowing,
+//!   and the full trace (including ops bounced across the remap) stays
+//!   linearizable — even when a partition cuts the backfill source off.
 //!
 //! Every case derives its cluster seed and fault schedule from the
 //! proptest-drawn `seed`; a failure reproduces bit-for-bit from the
@@ -1145,6 +1150,366 @@ mod smoke {
         );
         if let Err(e) = super::lin::check_log(&history, seed) {
             panic!("{e}");
+        }
+    }
+}
+
+mod elastic_membership {
+    use super::*;
+    use mala_consensus::MonMsg;
+    use mala_rados::{ObjectId, Osd, OsdConfig, OsdMapView, WEIGHT_UNIT};
+    use mala_sim::{Fault, FaultSchedule, Nemesis, NodeId, Sim, SimDuration, SimTime};
+    use mala_zlog::log::{run_op, ZlogOut};
+    use mala_zlog::{zlog_interface_update, AppendResult, ReadOutcome, ZlogClient, ZlogConfig};
+    use malacology::cluster::{Cluster, ClusterBuilder};
+    use malacology::interfaces::durability;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// Builds the [`mala_sim::Nemesis::on_membership`] callback: a join
+    /// spawns the OSD's actor (joiners are always brand-new nodes in
+    /// these schedules) and commits it into the osdmap at full weight; a
+    /// drain commits weight 0 (the daemon stays up as a backfill source).
+    fn membership_callback(cluster: &Cluster) -> impl FnMut(&mut Sim, NodeId, bool) + 'static {
+        let journals = cluster.journals().clone();
+        let mon = cluster.mon();
+        // Monitor submissions need distinct seqs; the harness's own
+        // commit_updates seqs start at 2, so start far above them.
+        let seq = Rc::new(Cell::new(50_000u64));
+        move |sim, node, joining| {
+            let id = node.0 - 10;
+            let update = if joining {
+                sim.add_node(
+                    node,
+                    Osd::with_journal(id, mon, OsdConfig::default(), journals.journal(node)),
+                );
+                OsdMapView::update_osd_weighted(id, node, true, WEIGHT_UNIT)
+            } else {
+                OsdMapView::update_osd_weighted(id, node, true, 0)
+            };
+            seq.set(seq.get() + 1);
+            sim.inject(
+                mon,
+                MonMsg::Submit {
+                    seq: seq.get(),
+                    updates: vec![update],
+                },
+            );
+        }
+    }
+
+    /// Fixed-seed CI smoke for the tentpole: a brand-new OSD joins and an
+    /// original OSD drains *mid-workload* via nemesis membership faults.
+    /// Appends keep flowing while remapped PGs backfill under the epoch
+    /// guard; positions stay unique, every acked payload reads back, the
+    /// drained OSD ends up in no acting set, and the whole trace passes
+    /// the WGL linearizability check. `ci.sh` runs exactly this test.
+    #[test]
+    fn smoke_fixed_seed_elastic() {
+        let seed = 2017;
+        let mut cluster = ClusterBuilder::new()
+            .monitors(1)
+            .osds(3)
+            .mds_ranks(1)
+            .pool("p", 16, 2)
+            .build(seed);
+        cluster.commit_updates(vec![zlog_interface_update()]);
+        let node = cluster.alloc_node();
+        let config = ZlogConfig {
+            name: "elastic-smoke".into(),
+            pool: "p".into(),
+            stripe_width: 3,
+            mds_nodes: cluster.mds_nodes(),
+            home_rank: 0,
+            monitor: cluster.mon(),
+        };
+        let history = super::lin::recorder();
+        cluster
+            .sim
+            .add_node(node, ZlogClient::new(config).with_history(history.clone()));
+        cluster.sim.run_for(SimDuration::from_secs(1));
+        run_op(
+            &mut cluster.sim,
+            node,
+            SimDuration::from_secs(30),
+            |c, ctx| c.setup(ctx),
+        );
+
+        let t0 = cluster.sim.now();
+        let joiner = NodeId(13); // first free OSD slot above the built 3
+        let schedule = FaultSchedule::new()
+            .at(SimTime(t0.0 + 1_000_000), Fault::OsdJoin(joiner))
+            .at(
+                SimTime(t0.0 + 3_000_000),
+                Fault::OsdDrain(cluster.osd_node(0)),
+            );
+        let mut nemesis = Nemesis::new(schedule)
+            .with_labels(Cluster::node_role)
+            .on_membership(membership_callback(&cluster));
+
+        let mut positions = Vec::new();
+        for k in 0..10u32 {
+            let payload = format!("elastic-{k}").into_bytes();
+            let op = cluster.sim.with_actor::<ZlogClient, _>(node, {
+                let p = payload.clone();
+                move |c, ctx| c.append(ctx, p)
+            });
+            let deadline = cluster.sim.now() + SimDuration::from_secs(90);
+            while !cluster.sim.actor::<ZlogClient>(node).is_done(op) {
+                assert!(cluster.sim.now() < deadline, "append {k} hung mid-remap");
+                nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(200));
+            }
+            let res = cluster
+                .sim
+                .actor_mut::<ZlogClient>(node)
+                .take_result(op)
+                .unwrap();
+            let AppendResult::Ok(ZlogOut::Pos(pos)) = res else {
+                panic!("append {k} failed across the remap: {res:?}");
+            };
+            positions.push((pos, payload));
+        }
+        while !nemesis.finished() {
+            nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(500));
+        }
+        cluster.sim.run_for(SimDuration::from_secs(3));
+
+        let mut unique: Vec<u64> = positions.iter().map(|(p, _)| *p).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), positions.len(), "duplicate positions");
+
+        let m = cluster.sim.metrics();
+        assert_eq!(m.counter("nemesis.osd_join"), 1, "join fault missing");
+        assert_eq!(m.counter("nemesis.osd_drain"), 1, "drain fault missing");
+        assert!(
+            m.counter("osd.backfills_started") > 0,
+            "remaps started no backfills"
+        );
+        assert!(
+            m.counter("osd.backfills_completed") > 0,
+            "no backfill ever completed"
+        );
+
+        // The drained OSD (id 0) won no placements under the final map.
+        let map = cluster.sim.actor::<Osd>(NodeId(11)).osdmap().clone();
+        for pg in 0..16 {
+            let set = map.acting_set_for_pg("p", pg).unwrap();
+            assert!(!set.contains(&0), "pg {pg} still on drained osd 0: {set:?}");
+        }
+
+        for (pos, payload) in positions {
+            let res = run_op(
+                &mut cluster.sim,
+                node,
+                SimDuration::from_secs(30),
+                move |c, ctx| c.read(ctx, pos),
+            );
+            assert_eq!(
+                res,
+                AppendResult::Ok(ZlogOut::Read(ReadOutcome::Data(payload))),
+                "read-back of pos {pos} after join+drain"
+            );
+        }
+        if let Err(e) = super::lin::check_log(&history, seed) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fixed-seed backfill-under-partition smoke (satellite): a joiner is
+    /// partitioned from part of the cluster *while* it backfills. The
+    /// backfill machinery must rotate to reachable sources (or retry
+    /// until the heal) and converge without losing a byte.
+    #[test]
+    fn smoke_backfill_under_partition() {
+        let seed = 2017;
+        let mut cluster = ClusterBuilder::new()
+            .monitors(1)
+            .osds(3)
+            .pool("data", 16, 2)
+            .build(seed);
+        let mut expected = Vec::new();
+        for k in 0..16u32 {
+            let payload = format!("part-{k}").repeat(4).into_bytes();
+            let name = format!("obj{k}");
+            cluster
+                .rados(
+                    ObjectId::new("data", &name),
+                    durability::put_blob(payload.clone()),
+                )
+                .unwrap();
+            expected.push((name, payload));
+        }
+
+        let t0 = cluster.sim.now();
+        let joiner = NodeId(13);
+        // The partition opens before the join and cuts the joiner off
+        // from one of its backfill sources for two full seconds.
+        let schedule = FaultSchedule::new()
+            .at(
+                SimTime(t0.0 + 500_000),
+                Fault::Partition(vec![joiner], vec![cluster.osd_node(0)]),
+            )
+            .at(SimTime(t0.0 + 1_000_000), Fault::OsdJoin(joiner))
+            .at(
+                SimTime(t0.0 + 3_000_000),
+                Fault::HealPartition(vec![joiner], vec![cluster.osd_node(0)]),
+            );
+        let mut nemesis = Nemesis::new(schedule)
+            .with_labels(Cluster::node_role)
+            .on_membership(membership_callback(&cluster));
+        while !nemesis.finished() {
+            nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(200));
+        }
+        // Give retries/rotations time to converge after the heal.
+        let deadline = cluster.sim.now() + SimDuration::from_secs(20);
+        let settled = cluster.sim.run_until_pred(deadline, |s| {
+            let m = s.metrics();
+            let ended = m.counter("osd.backfills_completed")
+                + m.counter("osd.backfill_aborted")
+                + m.counter("osd.backfill_dropped");
+            m.counter("osd.backfills_started") > 0 && m.counter("osd.backfills_started") == ended
+        });
+        assert!(settled, "backfills never settled after the heal");
+
+        let m = cluster.sim.metrics();
+        assert!(
+            m.counter("osd.backfills_completed") > 0,
+            "partitioned joiner completed no backfills"
+        );
+        // The joiner ended up owning data it pulled across the remap.
+        assert!(
+            !cluster.sim.actor::<Osd>(joiner).store().is_empty(),
+            "joiner holds nothing after backfill"
+        );
+        for (name, payload) in expected {
+            let out = cluster
+                .rados(ObjectId::new("data", &name), durability::get_blob())
+                .unwrap();
+            assert_eq!(
+                out[0],
+                mala_rados::OpResult::Data(payload),
+                "{name} lost across backfill-under-partition"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Mid-workload remap proptest (acceptance): random seeds place a
+        /// join and a drain inside a live append workload, with the drain
+        /// target drawn from the original fleet. Appends must complete
+        /// (no hangs), positions stay unique, acked payloads survive the
+        /// double remap, and the captured history — including every op
+        /// bounced with a stale epoch or `NotReady` during backfill —
+        /// passes the WGL linearizability check.
+        #[test]
+        fn appends_linearize_across_mid_workload_remaps(seed in 0u64..100_000) {
+            let mut cluster = ClusterBuilder::new()
+                .monitors(1)
+                .osds(4)
+                .mds_ranks(1)
+                .pool("p", 16, 2)
+                .build(seed);
+            cluster.commit_updates(vec![zlog_interface_update()]);
+            let node = cluster.alloc_node();
+            let config = ZlogConfig {
+                name: "elastic-prop".into(),
+                pool: "p".into(),
+                stripe_width: 4,
+                mds_nodes: cluster.mds_nodes(),
+                home_rank: 0,
+                monitor: cluster.mon(),
+            };
+            let history = super::lin::recorder();
+            cluster
+                .sim
+                .add_node(node, ZlogClient::new(config).with_history(history.clone()));
+            cluster.sim.run_for(SimDuration::from_secs(1));
+            run_op(&mut cluster.sim, node, SimDuration::from_secs(10), |c, ctx| c.setup(ctx));
+
+            let t0 = cluster.sim.now();
+            let joiner = NodeId(14); // first free slot above the built 4
+            let drain_target = cluster.osd_node((seed % 4) as u32);
+            let join_us = 500_000 + (seed % 7) * 300_000;
+            let drain_us = join_us + 500_000 + (seed % 5) * 400_000;
+            let schedule = FaultSchedule::new()
+                .at(SimTime(t0.0 + join_us), Fault::OsdJoin(joiner))
+                .at(SimTime(t0.0 + drain_us), Fault::OsdDrain(drain_target));
+            let mut nemesis = Nemesis::new(schedule)
+                .with_labels(Cluster::node_role)
+                .on_membership(membership_callback(&cluster));
+
+            let mut acked: Vec<(u64, Vec<u8>)> = Vec::new();
+            for k in 0..10u32 {
+                let payload = format!("e{seed}-{k}").into_bytes();
+                let op = cluster.sim.with_actor::<ZlogClient, _>(node, {
+                    let p = payload.clone();
+                    move |c, ctx| c.append(ctx, p)
+                });
+                let deadline = cluster.sim.now() + SimDuration::from_secs(90);
+                while !cluster.sim.actor::<ZlogClient>(node).is_done(op) {
+                    if cluster.sim.now() >= deadline {
+                        return Err(TestCaseError::fail(format!(
+                            "append {k} hung across the remap (seed {seed})"
+                        )));
+                    }
+                    nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(200));
+                }
+                match cluster
+                    .sim
+                    .actor_mut::<ZlogClient>(node)
+                    .take_result(op)
+                    .expect("op is done")
+                {
+                    AppendResult::Ok(ZlogOut::Pos(pos)) => acked.push((pos, payload)),
+                    other => {
+                        return Err(TestCaseError::fail(format!(
+                            "append {k} failed across a remap: {other:?} (seed {seed})"
+                        )))
+                    }
+                }
+            }
+            while !nemesis.finished() {
+                nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(500));
+            }
+            cluster.sim.run_for(SimDuration::from_secs(3));
+
+            // Both remaps really happened and drove backfill.
+            let m = cluster.sim.metrics();
+            prop_assert_eq!(m.counter("nemesis.osd_join"), 1);
+            prop_assert_eq!(m.counter("nemesis.osd_drain"), 1);
+            prop_assert!(
+                m.counter("osd.backfills_started") > 0,
+                "remaps started no backfills (seed {})", seed
+            );
+
+            let mut seen: Vec<u64> = acked.iter().map(|(p, _)| *p).collect();
+            seen.sort_unstable();
+            let before = seen.len();
+            seen.dedup();
+            prop_assert_eq!(before, seen.len(), "duplicate positions (seed {})", seed);
+
+            for (pos, payload) in &acked {
+                let pos = *pos;
+                let res = run_op(
+                    &mut cluster.sim,
+                    node,
+                    SimDuration::from_secs(60),
+                    move |c, ctx| c.read(ctx, pos),
+                );
+                let AppendResult::Ok(ZlogOut::Read(ReadOutcome::Data(data))) = res else {
+                    return Err(TestCaseError::fail(format!(
+                        "read of acked pos {pos} failed after remaps: {res:?} (seed {seed})"
+                    )));
+                };
+                prop_assert_eq!(&data, payload, "payload mismatch at {} (seed {})", pos, seed);
+            }
+
+            if let Err(e) = super::lin::check_log(&history, seed) {
+                return Err(TestCaseError::fail(e));
+            }
         }
     }
 }
