@@ -31,4 +31,10 @@ cargo test -q -p mala-bench --lib exp::trace
 echo "==> elastic smoke (fixed seed: live OSD join+drain, backfill + WGL check)"
 cargo test -q --test nemesis_invariants elastic_membership::smoke
 
+echo "==> read-path smoke (fixed seed: tailing reader through drain + trim, WGL check)"
+cargo test -q --test nemesis_invariants smoke_tailing_reader
+
+echo "==> read-path smoke (cursor catch-up + checkpointed KV recovery)"
+cargo test -q -p mala-zlog --test read_scale
+
 echo "CI gate passed."

@@ -1,0 +1,18 @@
+//! Read-side scale-out sweeps (catch-up depth + checkpointed recovery);
+//! writes `results/BENCH_zlog_read.json` next to the rendered tables.
+
+use std::io::Write;
+
+fn main() {
+    let config = mala_bench::exp::zlog_read::Config::default();
+    let data = mala_bench::exp::zlog_read::run(&config);
+    print!("{}", mala_bench::exp::zlog_read::render(&data));
+    let json = mala_bench::exp::zlog_read::to_json(&data);
+    let path = std::path::Path::new("results/BENCH_zlog_read.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    let mut f = std::fs::File::create(path).expect("create BENCH_zlog_read.json");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("\nwrote {}", path.display());
+}

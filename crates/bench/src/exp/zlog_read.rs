@@ -1,0 +1,500 @@
+//! Read-side scale-out: vectored catch-up throughput versus batch depth,
+//! and checkpointed KV recovery versus total log length.
+//!
+//! **Catch-up sweep** — a cold reader replays a pre-populated log. Depth
+//! 1 is the classic path: one `read` round trip per position. Depth ≥ 2
+//! uses the pipelined tailing cursor ([`ZlogClient::tail_cursor`]): up to
+//! `depth` positions prefetched ahead of the delivery point, one
+//! `read_batch` RADOS op per stripe object, several ops in flight. The
+//! `osd.reads_served / rados.read_batch_ops` ratio is the round-trip
+//! amplification the vectored path removes.
+//!
+//! **Recovery sweep** — a KV replica recovers from a log of growing total
+//! length. Without a checkpoint, replay starts at zero and recovery cost
+//! grows with the log. With a checkpoint trailing the tail by a fixed
+//! lag, recovery restores the snapshot and replays only the suffix —
+//! flat in total log length, which is the whole point of trim/checkpoint.
+//!
+//! The binary writes `results/BENCH_zlog_read.json` alongside the tables.
+
+use std::collections::HashMap;
+
+use mala_consensus::{MonConfig, MonMsg, Monitor};
+use mala_mds::server::Mds;
+use mala_mds::{MdsConfig, MdsMapView, NoBalancer};
+use mala_rados::{Osd, OsdConfig, OsdMapView, PoolInfo};
+use mala_sim::{NodeId, Sim, SimDuration};
+use mala_zlog::log::{run_op, ZlogOut};
+use mala_zlog::{
+    encode_cmd, zlog_interface_update, AppendResult, KvCmd, KvStore, ReadConfig, ReadOutcome,
+    ZlogClient, ZlogConfig,
+};
+
+use crate::report;
+
+const MON: NodeId = NodeId(0);
+const MDS0: NodeId = NodeId(20);
+const WRITER: NodeId = NodeId(100);
+const READER: NodeId = NodeId(101);
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Log length for the catch-up sweep.
+    pub entries: usize,
+    /// Batch depths to sweep; depth 1 is the scalar-read baseline.
+    pub depths: Vec<usize>,
+    /// Total log lengths for the recovery sweep.
+    pub log_lens: Vec<usize>,
+    /// Distance the checkpoint trails the tail by in the recovery sweep.
+    pub ckpt_lag: usize,
+    /// OSD count.
+    pub osds: u32,
+    /// Stripe width (objects the log fans out over).
+    pub stripe_width: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            entries: 192,
+            depths: vec![1, 8, 32],
+            log_lens: vec![64, 128, 256],
+            ckpt_lag: 16,
+            osds: 4,
+            stripe_width: 4,
+            seed: 11,
+        }
+    }
+}
+
+/// One batch depth's catch-up measurements.
+#[derive(Debug, Clone)]
+pub struct DepthRun {
+    /// Cursor read-ahead depth (1 = scalar `read` baseline).
+    pub depth: usize,
+    /// Positions replayed per simulated second.
+    pub throughput: f64,
+    /// Run length in simulated seconds.
+    pub wall_s: f64,
+    /// Vectored `read_batch` RADOS round trips (0 at depth 1).
+    pub batch_ops: u64,
+    /// Log-entry reads the OSDs served (every position, any path).
+    pub reads_served: u64,
+}
+
+/// One total-log-length recovery measurement.
+#[derive(Debug, Clone)]
+pub struct RecoveryRun {
+    /// Total log length at recovery time.
+    pub log_len: usize,
+    /// Whether a checkpoint (trailing by `ckpt_lag`) was available.
+    pub checkpointed: bool,
+    /// Positions actually replayed.
+    pub replayed: u64,
+    /// Simulated recovery time, snapshot restore through caught-up.
+    pub recovery_ms: f64,
+}
+
+/// Both sweeps.
+#[derive(Debug, Clone)]
+pub struct Data {
+    pub entries: usize,
+    pub ckpt_lag: usize,
+    pub runs: Vec<DepthRun>,
+    pub recoveries: Vec<RecoveryRun>,
+}
+
+fn build(config: &Config, log: &str, reader: ZlogClient) -> Sim {
+    let mut sim = Sim::new(config.seed);
+    sim.add_node(MON, Monitor::new(0, vec![MON], MonConfig::default()));
+    for i in 0..config.osds {
+        sim.add_node(NodeId(10 + i), Osd::new(i, MON, OsdConfig::default()));
+    }
+    sim.add_node(
+        MDS0,
+        Mds::new(0, MON, MdsConfig::default(), Box::new(NoBalancer)),
+    );
+    sim.add_node(WRITER, ZlogClient::new(zcfg(config, log)));
+    sim.add_node(READER, reader);
+    let mut updates = vec![
+        OsdMapView::update_pool(
+            "zlogpool",
+            PoolInfo {
+                pg_num: 32,
+                replicas: 2,
+            },
+        ),
+        MdsMapView::update_rank(0, MDS0, true),
+        zlog_interface_update(),
+    ];
+    for i in 0..config.osds {
+        updates.push(OsdMapView::update_osd(i, NodeId(10 + i), true));
+    }
+    sim.inject(MON, MonMsg::Submit { seq: 1, updates });
+    sim.run_for(SimDuration::from_secs(3));
+    let res = run_op(&mut sim, WRITER, SimDuration::from_secs(5), |c, ctx| {
+        c.setup(ctx)
+    });
+    assert!(
+        matches!(res, AppendResult::Ok(ZlogOut::SetUp(_))),
+        "{res:?}"
+    );
+    sim
+}
+
+fn zcfg(config: &Config, log: &str) -> ZlogConfig {
+    ZlogConfig {
+        name: log.to_string(),
+        pool: "zlogpool".to_string(),
+        stripe_width: config.stripe_width,
+        mds_nodes: HashMap::from([(0, MDS0)]),
+        home_rank: 0,
+        monitor: MON,
+    }
+}
+
+fn append(sim: &mut Sim, data: Vec<u8>) -> u64 {
+    match run_op(sim, WRITER, SimDuration::from_secs(60), move |c, ctx| {
+        c.append(ctx, data)
+    }) {
+        AppendResult::Ok(ZlogOut::Pos(p)) => p,
+        other => panic!("append failed: {other:?}"),
+    }
+}
+
+/// Drains `id` on the reader until an empty (caught-up) batch; returns
+/// the delivered entries.
+fn drain_cursor(sim: &mut Sim, id: u64, max: usize) -> Vec<(u64, ReadOutcome)> {
+    let mut all = Vec::new();
+    loop {
+        let batch = match run_op(sim, READER, SimDuration::from_secs(60), move |c, ctx| {
+            c.cursor_next_batch(ctx, id, max)
+        }) {
+            AppendResult::Ok(ZlogOut::CursorBatch(b)) => b,
+            other => panic!("cursor batch failed: {other:?}"),
+        };
+        if batch.is_empty() {
+            return all;
+        }
+        all.extend(batch);
+    }
+}
+
+/// Runs one catch-up depth; panics on any lost or reordered entry.
+pub fn run_depth(config: &Config, depth: usize) -> DepthRun {
+    let log = format!("readbench.d{depth}");
+    let reader = if depth <= 1 {
+        ZlogClient::new(zcfg(config, &log))
+    } else {
+        ZlogClient::with_read_config(
+            zcfg(config, &log),
+            ReadConfig {
+                readahead: depth,
+                max_inflight: 4,
+            },
+        )
+    };
+    let mut sim = build(config, &log, reader);
+    for i in 0..config.entries {
+        append(&mut sim, format!("entry-{i}").into_bytes());
+    }
+    let ops_before = sim.metrics().counter("rados.read_batch_ops");
+    let served_before = sim.metrics().counter("osd.reads_served");
+    let t0 = sim.now();
+    let mut replayed: Vec<(u64, Vec<u8>)> = Vec::new();
+    if depth <= 1 {
+        // Baseline: strictly one scalar read in flight.
+        for pos in 0..config.entries as u64 {
+            match run_op(
+                &mut sim,
+                READER,
+                SimDuration::from_secs(60),
+                move |c, ctx| c.read(ctx, pos),
+            ) {
+                AppendResult::Ok(ZlogOut::Read(ReadOutcome::Data(d))) => replayed.push((pos, d)),
+                other => panic!("baseline read {pos} failed: {other:?}"),
+            }
+        }
+    } else {
+        let id = sim.with_actor::<ZlogClient, _>(READER, |c, ctx| c.tail_cursor(ctx));
+        for (p, o) in drain_cursor(&mut sim, id, depth) {
+            match o {
+                ReadOutcome::Data(d) => replayed.push((p, d)),
+                other => panic!("cursor read {p} came back {other:?}"),
+            }
+        }
+    }
+    let wall_s = sim.now().since(t0).as_secs_f64();
+    assert_eq!(replayed.len(), config.entries, "catch-up lost entries");
+    for (i, (p, d)) in replayed.iter().enumerate() {
+        assert_eq!(*p, i as u64, "delivery out of order");
+        assert_eq!(d, format!("entry-{i}").as_bytes(), "payload mismatch");
+    }
+    DepthRun {
+        depth,
+        throughput: config.entries as f64 / wall_s,
+        wall_s,
+        batch_ops: sim.metrics().counter("rados.read_batch_ops") - ops_before,
+        reads_served: sim.metrics().counter("osd.reads_served") - served_before,
+    }
+}
+
+/// Runs one recovery measurement at `log_len` total entries.
+pub fn run_recovery(config: &Config, log_len: usize, checkpointed: bool) -> RecoveryRun {
+    let log = format!(
+        "recbench.l{log_len}.{}",
+        if checkpointed { "ck" } else { "cold" }
+    );
+    let reader = ZlogClient::with_read_config(
+        zcfg(config, &log),
+        ReadConfig {
+            readahead: 32,
+            max_inflight: 4,
+        },
+    );
+    let mut sim = build(config, &log, reader);
+    let ckpt_at = log_len.saturating_sub(config.ckpt_lag) as u64;
+    let mut state = KvStore::new();
+    for i in 0..log_len {
+        let bytes = encode_cmd(&KvCmd::put(format!("k{}", i % 8), format!("v{i}")));
+        let pos = append(&mut sim, bytes.clone());
+        state.apply(pos, &ReadOutcome::Data(bytes)).unwrap();
+        if checkpointed && state.applied() == ckpt_at {
+            let (pos, blob) = (state.applied(), state.snapshot());
+            let res = run_op(
+                &mut sim,
+                WRITER,
+                SimDuration::from_secs(60),
+                move |c, ctx| c.checkpoint(ctx, pos, blob),
+            );
+            assert!(
+                matches!(res, AppendResult::Ok(ZlogOut::CheckpointAt(_))),
+                "{res:?}"
+            );
+            let res = run_op(
+                &mut sim,
+                WRITER,
+                SimDuration::from_secs(60),
+                move |c, ctx| c.trim_to(ctx, pos),
+            );
+            assert!(matches!(res, AppendResult::Ok(ZlogOut::Done)), "{res:?}");
+        }
+    }
+
+    // Cold replica: restore the latest snapshot (if any), tail from it.
+    let t0 = sim.now();
+    let ckpt = match run_op(&mut sim, READER, SimDuration::from_secs(60), |c, ctx| {
+        c.checkpoint_read(ctx)
+    }) {
+        AppendResult::Ok(ZlogOut::Checkpoint(c)) => c,
+        other => panic!("checkpoint_read failed: {other:?}"),
+    };
+    let mut recovered = match &ckpt {
+        Some((pos, blob)) => KvStore::restore(*pos, blob).unwrap(),
+        None => KvStore::new(),
+    };
+    assert_eq!(ckpt.is_some(), checkpointed, "unexpected checkpoint state");
+    let id = sim.with_actor::<ZlogClient, _>(READER, |c, ctx| c.tail_cursor(ctx));
+    let suffix = drain_cursor(&mut sim, id, 32);
+    let replayed = suffix.len() as u64;
+    for (p, o) in &suffix {
+        recovered.apply(*p, o).unwrap();
+    }
+    let recovery_ms = sim.now().since(t0).as_secs_f64() * 1e3;
+    assert_eq!(recovered, state, "recovered replica diverged");
+    RecoveryRun {
+        log_len,
+        checkpointed,
+        replayed,
+        recovery_ms,
+    }
+}
+
+/// Runs both sweeps.
+pub fn run(config: &Config) -> Data {
+    Data {
+        entries: config.entries,
+        ckpt_lag: config.ckpt_lag,
+        runs: config
+            .depths
+            .iter()
+            .map(|&d| run_depth(config, d))
+            .collect(),
+        recoveries: config
+            .log_lens
+            .iter()
+            .flat_map(|&l| {
+                [
+                    run_recovery(config, l, false),
+                    run_recovery(config, l, true),
+                ]
+            })
+            .collect(),
+    }
+}
+
+/// Speedup of `run` over the depth-1 baseline in `data` (1.0 if absent).
+pub fn speedup(data: &Data, run: &DepthRun) -> f64 {
+    data.runs
+        .iter()
+        .find(|r| r.depth == 1)
+        .map(|base| run.throughput / base.throughput)
+        .unwrap_or(1.0)
+}
+
+/// Renders both sweeps as aligned tables.
+pub fn render(data: &Data) -> String {
+    let mut out = format!(
+        "ZLog catch-up: {} entries replayed by one cold reader\n\n",
+        data.entries
+    );
+    let headers = [
+        "depth",
+        "pos/s",
+        "speedup",
+        "wall s",
+        "batch ops",
+        "srv reads",
+    ];
+    let rows: Vec<Vec<String>> = data
+        .runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.depth.to_string(),
+                format!("{:.0}", r.throughput),
+                format!("{:.2}x", speedup(data, r)),
+                format!("{:.3}", r.wall_s),
+                r.batch_ops.to_string(),
+                r.reads_served.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&report::table(&headers, &rows));
+    out.push_str(&format!(
+        "\nKV recovery: checkpoint trails the tail by {} entries\n\n",
+        data.ckpt_lag
+    ));
+    let headers = ["log len", "checkpoint", "replayed", "recovery ms"];
+    let rows: Vec<Vec<String>> = data
+        .recoveries
+        .iter()
+        .map(|r| {
+            vec![
+                r.log_len.to_string(),
+                if r.checkpointed { "yes" } else { "no" }.to_string(),
+                r.replayed.to_string(),
+                format!("{:.2}", r.recovery_ms),
+            ]
+        })
+        .collect();
+    out.push_str(&report::table(&headers, &rows));
+    out
+}
+
+/// Machine-readable rendering for `results/BENCH_zlog_read.json`.
+pub fn to_json(data: &Data) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"zlog_read_scaleout\",\n");
+    out.push_str(&format!("  \"entries_per_run\": {},\n", data.entries));
+    out.push_str(&format!("  \"checkpoint_lag\": {},\n", data.ckpt_lag));
+    out.push_str("  \"time_base\": \"simulated\",\n");
+    out.push_str("  \"catchup\": [\n");
+    for (i, r) in data.runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"depth\": {}, \"throughput_pos_per_s\": {:.1}, \
+             \"speedup_vs_depth1\": {:.2}, \"wall_s\": {:.3}, \
+             \"read_batch_ops\": {}, \"osd_reads_served\": {}}}{}\n",
+            r.depth,
+            r.throughput,
+            speedup(data, r),
+            r.wall_s,
+            r.batch_ops,
+            r.reads_served,
+            if i + 1 == data.runs.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"recovery\": [\n");
+    for (i, r) in data.recoveries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"log_len\": {}, \"checkpointed\": {}, \"replayed\": {}, \
+             \"recovery_ms\": {:.3}}}{}\n",
+            r.log_len,
+            r.checkpointed,
+            r.replayed,
+            r.recovery_ms,
+            if i + 1 == data.recoveries.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectored_catchup_beats_scalar_reads_5x_at_depth_32() {
+        let config = Config {
+            entries: 96,
+            depths: vec![1, 32],
+            log_lens: vec![],
+            ..Default::default()
+        };
+        let data = run(&config);
+        let base = &data.runs[0];
+        let deep = &data.runs[1];
+        assert!(
+            deep.throughput >= 5.0 * base.throughput,
+            "depth 32 must be >= 5x depth 1: {:.0} vs {:.0} pos/s",
+            deep.throughput,
+            base.throughput
+        );
+        // Round-trip amplification: many positions per RADOS op.
+        assert!(deep.batch_ops > 0);
+        assert!(
+            deep.reads_served >= 4 * deep.batch_ops,
+            "batching must amortize round trips: {} reads over {} ops",
+            deep.reads_served,
+            deep.batch_ops
+        );
+    }
+
+    #[test]
+    fn checkpointed_recovery_is_flat_in_log_length() {
+        let config = Config {
+            log_lens: vec![48, 144],
+            ckpt_lag: 12,
+            ..Default::default()
+        };
+        let short_cold = run_recovery(&config, 48, false);
+        let long_cold = run_recovery(&config, 144, false);
+        let short_ck = run_recovery(&config, 48, true);
+        let long_ck = run_recovery(&config, 144, true);
+        // Cold replay grows with the log; checkpointed replay does not.
+        assert!(long_cold.replayed == 144 && short_cold.replayed == 48);
+        assert_eq!(short_ck.replayed, 12, "must replay only the suffix");
+        assert_eq!(long_ck.replayed, 12, "must replay only the suffix");
+        assert!(
+            long_ck.recovery_ms < 1.5 * short_ck.recovery_ms,
+            "checkpointed recovery must stay flat: {:.2}ms vs {:.2}ms",
+            long_ck.recovery_ms,
+            short_ck.recovery_ms
+        );
+        assert!(
+            long_cold.recovery_ms > 2.0 * long_ck.recovery_ms,
+            "checkpoint must beat cold replay: {:.2}ms vs {:.2}ms",
+            long_cold.recovery_ms,
+            long_ck.recovery_ms
+        );
+    }
+}

@@ -32,4 +32,5 @@ pub mod exp {
     pub mod tables;
     pub mod trace;
     pub mod zlog_pipeline;
+    pub mod zlog_read;
 }

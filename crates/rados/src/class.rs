@@ -435,6 +435,35 @@ fn install_object_natives(interp: &mut Interp) {
         }),
     );
     interp.register(
+        "omap_del_range",
+        Rc::new(|ctx, args| {
+            let lo = args
+                .first()
+                .and_then(Value::as_str)
+                .ok_or_else(|| RtError::new("omap_del_range: argument 1 must be a string"))?
+                .to_string();
+            let hi = args
+                .get(1)
+                .and_then(Value::as_str)
+                .ok_or_else(|| RtError::new("omap_del_range: argument 2 must be a string"))?
+                .to_string();
+            with_host!(ctx, h, {
+                let mut purged = 0usize;
+                if let Some(o) = h.obj.as_mut() {
+                    if lo <= hi {
+                        let doomed: Vec<String> =
+                            o.omap.range(lo..=hi).map(|(k, _)| k.clone()).collect();
+                        purged = doomed.len();
+                        for k in doomed {
+                            o.omap.remove(&k);
+                        }
+                    }
+                }
+                Ok(Value::Num(purged as f64))
+            })
+        }),
+    );
+    interp.register(
         "omap_max_key",
         Rc::new(|ctx, _args| {
             with_host!(ctx, h, {

@@ -860,6 +860,34 @@ impl Osd {
             ctx.metrics().incr("osd.txn_ops", txn.len() as u64);
         }
         ctx.metrics().incr("osd.ops", 1);
+        // Log-entry reads served by this OSD, counted per position: a
+        // vectored `read_batch` covering k positions bumps this by k while
+        // costing one round trip, so reads_served / rados.read_batch_ops
+        // is the read amplification the batch path saves.
+        let reads = txn
+            .iter()
+            .map(|op| match op {
+                crate::ops::Op::Call {
+                    class,
+                    method,
+                    input,
+                } if class == "zlog" => match method.as_str() {
+                    "read" => 1,
+                    "read_batch" => {
+                        let s = String::from_utf8_lossy(input);
+                        s.split('|')
+                            .nth(1)
+                            .map(|ps| ps.split(',').count() as u64)
+                            .unwrap_or(0)
+                    }
+                    _ => 0,
+                },
+                _ => 0,
+            })
+            .sum::<u64>();
+        if reads > 0 {
+            ctx.metrics().incr("osd.reads_served", reads);
+        }
         match result {
             Ok(results) => {
                 let replicas: Vec<u32> = acting[1..]

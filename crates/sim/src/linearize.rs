@@ -270,6 +270,12 @@ pub enum LogOp {
         /// Position trimmed.
         pos: u64,
     },
+    /// Prefix trim: every position strictly below `pos` becomes trimmed
+    /// (the client's `trim_to`, fanned out as per-stripe watermarks).
+    TrimTo {
+        /// First position left untrimmed.
+        pos: u64,
+    },
     /// Read the sequencer tail without advancing it.
     ReadTail,
 }
@@ -283,6 +289,7 @@ impl std::fmt::Debug for LogOp {
             LogOp::Read { pos } => write!(f, "read({pos})"),
             LogOp::Fill { pos } => write!(f, "fill({pos})"),
             LogOp::Trim { pos } => write!(f, "trim({pos})"),
+            LogOp::TrimTo { pos } => write!(f, "trim_to({pos})"),
             LogOp::ReadTail => write!(f, "tail()"),
         }
     }
@@ -386,7 +393,10 @@ impl SequentialModel for SharedLogModel {
                 Cell::Unwritten | Cell::Filled => vec![Cell::Filled],
                 _ => Vec::new(),
             },
-            LogOp::Trim { .. } => vec![Cell::Trimmed],
+            // A prefix trim reaches this cell only when the partitioning
+            // placed it here (cell position < trim point), where it acts
+            // as a plain trim.
+            LogOp::Trim { .. } | LogOp::TrimTo { .. } => vec![Cell::Trimmed],
             LogOp::ReadTail => Vec::new(),
         }
     }
@@ -441,6 +451,8 @@ fn log_position(op: &Operation<LogOp, LogRet>) -> Option<u64> {
             } => Some(*p),
             _ => None,
         },
+        // Spans many positions; included per-partition by the checker.
+        LogOp::TrimTo { .. } => None,
         LogOp::ReadTail => None,
     }
 }
@@ -463,6 +475,17 @@ pub fn check_shared_log(ops: &[Operation<LogOp, LogRet>]) -> CheckResult<LogOp, 
                 tail.push(op.clone());
             }
             _ => {}
+        }
+    }
+    // A prefix trim joins the partition of every cell it covers: a read
+    // at any position below the trim point may legally observe Trimmed
+    // once the trim linearizes.
+    for op in ops {
+        if let LogOp::TrimTo { pos } = &op.op {
+            for (cell, part) in by_pos.range_mut(..*pos) {
+                let _ = cell;
+                part.push(op.clone());
+            }
         }
     }
     let mut stats = CheckStats::default();
@@ -668,6 +691,57 @@ mod tests {
         rec.ok(t, us(40), LogRet::Done);
         let r = rec.invoke(1, us(50), LogOp::Read { pos: 4 });
         rec.ok(r, us(60), LogRet::Read(LogRead::Trimmed));
+        assert!(check_shared_log(&rec.operations()).is_ok());
+    }
+
+    #[test]
+    fn trim_to_covers_every_lower_position() {
+        // One trim_to joins the history of every position below it: reads
+        // after it legally see Trimmed across the whole prefix.
+        let rec: Recorder<LogOp, LogRet> = Recorder::new();
+        for pos in 0..3u64 {
+            let a = rec.invoke(1, us(10 + pos), LogOp::Append { data: b"a".into() });
+            rec.ok(a, us(20 + pos), LogRet::Pos(pos));
+        }
+        let t = rec.invoke(2, us(30), LogOp::TrimTo { pos: 3 });
+        rec.ok(t, us(40), LogRet::Done);
+        for pos in 0..3u64 {
+            let r = rec.invoke(1, us(50 + pos), LogOp::Read { pos });
+            rec.ok(r, us(60 + pos), LogRet::Read(LogRead::Trimmed));
+        }
+        assert!(check_shared_log(&rec.operations()).is_ok());
+
+        // A position at or above the watermark is NOT covered: seeing it
+        // trimmed with nothing to explain it is a violation.
+        let rec: Recorder<LogOp, LogRet> = Recorder::new();
+        let a = rec.invoke(1, us(10), LogOp::Append { data: b"a".into() });
+        rec.ok(a, us(20), LogRet::Pos(3));
+        let t = rec.invoke(2, us(30), LogOp::TrimTo { pos: 3 });
+        rec.ok(t, us(40), LogRet::Done);
+        let r = rec.invoke(1, us(50), LogOp::Read { pos: 3 });
+        rec.ok(r, us(60), LogRet::Read(LogRead::Trimmed));
+        assert!(check_shared_log(&rec.operations()).is_err());
+    }
+
+    #[test]
+    fn data_read_after_completed_trim_to_is_stale() {
+        let rec: Recorder<LogOp, LogRet> = Recorder::new();
+        let a = rec.invoke(1, us(10), LogOp::Append { data: b"a".into() });
+        rec.ok(a, us(20), LogRet::Pos(1));
+        let t = rec.invoke(2, us(30), LogOp::TrimTo { pos: 4 });
+        rec.ok(t, us(40), LogRet::Done);
+        // Strictly after the trim's response, the data must be gone.
+        let r = rec.invoke(1, us(50), LogOp::Read { pos: 1 });
+        rec.ok(r, us(60), LogRet::Read(LogRead::Data(b"a".into())));
+        assert!(check_shared_log(&rec.operations()).is_err());
+        // Concurrent with the trim, either outcome is legal.
+        let rec: Recorder<LogOp, LogRet> = Recorder::new();
+        let a = rec.invoke(1, us(10), LogOp::Append { data: b"a".into() });
+        rec.ok(a, us(20), LogRet::Pos(1));
+        let t = rec.invoke(2, us(30), LogOp::TrimTo { pos: 4 });
+        let r = rec.invoke(1, us(32), LogOp::Read { pos: 1 });
+        rec.ok(r, us(38), LogRet::Read(LogRead::Data(b"a".into())));
+        rec.ok(t, us(40), LogRet::Done);
         assert!(check_shared_log(&rec.operations()).is_ok());
     }
 

@@ -1,0 +1,280 @@
+//! mala-kv: a replicated key-value map materialized from the shared log —
+//! the Tango/Hyder pattern the paper cites as the payoff of a
+//! high-performance shared log (§5.2).
+//!
+//! Commands (`put`/`del`) are appended to the log; every replica replays
+//! the log in sequence order and converges to the same map. The read-side
+//! scale-out machinery keeps replay cheap:
+//!
+//! * **Catch-up** goes through [`crate::log::ZlogClient::tail_cursor`], so
+//!   a replica fetches entries in vectored, pipelined batches instead of
+//!   one round trip per position.
+//! * **Checkpoints** persist `(position, snapshot)` on the log's
+//!   checkpoint object ([`KvStore::snapshot`] /
+//!   [`crate::log::ZlogClient::checkpoint`]); a fresh replica restores the
+//!   snapshot and replays only the suffix, so recovery cost tracks the
+//!   distance from the last checkpoint, not total log length.
+//! * **Trim** ([`crate::log::ZlogClient::trim_to`]) then reclaims the
+//!   checkpointed prefix; replaying readers observe `Trimmed` cells and
+//!   skip them.
+//!
+//! Command and snapshot encodings are length-prefixed UTF-8 (keys and
+//! values may contain any character, including the separators).
+
+use std::collections::BTreeMap;
+
+use crate::log::ReadOutcome;
+
+/// A state-machine command carried in one log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvCmd {
+    Put { key: String, value: String },
+    Del { key: String },
+}
+
+impl KvCmd {
+    pub fn put(key: impl Into<String>, value: impl Into<String>) -> Self {
+        KvCmd::Put {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+
+    pub fn del(key: impl Into<String>) -> Self {
+        KvCmd::Del { key: key.into() }
+    }
+}
+
+/// Encodes a command as a log entry: `P|klen|key|value` or `D|key`
+/// (lengths are in bytes).
+pub fn encode_cmd(cmd: &KvCmd) -> Vec<u8> {
+    match cmd {
+        KvCmd::Put { key, value } => format!("P|{}|{}|{}", key.len(), key, value).into_bytes(),
+        KvCmd::Del { key } => format!("D|{key}").into_bytes(),
+    }
+}
+
+/// Decodes a log entry back into a command.
+pub fn decode_cmd(bytes: &[u8]) -> Result<KvCmd, String> {
+    let s = String::from_utf8(bytes.to_vec()).map_err(|e| format!("kv entry not utf-8: {e}"))?;
+    match s.as_bytes().first() {
+        Some(b'P') => {
+            let rest = &s[2..];
+            let (len_s, tail) = rest
+                .split_once('|')
+                .ok_or_else(|| format!("malformed put entry: {s:?}"))?;
+            let klen: usize = len_s
+                .parse()
+                .map_err(|_| format!("bad key length in {s:?}"))?;
+            if tail.len() < klen + 1 || tail.as_bytes().get(klen) != Some(&b'|') {
+                return Err(format!("key length mismatch in {s:?}"));
+            }
+            Ok(KvCmd::Put {
+                key: tail[..klen].to_string(),
+                value: tail[klen + 1..].to_string(),
+            })
+        }
+        Some(b'D') => Ok(KvCmd::Del {
+            key: s[2..].to_string(),
+        }),
+        _ => Err(format!("unknown kv entry tag: {s:?}")),
+    }
+}
+
+/// A materialized view of the log: the map plus the replay frontier.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvStore {
+    map: BTreeMap<String, String>,
+    /// Next log position to apply; everything below is reflected in `map`.
+    applied: u64,
+}
+
+impl KvStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn map(&self) -> &BTreeMap<String, String> {
+        &self.map
+    }
+
+    /// The replay frontier: the next position this store expects.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Applies the read outcome at `pos`, which must be exactly the
+    /// frontier — replay is strictly in order. Junk-filled and trimmed
+    /// cells carry no command; a hole below the tail is the caller's bug
+    /// (the cursor heals holes before delivering).
+    pub fn apply(&mut self, pos: u64, outcome: &ReadOutcome) -> Result<(), String> {
+        if pos != self.applied {
+            return Err(format!(
+                "out-of-order apply: got {pos}, expected {}",
+                self.applied
+            ));
+        }
+        match outcome {
+            ReadOutcome::Data(bytes) => match decode_cmd(bytes)? {
+                KvCmd::Put { key, value } => {
+                    self.map.insert(key, value);
+                }
+                KvCmd::Del { key } => {
+                    self.map.remove(&key);
+                }
+            },
+            ReadOutcome::Filled | ReadOutcome::Trimmed => {}
+            ReadOutcome::NotWritten => {
+                return Err(format!("unhealed hole at {pos}"));
+            }
+        }
+        self.applied = pos + 1;
+        Ok(())
+    }
+
+    /// Serializes the map for a checkpoint blob: `n|klen|key|vlen|value|…`.
+    /// The frontier itself is *not* in the blob — the checkpoint object
+    /// stores it alongside as the checkpoint position.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = format!("{}", self.map.len());
+        for (k, v) in &self.map {
+            out.push_str(&format!("|{}|{}|{}|{}", k.len(), k, v.len(), v));
+        }
+        out.into_bytes()
+    }
+
+    /// Restores a store from a checkpoint `(position, blob)` pair.
+    pub fn restore(applied: u64, blob: &[u8]) -> Result<Self, String> {
+        let s = String::from_utf8(blob.to_vec()).map_err(|e| format!("snapshot not utf-8: {e}"))?;
+        let (n_s, mut rest) = match s.split_once('|') {
+            Some((n, r)) => (n, r),
+            None => (s.as_str(), ""),
+        };
+        let n: usize = n_s
+            .parse()
+            .map_err(|_| format!("bad snapshot entry count: {n_s:?}"))?;
+        let mut map = BTreeMap::new();
+        for _ in 0..n {
+            let (k, r) = take_field(rest)?;
+            let (v, r) = take_field(r)?;
+            rest = r;
+            map.insert(k, v);
+        }
+        if !rest.is_empty() {
+            return Err(format!("trailing bytes in snapshot: {rest:?}"));
+        }
+        Ok(Self { map, applied })
+    }
+}
+
+/// Parses one `len|bytes` field, returning it and the remaining input
+/// (with the following separator consumed).
+fn take_field(s: &str) -> Result<(String, &str), String> {
+    let (len_s, rest) = s
+        .split_once('|')
+        .ok_or_else(|| format!("truncated snapshot field: {s:?}"))?;
+    let len: usize = len_s
+        .parse()
+        .map_err(|_| format!("bad snapshot field length: {len_s:?}"))?;
+    if rest.len() < len {
+        return Err(format!("snapshot field overruns input: {s:?}"));
+    }
+    let field = rest[..len].to_string();
+    let rest = &rest[len..];
+    let rest = rest.strip_prefix('|').unwrap_or(rest);
+    Ok((field, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmd_roundtrip_with_separators_in_keys() {
+        for cmd in [
+            KvCmd::put("plain", "value"),
+            KvCmd::put("pipe|in|key", "val|ue"),
+            KvCmd::put("eq=key", ""),
+            KvCmd::put("", "empty-key"),
+            KvCmd::del("pipe|in|key"),
+            KvCmd::del(""),
+        ] {
+            let enc = encode_cmd(&cmd);
+            assert_eq!(decode_cmd(&enc).unwrap(), cmd, "{cmd:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_entries() {
+        assert!(decode_cmd(b"").is_err());
+        assert!(decode_cmd(b"X|huh").is_err());
+        assert!(decode_cmd(b"P|9|short|v").is_err());
+        assert!(decode_cmd(b"P|nan|k|v").is_err());
+    }
+
+    #[test]
+    fn apply_is_strictly_in_order() {
+        let mut kv = KvStore::new();
+        kv.apply(0, &ReadOutcome::Data(encode_cmd(&KvCmd::put("a", "1"))))
+            .unwrap();
+        assert!(kv.apply(2, &ReadOutcome::Filled).is_err(), "gap must fail");
+        assert!(
+            kv.apply(0, &ReadOutcome::Filled).is_err(),
+            "replay must fail"
+        );
+        kv.apply(1, &ReadOutcome::Filled).unwrap();
+        kv.apply(2, &ReadOutcome::Trimmed).unwrap();
+        kv.apply(3, &ReadOutcome::Data(encode_cmd(&KvCmd::del("a"))))
+            .unwrap();
+        assert_eq!(kv.applied(), 4);
+        assert!(kv.is_empty());
+        assert!(
+            kv.apply(4, &ReadOutcome::NotWritten).is_err(),
+            "holes must be healed before apply"
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut kv = KvStore::new();
+        for (i, (k, v)) in [("a", "1"), ("b|b", "2|2"), ("c", ""), ("", "d")]
+            .iter()
+            .enumerate()
+        {
+            kv.apply(
+                i as u64,
+                &ReadOutcome::Data(encode_cmd(&KvCmd::put(*k, *v))),
+            )
+            .unwrap();
+        }
+        let blob = kv.snapshot();
+        let restored = KvStore::restore(kv.applied(), &blob).unwrap();
+        assert_eq!(restored, kv);
+    }
+
+    #[test]
+    fn snapshot_empty_store() {
+        let kv = KvStore::new();
+        let restored = KvStore::restore(0, &kv.snapshot()).unwrap();
+        assert_eq!(restored, kv);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_blobs() {
+        assert!(KvStore::restore(0, b"nan").is_err());
+        assert!(KvStore::restore(0, b"2|1|a|1|b").is_err(), "truncated");
+        assert!(KvStore::restore(0, b"1|1|a|1|b|extra").is_err(), "trailing");
+    }
+}

@@ -20,10 +20,17 @@
 //!   stale clients), compute the maximum written position, and restart
 //!   the sequencer from it.
 
+pub mod kv;
 pub mod log;
 pub mod sequencer;
 pub mod storage;
 
-pub use log::{log_read_of, AppendResult, BatchConfig, ReadOutcome, ZlogClient, ZlogConfig};
+pub use kv::{decode_cmd, encode_cmd, KvCmd, KvStore};
+pub use log::{
+    log_read_of, AppendResult, BatchConfig, ReadConfig, ReadOutcome, ZlogClient, ZlogConfig,
+};
 pub use sequencer::{SeqMode, SeqStats, SeqWorkload};
-pub use storage::{encode_write_batch, zlog_interface_update, ZLOG_CLASS, ZLOG_CLASS_SOURCE};
+pub use storage::{
+    encode_checkpoint, encode_read_batch, encode_write_batch, zlog_interface_update, ZLOG_CLASS,
+    ZLOG_CLASS_SOURCE,
+};

@@ -9,7 +9,7 @@
 //! the client refreshes.
 
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use mala_consensus::{MapUpdate, MonMsg, SERVICE_MAP_MDS};
 use mala_mds::types::{MdsError, MdsMsg};
@@ -21,7 +21,10 @@ use mala_sim::linearize::{LogOp, LogRead, LogRet};
 use mala_sim::{Actor, Context, NodeId, Sim, SimDuration, SimTime, SpanContext, TimerHandle};
 use rand::Rng;
 
-use crate::storage::{encode_write_batch, ZLOG_CLASS};
+use crate::storage::{
+    decode_checkpoint, decode_read_batch, encode_checkpoint, encode_read_batch, encode_write_batch,
+    ZLOG_CLASS,
+};
 
 /// Monitor map holding ZLog service metadata (per-log epochs).
 pub const ZLOG_MAP: &str = "zlog";
@@ -62,6 +65,29 @@ impl Default for BatchConfig {
         BatchConfig {
             queue_depth: 16,
             flush_window: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// Tuning for the pipelined tailing reader ([`ZlogClient::tail_cursor`]).
+///
+/// The cursor prefetches up to `readahead` positions beyond its delivery
+/// point with at most `max_inflight` vectored `read_batch` RADOS ops in
+/// flight — the window is the backpressure bound; a slow consumer never
+/// piles up more than `readahead` undelivered entries.
+#[derive(Debug, Clone)]
+pub struct ReadConfig {
+    /// Read-ahead window: positions prefetched beyond the delivery point.
+    pub readahead: usize,
+    /// Cap on concurrently in-flight vectored read ops.
+    pub max_inflight: usize,
+}
+
+impl Default for ReadConfig {
+    fn default() -> ReadConfig {
+        ReadConfig {
+            readahead: 64,
+            max_inflight: 4,
         }
     }
 }
@@ -108,6 +134,16 @@ pub enum ZlogOut {
     },
     /// Namespace setup finished (sequencer inode).
     SetUp(Ino),
+    /// Vectored read: per-position outcomes, in request order.
+    ReadBatch(Vec<(u64, ReadOutcome)>),
+    /// Tail-cursor batch: in-order entries from the delivery point; an
+    /// empty batch means the cursor is caught up with a fresh tail.
+    CursorBatch(Vec<(u64, ReadOutcome)>),
+    /// Checkpoint write: the position the checkpoint object now holds
+    /// (ours, or a later one that already superseded it).
+    CheckpointAt(u64),
+    /// Latest checkpoint `(position, blob)`, if one was ever taken.
+    Checkpoint(Option<(u64, Vec<u8>)>),
 }
 
 enum Stage {
@@ -134,6 +170,21 @@ enum Stage {
     WriteSeal { pos: u64 },
     /// Waiting for a storage read.
     ReadEntry,
+    /// Waiting for stripe-grouped `read_batch` calls; accumulates the
+    /// decoded per-position outcomes until every group replied.
+    ReadVector {
+        outstanding: usize,
+        results: Vec<(u64, ReadOutcome)>,
+    },
+    /// Waiting for per-stripe `trim_upto` watermark calls.
+    TrimFan { outstanding: usize },
+    /// Waiting for the checkpoint write on the checkpoint object.
+    CkptWrite,
+    /// Waiting for `checkpoint_read` on the checkpoint object.
+    CkptRead,
+    /// A cursor `next_batch` waiting for deliverable entries; progress is
+    /// owned by the cursor machinery, the watchdog only re-kicks it.
+    CursorWait,
     /// Waiting for fill/trim.
     Mutate,
     /// Waiting for the tail round trip.
@@ -164,6 +215,12 @@ struct PendingOp {
     internal: bool,
     /// History op id when a recorder is attached.
     hist: Option<u64>,
+    /// Per-position history records of a vectored read (`(id, pos)`):
+    /// each position is its own read in the checker's model.
+    multi_hist: Vec<(u64, u64)>,
+    /// Cursor this op feeds, if it is part of the tailing-reader
+    /// machinery; its conclusion routes back into the cursor.
+    cursor: Option<u64>,
     /// History op id of an open probe-seal fill (see
     /// [`Stage::WriteSeal`]): the fill mutates the cell, so it records as
     /// its own history op even though the append's state machine drives
@@ -212,12 +269,66 @@ enum BatchStage {
 #[derive(Debug, Clone)]
 enum OpKind {
     Setup,
-    Append { data: Vec<u8> },
-    Read { pos: u64 },
-    Fill { pos: u64 },
-    Trim { pos: u64 },
+    Append {
+        data: Vec<u8>,
+    },
+    Read {
+        pos: u64,
+    },
+    ReadBatch {
+        positions: Vec<u64>,
+    },
+    Fill {
+        pos: u64,
+    },
+    Trim {
+        pos: u64,
+    },
+    /// Prefix trim: every position `< pos` becomes trimmed, fanned out as
+    /// one `trim_upto` watermark per stripe.
+    TrimUpto {
+        pos: u64,
+    },
+    Checkpoint {
+        pos: u64,
+        blob: Vec<u8>,
+    },
+    CheckpointRead,
+    /// A cursor `next_batch` waiter (the cursor id lives on the op).
+    CursorBatch,
     CheckTail,
     Recover,
+}
+
+/// One pipelined tailing reader: discovers the tail via the sequencer,
+/// prefetches entries with stripe-grouped `read_batch` ops inside a
+/// bounded window, resolves holes with the fill machinery, and hands
+/// contiguous runs to `next_batch` waiters in position order.
+struct Cursor {
+    cfg: ReadConfig,
+    /// Next position to deliver.
+    next_pos: u64,
+    /// Exclusive tail bound last learned from the sequencer.
+    tail: u64,
+    /// Start position resolved (checkpoint object consulted).
+    started: bool,
+    /// Checkpoint consult in flight.
+    ckpt_inflight: bool,
+    /// Tail refresh in flight.
+    tail_inflight: bool,
+    /// The tail was refreshed since the current waiter arrived, so
+    /// "caught up" can be answered against a fresh bound.
+    tail_fresh: bool,
+    /// Prefetched outcomes not yet delivered.
+    ready: BTreeMap<u64, ReadOutcome>,
+    /// Positions currently out in some fetch op.
+    inflight: BTreeSet<u64>,
+    /// Outstanding fetch ops (the `max_inflight` bound).
+    inflight_ops: usize,
+    /// Positions with a hole-resolving fill in flight.
+    healing: BTreeSet<u64>,
+    /// Waiting `next_batch` op and its delivery cap.
+    waiter: Option<(u64, usize)>,
 }
 
 const TOKEN_RETRY_BASE: u64 = 1 << 32;
@@ -275,6 +386,11 @@ pub struct ZlogClient {
     max_attempts: u32,
     /// Optional op-history recorder (linearizability checking).
     history: Option<Recorder<LogOp, LogRet>>,
+    /// Live tailing readers by id.
+    cursors: HashMap<u64, Cursor>,
+    next_cursor: u64,
+    /// Tailing-reader tuning for cursors created without an explicit one.
+    read_cfg: ReadConfig,
 }
 
 impl ZlogClient {
@@ -307,7 +423,17 @@ impl ZlogClient {
             op_deadline: SimDuration::from_secs(60),
             max_attempts: 16,
             history: None,
+            cursors: HashMap::new(),
+            next_cursor: 1,
+            read_cfg: ReadConfig::default(),
         }
+    }
+
+    /// Creates a client with non-default tailing-reader tuning.
+    pub fn with_read_config(config: ZlogConfig, read: ReadConfig) -> ZlogClient {
+        let mut client = ZlogClient::new(config);
+        client.read_cfg = read;
+        client
     }
 
     /// Creates a client with non-default pipelined-append tuning.
@@ -365,6 +491,8 @@ impl ZlogClient {
                 watch: None,
                 internal: false,
                 hist,
+                multi_hist: Vec::new(),
+                cursor: None,
                 seal_hist: None,
                 span: None,
                 queue_span: None,
@@ -471,8 +599,127 @@ impl ZlogClient {
     /// Reads `pos`; resolves to [`ZlogOut::Read`].
     pub fn read(&mut self, ctx: &mut Context<'_>, pos: u64) -> u64 {
         let op = self.begin(ctx, OpKind::Read { pos }, Stage::ReadEntry);
+        let span = ctx.span_start("zlog.read", None);
+        if let Some(pending) = self.ops.get_mut(&op) {
+            pending.span = Some(span);
+        }
         self.step_storage_simple(ctx, op);
         op
+    }
+
+    /// Vectored read: one `read_batch` RADOS op per stripe object covers
+    /// the whole position vector. Resolves to [`ZlogOut::ReadBatch`] with
+    /// a tagged outcome for every requested position, in request order —
+    /// unwritten positions come back as [`ReadOutcome::NotWritten`], not
+    /// as errors.
+    pub fn read_batch(&mut self, ctx: &mut Context<'_>, positions: Vec<u64>) -> u64 {
+        let op = self.begin(
+            ctx,
+            OpKind::ReadBatch { positions },
+            Stage::ReadVector {
+                outstanding: 0,
+                results: Vec::new(),
+            },
+        );
+        let span = ctx.span_start("zlog.read_batch", None);
+        if let Some(pending) = self.ops.get_mut(&op) {
+            pending.span = Some(span);
+        }
+        self.record_batch_reads(ctx, op);
+        self.step_read_batch(ctx, op);
+        op
+    }
+
+    /// Prefix trim: every position strictly below `pos` becomes trimmed,
+    /// one `trim_upto` watermark call per stripe object (O(1) state per
+    /// stripe; covered omap entries are purged for space reclaim).
+    /// Resolves to [`ZlogOut::Done`].
+    pub fn trim_to(&mut self, ctx: &mut Context<'_>, pos: u64) -> u64 {
+        let op = self.begin(
+            ctx,
+            OpKind::TrimUpto { pos },
+            Stage::TrimFan { outstanding: 0 },
+        );
+        self.step_trim_upto(ctx, op);
+        op
+    }
+
+    /// Persists `(pos, blob)` on the per-log checkpoint object: `blob`
+    /// captures the state after applying positions `[0, pos)`. The
+    /// checkpoint only ever advances; resolves to
+    /// [`ZlogOut::CheckpointAt`] with the position now held.
+    pub fn checkpoint(&mut self, ctx: &mut Context<'_>, pos: u64, blob: Vec<u8>) -> u64 {
+        let op = self.begin(ctx, OpKind::Checkpoint { pos, blob }, Stage::CkptWrite);
+        self.step_checkpoint(ctx, op);
+        op
+    }
+
+    /// Reads the latest checkpoint; resolves to [`ZlogOut::Checkpoint`]
+    /// (`None` when no checkpoint was ever taken).
+    pub fn checkpoint_read(&mut self, ctx: &mut Context<'_>) -> u64 {
+        let op = self.begin(ctx, OpKind::CheckpointRead, Stage::CkptRead);
+        self.step_ckpt_read(ctx, op);
+        op
+    }
+
+    /// Creates a pipelined tailing reader and returns its cursor id. The
+    /// cursor starts from the latest checkpoint position (position 0 when
+    /// none exists), discovers the tail via the sequencer, and prefetches
+    /// within the client's [`ReadConfig`] window. Drive it with
+    /// [`ZlogClient::cursor_next_batch`].
+    pub fn tail_cursor(&mut self, ctx: &mut Context<'_>) -> u64 {
+        let id = self.next_cursor;
+        self.next_cursor += 1;
+        self.cursors.insert(
+            id,
+            Cursor {
+                cfg: self.read_cfg.clone(),
+                next_pos: 0,
+                tail: 0,
+                started: false,
+                ckpt_inflight: false,
+                tail_inflight: false,
+                tail_fresh: false,
+                ready: BTreeMap::new(),
+                inflight: BTreeSet::new(),
+                inflight_ops: 0,
+                healing: BTreeSet::new(),
+                waiter: None,
+            },
+        );
+        self.drive_cursor(ctx, id);
+        id
+    }
+
+    /// Requests the next in-order batch (at most `max` entries) from
+    /// cursor `id`; resolves to [`ZlogOut::CursorBatch`]. An empty batch
+    /// means the cursor is caught up with a freshly read tail. Holes
+    /// below the tail are resolved (junk-filled, then re-read) before
+    /// delivery, so entries always arrive in contiguous position order.
+    pub fn cursor_next_batch(&mut self, ctx: &mut Context<'_>, id: u64, max: usize) -> u64 {
+        let op = self.begin(ctx, OpKind::CursorBatch, Stage::CursorWait);
+        let span = ctx.span_start("zlog.cursor_batch", None);
+        if let Some(pending) = self.ops.get_mut(&op) {
+            pending.span = Some(span);
+            pending.cursor = Some(id);
+        }
+        let Some(cursor) = self.cursors.get_mut(&id) else {
+            self.fail(ctx, op, format!("no such cursor {id}"));
+            return op;
+        };
+        cursor.tail_fresh = false;
+        let old = cursor.waiter.replace((op, max.max(1)));
+        if let Some((old_op, _)) = old {
+            // One waiter at a time; a superseded one fails cleanly.
+            self.fail(ctx, old_op, "superseded by a newer next_batch");
+        }
+        self.drive_cursor(ctx, id);
+        op
+    }
+
+    /// The next position cursor `id` will deliver, if the cursor exists.
+    pub fn cursor_pos(&self, id: u64) -> Option<u64> {
+        self.cursors.get(&id).map(|c| c.next_pos)
     }
 
     /// Junk-fills `pos`; resolves to [`ZlogOut::Done`].
@@ -639,6 +886,22 @@ impl ZlogClient {
             if let Some(id) = pending.seal_hist {
                 rec.info(id, now, None, "fill outcome unknown");
             }
+            // A vectored read closes one record per position. Reads have
+            // no side effects, so a dead batch is a definite failure.
+            if !pending.multi_hist.is_empty() {
+                let by_pos: HashMap<u64, &ReadOutcome> = match &result {
+                    AppendResult::Ok(ZlogOut::ReadBatch(entries)) => {
+                        entries.iter().map(|(p, o)| (*p, o)).collect()
+                    }
+                    _ => HashMap::new(),
+                };
+                for (id, pos) in &pending.multi_hist {
+                    match by_pos.get(pos) {
+                        Some(o) => rec.ok(*id, now, LogRet::Read(log_read_of(o))),
+                        None => rec.fail(*id, now, "batch read failed"),
+                    }
+                }
+            }
             if let Some(hist) = pending.hist {
                 match &result {
                     AppendResult::Ok(out) => {
@@ -658,6 +921,9 @@ impl ZlogClient {
                                 | Stage::WriteProbe { pos }
                                 | Stage::WriteSeal { pos } => Some(Some(LogRet::Pos(*pos))),
                                 Stage::Mutate => Some(None),
+                                // A trim fan with any stripe outstanding may
+                                // have trimmed a prefix of the range already.
+                                Stage::TrimFan { .. } => Some(None),
                                 Stage::InBatch => self
                                     .inflight_batch_pos(op)
                                     .map(|pos| Some(LogRet::Pos(pos))),
@@ -671,6 +937,9 @@ impl ZlogClient {
                     }
                 }
             }
+        }
+        if let Some(cid) = pending.cursor {
+            self.on_cursor_op_done(ctx, cid, op, &pending.kind, &result);
         }
         if pending.internal {
             // Hole fills complete silently; EEXIST ("already written") is
@@ -812,6 +1081,348 @@ impl ZlogClient {
             }
             _ => {}
         }
+    }
+
+    /// The per-log checkpoint object (not a stripe: seals never touch it,
+    /// so checkpoint traffic survives recovery untouched).
+    fn ckpt_oid(&self) -> ObjectId {
+        ObjectId::new(
+            self.config.pool.clone(),
+            format!("{}.ckpt", self.config.name),
+        )
+    }
+
+    /// (Re-)issues a vectored read: the op's position vector grouped by
+    /// stripe, one `read_batch` RADOS op per stripe object.
+    fn step_read_batch(&mut self, ctx: &mut Context<'_>, op: u64) {
+        let Some(pending) = self.ops.get_mut(&op) else {
+            return;
+        };
+        let OpKind::ReadBatch { positions } = pending.kind.clone() else {
+            return;
+        };
+        if positions.is_empty() {
+            self.finish(ctx, op, AppendResult::Ok(ZlogOut::ReadBatch(Vec::new())));
+            return;
+        }
+        let width = u64::from(self.config.stripe_width).max(1);
+        let mut groups: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for pos in positions {
+            groups.entry(pos % width).or_default().push(pos);
+        }
+        pending.stage = Stage::ReadVector {
+            outstanding: groups.len(),
+            results: Vec::new(),
+        };
+        let epoch = self.epoch;
+        for group in groups.into_values() {
+            let oid = self.stripe_oid(group[0]);
+            ctx.metrics().incr("rados.read_batch_ops", 1);
+            ctx.metrics()
+                .incr("rados.read_batch_positions", group.len() as u64);
+            let input = String::from_utf8_lossy(&encode_read_batch(epoch, &group)).into_owned();
+            self.call_class(ctx, op, oid, "read_batch", input);
+        }
+    }
+
+    /// (Re-)issues the per-stripe `trim_upto` fan of a prefix trim.
+    fn step_trim_upto(&mut self, ctx: &mut Context<'_>, op: u64) {
+        let Some(pending) = self.ops.get_mut(&op) else {
+            return;
+        };
+        let OpKind::TrimUpto { pos } = pending.kind else {
+            return;
+        };
+        if pos == 0 {
+            self.finish(ctx, op, AppendResult::Ok(ZlogOut::Done));
+            return;
+        }
+        let width = u64::from(self.config.stripe_width).max(1);
+        let last = pos - 1;
+        // Per stripe: the greatest position <= last living there, if any.
+        let mut targets: Vec<u64> = Vec::new();
+        for s in 0..width {
+            let delta = (last % width + width - s) % width;
+            if let Some(p) = last.checked_sub(delta) {
+                targets.push(p);
+            }
+        }
+        pending.stage = Stage::TrimFan {
+            outstanding: targets.len(),
+        };
+        let epoch = self.epoch;
+        for p in targets {
+            let oid = self.stripe_oid(p);
+            self.call_class(ctx, op, oid, "trim_upto", format!("{epoch}|{p}"));
+        }
+    }
+
+    fn step_checkpoint(&mut self, ctx: &mut Context<'_>, op: u64) {
+        let Some(pending) = self.ops.get(&op) else {
+            return;
+        };
+        let OpKind::Checkpoint { pos, blob } = pending.kind.clone() else {
+            return;
+        };
+        let epoch = self.epoch;
+        let input = String::from_utf8_lossy(&encode_checkpoint(epoch, pos, &blob)).into_owned();
+        let oid = self.ckpt_oid();
+        self.call_class(ctx, op, oid, "checkpoint", input);
+    }
+
+    fn step_ckpt_read(&mut self, ctx: &mut Context<'_>, op: u64) {
+        let oid = self.ckpt_oid();
+        self.call_class(ctx, op, oid, "checkpoint_read", String::new());
+    }
+
+    /// Records one history read per position of a vectored read op, so
+    /// the checker sees each position's observation individually.
+    fn record_batch_reads(&mut self, ctx: &mut Context<'_>, op: u64) {
+        let Some(rec) = &self.history else {
+            return;
+        };
+        let Some(pending) = self.ops.get(&op) else {
+            return;
+        };
+        let OpKind::ReadBatch { positions } = &pending.kind else {
+            return;
+        };
+        let client = u64::from(ctx.me().0);
+        let now = ctx.now();
+        let ids: Vec<(u64, u64)> = positions
+            .iter()
+            .map(|&pos| (rec.invoke(client, now, LogOp::Read { pos }), pos))
+            .collect();
+        if let Some(pending) = self.ops.get_mut(&op) {
+            pending.multi_hist = ids;
+        }
+    }
+
+    // ---- tailing cursors ----
+
+    /// Advances cursor `id` as far as current state allows: resolve the
+    /// checkpointed start, serve the waiter a contiguous run (or a fresh
+    /// "caught up"), and keep the prefetch window full.
+    fn drive_cursor(&mut self, ctx: &mut Context<'_>, id: u64) {
+        {
+            let Some(cursor) = self.cursors.get(&id) else {
+                return;
+            };
+            if !cursor.started {
+                if !cursor.ckpt_inflight {
+                    self.spawn_cursor_ckpt(ctx, id);
+                }
+                return;
+            }
+        }
+        // Delivery: a contiguous run from the delivery point, capped by
+        // the waiter's batch size.
+        let mut deliver: Option<(u64, Vec<(u64, ReadOutcome)>)> = None;
+        let mut need_tail = false;
+        if let Some(cursor) = self.cursors.get_mut(&id) {
+            if let Some((op, max)) = cursor.waiter {
+                let mut entries = Vec::new();
+                while entries.len() < max {
+                    let p = cursor.next_pos;
+                    match cursor.ready.remove(&p) {
+                        Some(o) => {
+                            entries.push((p, o));
+                            cursor.next_pos += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if !entries.is_empty() {
+                    cursor.waiter = None;
+                    deliver = Some((op, entries));
+                } else if cursor.next_pos >= cursor.tail {
+                    if cursor.tail_fresh {
+                        // Caught up against a freshly read tail.
+                        cursor.waiter = None;
+                        deliver = Some((op, Vec::new()));
+                    } else if !cursor.tail_inflight {
+                        need_tail = true;
+                    }
+                }
+            }
+        }
+        if need_tail {
+            self.spawn_cursor_tail(ctx, id);
+        }
+        if let Some((op, entries)) = deliver {
+            ctx.metrics()
+                .incr("zlog.cursor_entries", entries.len() as u64);
+            self.finish(ctx, op, AppendResult::Ok(ZlogOut::CursorBatch(entries)));
+        }
+        // Prefetch: fill the read-ahead window, one fetch op per stripe
+        // group, without exceeding the in-flight cap.
+        let mut groups: Vec<Vec<u64>> = Vec::new();
+        {
+            let Some(cursor) = self.cursors.get(&id) else {
+                return;
+            };
+            let width = u64::from(self.config.stripe_width).max(1);
+            let hi = cursor
+                .tail
+                .min(cursor.next_pos + cursor.cfg.readahead.max(1) as u64);
+            let mut by_stripe: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+            for p in cursor.next_pos..hi {
+                if !cursor.ready.contains_key(&p)
+                    && !cursor.inflight.contains(&p)
+                    && !cursor.healing.contains(&p)
+                {
+                    by_stripe.entry(p % width).or_default().push(p);
+                }
+            }
+            groups.extend(by_stripe.into_values());
+        }
+        for group in groups {
+            let below_cap = self
+                .cursors
+                .get(&id)
+                .is_some_and(|c| c.inflight_ops < c.cfg.max_inflight.max(1));
+            if !below_cap {
+                break;
+            }
+            self.spawn_cursor_fetch(ctx, id, group);
+        }
+    }
+
+    /// Internal checkpoint consult resolving the cursor's start position.
+    fn spawn_cursor_ckpt(&mut self, ctx: &mut Context<'_>, id: u64) {
+        if let Some(cursor) = self.cursors.get_mut(&id) {
+            cursor.ckpt_inflight = true;
+        }
+        let op = self.begin(ctx, OpKind::CheckpointRead, Stage::CkptRead);
+        if let Some(pending) = self.ops.get_mut(&op) {
+            pending.internal = true;
+            pending.cursor = Some(id);
+        }
+        self.step_ckpt_read(ctx, op);
+    }
+
+    /// Internal tail read refreshing the cursor's upper bound.
+    fn spawn_cursor_tail(&mut self, ctx: &mut Context<'_>, id: u64) {
+        if let Some(cursor) = self.cursors.get_mut(&id) {
+            cursor.tail_inflight = true;
+        }
+        let op = self.begin(ctx, OpKind::CheckTail, Stage::Tail);
+        if let Some(pending) = self.ops.get_mut(&op) {
+            pending.internal = true;
+            pending.cursor = Some(id);
+        }
+        self.step_tail(ctx, op);
+    }
+
+    /// Internal vectored read prefetching one stripe group.
+    fn spawn_cursor_fetch(&mut self, ctx: &mut Context<'_>, id: u64, positions: Vec<u64>) {
+        let op = self.begin(
+            ctx,
+            OpKind::ReadBatch {
+                positions: positions.clone(),
+            },
+            Stage::ReadVector {
+                outstanding: 0,
+                results: Vec::new(),
+            },
+        );
+        let span = ctx.span_start("zlog.read_batch", None);
+        if let Some(pending) = self.ops.get_mut(&op) {
+            pending.internal = true;
+            pending.cursor = Some(id);
+            pending.span = Some(span);
+        }
+        self.record_batch_reads(ctx, op);
+        if let Some(cursor) = self.cursors.get_mut(&id) {
+            cursor.inflight_ops += 1;
+            cursor.inflight.extend(positions);
+        }
+        self.step_read_batch(ctx, op);
+    }
+
+    /// Internal fill resolving a hole the cursor found below the tail
+    /// (an append abandoned its grant; fence the cell so delivery can
+    /// proceed — the re-read then observes Filled, or the racing write
+    /// that beat the fill).
+    fn spawn_cursor_heal(&mut self, ctx: &mut Context<'_>, id: u64, pos: u64) {
+        if let Some(cursor) = self.cursors.get_mut(&id) {
+            cursor.healing.insert(pos);
+        }
+        ctx.metrics().incr("zlog.cursor_hole_fills", 1);
+        let op = self.begin(ctx, OpKind::Fill { pos }, Stage::Mutate);
+        if let Some(pending) = self.ops.get_mut(&op) {
+            pending.internal = true;
+            pending.cursor = Some(id);
+        }
+        self.step_storage_simple(ctx, op);
+    }
+
+    /// A cursor-owned op concluded: fold its result into the cursor and
+    /// re-drive.
+    fn on_cursor_op_done(
+        &mut self,
+        ctx: &mut Context<'_>,
+        id: u64,
+        op: u64,
+        kind: &OpKind,
+        result: &AppendResult,
+    ) {
+        let mut heal: Vec<u64> = Vec::new();
+        {
+            let Some(cursor) = self.cursors.get_mut(&id) else {
+                return;
+            };
+            match kind {
+                OpKind::CheckpointRead => {
+                    cursor.ckpt_inflight = false;
+                    if let AppendResult::Ok(ZlogOut::Checkpoint(ckpt)) = result {
+                        cursor.started = true;
+                        let start = ckpt.as_ref().map(|(p, _)| *p).unwrap_or(0);
+                        cursor.next_pos = start;
+                        cursor.tail = cursor.tail.max(start);
+                    }
+                    // On failure the cursor stays unstarted and the next
+                    // drive (waiter watchdog) retries the consult.
+                }
+                OpKind::CheckTail => {
+                    cursor.tail_inflight = false;
+                    if let AppendResult::Ok(ZlogOut::Tail(t)) = result {
+                        cursor.tail = cursor.tail.max(*t);
+                        cursor.tail_fresh = true;
+                    }
+                }
+                OpKind::ReadBatch { positions } => {
+                    cursor.inflight_ops = cursor.inflight_ops.saturating_sub(1);
+                    for p in positions {
+                        cursor.inflight.remove(p);
+                    }
+                    if let AppendResult::Ok(ZlogOut::ReadBatch(entries)) = result {
+                        let tail = cursor.tail;
+                        for (p, o) in entries {
+                            if matches!(o, ReadOutcome::NotWritten) && *p < tail {
+                                if !cursor.healing.contains(p) {
+                                    heal.push(*p);
+                                }
+                            } else {
+                                cursor.ready.insert(*p, o.clone());
+                            }
+                        }
+                    }
+                    // A failed fetch simply re-enters the needed set.
+                }
+                OpKind::Fill { pos } => {
+                    cursor.healing.remove(pos);
+                }
+                OpKind::CursorBatch if cursor.waiter.is_some_and(|(w, _)| w == op) => {
+                    cursor.waiter = None;
+                }
+                _ => {}
+            }
+        }
+        for p in heal {
+            self.spawn_cursor_heal(ctx, id, p);
+        }
+        self.drive_cursor(ctx, id);
     }
 
     // ---- ambiguous-write resolution (probe/seal) ----
@@ -961,6 +1572,17 @@ impl ZlogClient {
             },
             OpKind::Read { .. } | OpKind::Fill { .. } | OpKind::Trim { .. } => {
                 self.step_storage_simple(ctx, op)
+            }
+            OpKind::ReadBatch { .. } => self.step_read_batch(ctx, op),
+            OpKind::TrimUpto { .. } => self.step_trim_upto(ctx, op),
+            OpKind::Checkpoint { .. } => self.step_checkpoint(ctx, op),
+            OpKind::CheckpointRead => self.step_ckpt_read(ctx, op),
+            OpKind::CursorBatch => {
+                // The waiter owns no in-flight requests; re-kick the
+                // cursor machinery instead.
+                if let Some(id) = self.ops.get(&op).and_then(|p| p.cursor) {
+                    self.drive_cursor(ctx, id);
+                }
             }
             OpKind::CheckTail => self.step_tail(ctx, op),
             OpKind::Setup => {
@@ -1157,6 +1779,91 @@ impl ZlogClient {
                     self.fail(ctx, op, "position already written")
                 }
                 Err(e) => self.fail(ctx, op, format!("mutation failed: {e}")),
+            },
+            Stage::ReadVector {
+                outstanding,
+                results,
+            } => match result {
+                Ok(outs) => {
+                    let Some(OpResult::CallOut(bytes)) = outs.first() else {
+                        self.restart_op(ctx, op);
+                        return;
+                    };
+                    match decode_read_batch(bytes) {
+                        Ok(part) => {
+                            results.extend(part);
+                            *outstanding = outstanding.saturating_sub(1);
+                            if *outstanding == 0 {
+                                let OpKind::ReadBatch { positions } = pending.kind.clone() else {
+                                    return;
+                                };
+                                let got: HashMap<u64, ReadOutcome> = results.drain(..).collect();
+                                let mut ordered = Vec::with_capacity(positions.len());
+                                for p in &positions {
+                                    match got.get(p) {
+                                        Some(o) => ordered.push((*p, o.clone())),
+                                        None => {
+                                            // A group replied without one of
+                                            // its positions: malformed;
+                                            // re-issue the vector.
+                                            self.restart_op(ctx, op);
+                                            return;
+                                        }
+                                    }
+                                }
+                                self.finish(ctx, op, AppendResult::Ok(ZlogOut::ReadBatch(ordered)));
+                            }
+                        }
+                        Err(_) => self.restart_op(ctx, op),
+                    }
+                }
+                Err(_) => self.restart_op(ctx, op),
+            },
+            Stage::TrimFan { outstanding } => match result {
+                Ok(_) => {
+                    *outstanding = outstanding.saturating_sub(1);
+                    if *outstanding == 0 {
+                        self.finish(ctx, op, AppendResult::Ok(ZlogOut::Done));
+                    }
+                }
+                // trim_upto is idempotent: any stripe error re-issues the
+                // whole fan.
+                Err(_) => self.restart_op(ctx, op),
+            },
+            Stage::CkptWrite => match result {
+                Ok(outs) => {
+                    let held = match outs.first() {
+                        Some(OpResult::CallOut(bytes)) => {
+                            String::from_utf8_lossy(bytes).parse::<u64>().ok()
+                        }
+                        _ => None,
+                    };
+                    match held {
+                        Some(held) => {
+                            self.finish(ctx, op, AppendResult::Ok(ZlogOut::CheckpointAt(held)))
+                        }
+                        None => self.restart_op(ctx, op),
+                    }
+                }
+                Err(OsdError::Class(ce)) => {
+                    self.fail(ctx, op, format!("checkpoint rejected: {}", ce.message))
+                }
+                Err(_) => self.restart_op(ctx, op),
+            },
+            Stage::CkptRead => match result {
+                Ok(outs) => {
+                    let decoded = match outs.first() {
+                        Some(OpResult::CallOut(bytes)) => decode_checkpoint(bytes).ok(),
+                        _ => None,
+                    };
+                    match decoded {
+                        Some(ckpt) => {
+                            self.finish(ctx, op, AppendResult::Ok(ZlogOut::Checkpoint(ckpt)))
+                        }
+                        None => self.restart_op(ctx, op),
+                    }
+                }
+                Err(_) => self.restart_op(ctx, op),
             },
             Stage::RecoverSeal {
                 outstanding,
@@ -1873,7 +2580,15 @@ fn log_op_of(kind: &OpKind) -> Option<LogOp> {
         OpKind::Fill { pos } => Some(LogOp::Fill { pos: *pos }),
         OpKind::Trim { pos } => Some(LogOp::Trim { pos: *pos }),
         OpKind::CheckTail => Some(LogOp::ReadTail),
-        OpKind::Setup | OpKind::Recover => None,
+        OpKind::TrimUpto { pos } => Some(LogOp::TrimTo { pos: *pos }),
+        // Batch reads record per-position (see `multi_hist`); checkpoint and
+        // cursor plumbing are administrative.
+        OpKind::ReadBatch { .. }
+        | OpKind::Checkpoint { .. }
+        | OpKind::CheckpointRead
+        | OpKind::CursorBatch
+        | OpKind::Setup
+        | OpKind::Recover => None,
     }
 }
 
@@ -1883,7 +2598,12 @@ fn log_ret_of(out: &ZlogOut) -> Option<LogRet> {
         ZlogOut::Read(o) => Some(LogRet::Read(log_read_of(o))),
         ZlogOut::Done => Some(LogRet::Done),
         ZlogOut::Tail(t) => Some(LogRet::Tail(*t)),
-        ZlogOut::Recovered { .. } | ZlogOut::SetUp(_) => None,
+        ZlogOut::Recovered { .. }
+        | ZlogOut::SetUp(_)
+        | ZlogOut::ReadBatch(_)
+        | ZlogOut::CursorBatch(_)
+        | ZlogOut::CheckpointAt(_)
+        | ZlogOut::Checkpoint(_) => None,
     }
 }
 

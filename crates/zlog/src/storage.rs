@@ -29,6 +29,27 @@
 //! (a written position, or a duplicate inside the batch) rejects the
 //! whole call with `EEXIST` before anything is applied, and a sealed
 //! epoch rejects it with `ESTALE`.
+//!
+//! `read_batch` is the vectored read mirror: `epoch|pos,pos,...` in, one
+//! epoch check for the whole vector, and a tagged result per position
+//! out — `n|` followed by `n` entries `pos|tag|len|payload` where the
+//! tag is `D` (data), `F` (junk fill), `T` (trimmed), or `U` (unwritten)
+//! and `len` is the payload byte length (0 for non-data tags). Unlike
+//! the single `read`, unwritten positions are *not* an error: a reader
+//! catching up wants the tagged hole, not a round trip per `ENOENT`.
+//!
+//! Trim carries a *prefix watermark* besides the per-position `trim`:
+//! `trim_upto` (`epoch|pos`) marks every position `<= pos` on this
+//! stripe trimmed in O(1) state (the `trimlo` xattr) and purges their
+//! omap entries for space reclaim. Reads at or below the watermark
+//! report `T`; writes and fills there bounce with `EEXIST` (the cell's
+//! history is gone, it can never be written again).
+//!
+//! `checkpoint`/`checkpoint_read` persist `(position, blob)` snapshots
+//! on a *per-log checkpoint object* (not a stripe object): `checkpoint`
+//! takes `epoch|pos|len|blob` and only ever advances (a stale snapshot
+//! writer cannot roll the checkpoint back), `checkpoint_read` returns
+//! `pos|len|blob` (`-1|0|` when none was ever taken).
 
 use mala_consensus::{MapUpdate, SERVICE_MAP_INTERFACES};
 
@@ -40,9 +61,10 @@ pub const ZLOG_CLASS_SOURCE: &str = r#"
 -- CORFU storage interface for one stripe object.
 -- Entry keys are zero-padded so omap order == position order.
 -- Entry values are tagged: "D|<payload>" data, "F|" filled junk,
--- "T|" trimmed.
+-- "T|" trimmed. The "trimlo" xattr is the prefix-trim watermark:
+-- every position <= trimlo is trimmed, its omap entry purged.
 
-__readonly = {"maxpos", "read"}
+__readonly = {"maxpos", "read", "read_batch", "checkpoint_read"}
 
 function pad(pos)
     local s = fmt(pos)
@@ -67,12 +89,21 @@ function bump_maxpos(pos)
     end
 end
 
+function trim_floor()
+    local lo = tonumber(xattr_get("trimlo"))
+    if lo == nil then return -1 end
+    return lo
+end
+
 function write(input)
     local parts = split(input, "|")
     local e = tonumber(parts[1])
     local pos = tonumber(parts[2])
     if e == nil or pos == nil then error("EINVAL: bad write input") end
     check_epoch(e)
+    if pos <= trim_floor() then
+        error("EEXIST: position " .. fmt(pos) .. " trimmed")
+    end
     local key = pad(pos)
     local cur = omap_get(key)
     if cur ~= nil then
@@ -108,6 +139,7 @@ function write_batch(input)
         error("EINVAL: bad write_batch input")
     end
     check_epoch(e)
+    local lo = trim_floor()
     local keys = {}
     local vals = {}
     local hi = nil
@@ -123,6 +155,9 @@ function write_batch(input)
         s = sub(s, i + 1)
         if pos == nil or len == nil or len < 0 or #s < len then
             error("EINVAL: short write_batch entry")
+        end
+        if pos <= lo then
+            error("EEXIST: position " .. fmt(pos) .. " trimmed")
         end
         local key = pad(pos)
         if omap_get(key) ~= nil then
@@ -156,11 +191,48 @@ function read(input)
     local pos = tonumber(parts[2])
     if e == nil or pos == nil then error("EINVAL: bad read input") end
     check_epoch(e)
+    if pos <= trim_floor() then return "T|" end
     local v = omap_get(pad(pos))
     if v == nil then
         error("ENOENT: position " .. fmt(pos) .. " not written")
     end
     return v
+end
+
+-- Vectored read: "epoch|pos,pos,...". One epoch check covers the whole
+-- vector. Every requested position yields a tagged entry — "n|" then n
+-- entries "pos|tag|len|payload" back to back, tag D/F/T/U — so holes
+-- come back as U instead of burning a round trip on ENOENT.
+function read_batch(input)
+    local i = find(input, "|")
+    if i == nil then error("EINVAL: bad read_batch input") end
+    local e = tonumber(sub(input, 1, i - 1))
+    if e == nil then error("EINVAL: bad read_batch input") end
+    check_epoch(e)
+    local ps = split(sub(input, i + 1), ",")
+    local lo = trim_floor()
+    local out = ""
+    local n = 0
+    local k = 1
+    while ps[k] ~= nil do
+        local pos = tonumber(ps[k])
+        if pos == nil then error("EINVAL: bad read_batch position") end
+        if pos <= lo then
+            out = out .. fmt(pos) .. "|T|0|"
+        else
+            local v = omap_get(pad(pos))
+            if v == nil then
+                out = out .. fmt(pos) .. "|U|0|"
+            else
+                local payload = sub(v, 3)
+                out = out .. fmt(pos) .. "|" .. sub(v, 1, 1) .. "|" .. fmt(#payload) .. "|" .. payload
+            end
+        end
+        n = n + 1
+        k = k + 1
+    end
+    if n == 0 then error("EINVAL: empty read_batch") end
+    return fmt(n) .. "|" .. out
 end
 
 function fill(input)
@@ -169,6 +241,9 @@ function fill(input)
     local pos = tonumber(parts[2])
     if e == nil or pos == nil then error("EINVAL: bad fill input") end
     check_epoch(e)
+    if pos <= trim_floor() then
+        error("EEXIST: position " .. fmt(pos) .. " trimmed")
+    end
     local key = pad(pos)
     local cur = omap_get(key)
     if cur ~= nil then
@@ -186,9 +261,64 @@ function trim(input)
     local pos = tonumber(parts[2])
     if e == nil or pos == nil then error("EINVAL: bad trim input") end
     check_epoch(e)
+    if pos <= trim_floor() then return "ok" end
     omap_set(pad(pos), "T|")
     bump_maxpos(pos)
     return "ok"
+end
+
+-- Prefix trim: every position <= pos on this stripe becomes trimmed in
+-- one call. The watermark is O(1) state; purging the covered omap
+-- entries reclaims their space. Monotone and idempotent.
+function trim_upto(input)
+    local parts = split(input, "|")
+    local e = tonumber(parts[1])
+    local pos = tonumber(parts[2])
+    if e == nil or pos == nil then error("EINVAL: bad trim_upto input") end
+    check_epoch(e)
+    if pos > trim_floor() then
+        xattr_set("trimlo", fmt(pos))
+        bump_maxpos(pos)
+    end
+    return fmt(omap_del_range("e", pad(pos)))
+end
+
+-- Checkpoint persistence (lives on the per-log checkpoint object, not a
+-- stripe object). "epoch|pos|len|blob": records that `blob` captures
+-- the log prefix [0, pos). Only ever advances — a slow writer with an
+-- older snapshot cannot roll the checkpoint back. Returns the position
+-- now held.
+function checkpoint(input)
+    local i = find(input, "|")
+    if i == nil then error("EINVAL: bad checkpoint input") end
+    local e = tonumber(sub(input, 1, i - 1))
+    local s = sub(input, i + 1)
+    i = find(s, "|")
+    if i == nil then error("EINVAL: bad checkpoint input") end
+    local pos = tonumber(sub(s, 1, i - 1))
+    s = sub(s, i + 1)
+    i = find(s, "|")
+    if i == nil then error("EINVAL: bad checkpoint input") end
+    local len = tonumber(sub(s, 1, i - 1))
+    s = sub(s, i + 1)
+    if e == nil or pos == nil or len == nil or len < 0 or #s < len then
+        error("EINVAL: bad checkpoint input")
+    end
+    check_epoch(e)
+    local cur = tonumber(xattr_get("ckpt_pos"))
+    if cur ~= nil and pos <= cur then return fmt(cur) end
+    xattr_set("ckpt_pos", fmt(pos))
+    omap_set("ckpt", sub(s, 1, len))
+    return fmt(pos)
+end
+
+-- Latest checkpoint as "pos|len|blob", or "-1|0|" before the first one.
+function checkpoint_read(input)
+    local pos = xattr_get("ckpt_pos")
+    if pos == nil then return "-1|0|" end
+    local blob = omap_get("ckpt")
+    if blob == nil then blob = "" end
+    return pos .. "|" .. fmt(#blob) .. "|" .. blob
 end
 
 function seal(input)
@@ -225,6 +355,102 @@ pub fn encode_write_batch(epoch: u64, entries: &[(u64, &[u8])]) -> Vec<u8> {
         out.extend_from_slice(text.as_bytes());
     }
     out
+}
+
+/// Encodes a `read_batch` input: `epoch|pos,pos,...`.
+pub fn encode_read_batch(epoch: u64, positions: &[u64]) -> Vec<u8> {
+    let list = positions
+        .iter()
+        .map(|p| p.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{epoch}|{list}").into_bytes()
+}
+
+/// Decodes a `read_batch` reply: `n|` then `n` entries of
+/// `pos|tag|len|payload`, tag one of D/F/T/U. Lengths count bytes of the
+/// lossy-decoded text the class operated on, matching [`encode_write_batch`].
+pub fn decode_read_batch(bytes: &[u8]) -> Result<Vec<(u64, crate::log::ReadOutcome)>, String> {
+    use crate::log::ReadOutcome;
+    let text = String::from_utf8_lossy(bytes);
+    let s = text.as_ref();
+    let take = |s: &str, what: &str| -> Result<(String, usize), String> {
+        let i = s
+            .find('|')
+            .ok_or_else(|| format!("read_batch reply: missing {what}"))?;
+        Ok((s[..i].to_string(), i + 1))
+    };
+    let (n_str, mut off) = take(s, "count")?;
+    let n: usize = n_str
+        .parse()
+        .map_err(|_| format!("read_batch reply: bad count {n_str:?}"))?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (pos_str, adv) = take(&s[off..], "position")?;
+        off += adv;
+        let pos: u64 = pos_str
+            .parse()
+            .map_err(|_| format!("read_batch reply: bad position {pos_str:?}"))?;
+        let (tag, adv) = take(&s[off..], "tag")?;
+        off += adv;
+        let (len_str, adv) = take(&s[off..], "length")?;
+        off += adv;
+        let len: usize = len_str
+            .parse()
+            .map_err(|_| format!("read_batch reply: bad length {len_str:?}"))?;
+        if s.len() < off + len {
+            return Err("read_batch reply: truncated payload".into());
+        }
+        let payload = s.as_bytes()[off..off + len].to_vec();
+        off += len;
+        let outcome = match tag.as_str() {
+            "D" => ReadOutcome::Data(payload),
+            "F" => ReadOutcome::Filled,
+            "T" => ReadOutcome::Trimmed,
+            "U" => ReadOutcome::NotWritten,
+            other => return Err(format!("read_batch reply: unknown tag {other:?}")),
+        };
+        out.push((pos, outcome));
+    }
+    Ok(out)
+}
+
+/// Encodes a `checkpoint` input: `epoch|pos|len|blob`, `len` counting the
+/// bytes of the lossy-decoded blob text (same convention as write_batch).
+pub fn encode_checkpoint(epoch: u64, pos: u64, blob: &[u8]) -> Vec<u8> {
+    let text = String::from_utf8_lossy(blob);
+    let mut out = format!("{epoch}|{pos}|{}|", text.len()).into_bytes();
+    out.extend_from_slice(text.as_bytes());
+    out
+}
+
+/// Decodes a `checkpoint_read` reply (`pos|len|blob`). `None` when no
+/// checkpoint has been taken yet (`-1|0|`).
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<Option<(u64, Vec<u8>)>, String> {
+    let text = String::from_utf8_lossy(bytes);
+    let s = text.as_ref();
+    let i = s
+        .find('|')
+        .ok_or_else(|| "checkpoint reply: missing position".to_string())?;
+    let pos_str = &s[..i];
+    if pos_str == "-1" {
+        return Ok(None);
+    }
+    let pos: u64 = pos_str
+        .parse()
+        .map_err(|_| format!("checkpoint reply: bad position {pos_str:?}"))?;
+    let rest = &s[i + 1..];
+    let j = rest
+        .find('|')
+        .ok_or_else(|| "checkpoint reply: missing length".to_string())?;
+    let len: usize = rest[..j]
+        .parse()
+        .map_err(|_| format!("checkpoint reply: bad length {:?}", &rest[..j]))?;
+    let blob = &rest[j + 1..];
+    if blob.len() < len {
+        return Err("checkpoint reply: truncated blob".into());
+    }
+    Ok(Some((pos, blob.as_bytes()[..len].to_vec())))
 }
 
 /// The monitor update that installs (or upgrades) the class cluster-wide.
@@ -441,6 +667,14 @@ mod tests {
             Some(MethodKind::ReadOnly)
         );
         assert_eq!(
+            reg.method_kind(ZLOG_CLASS, "read_batch"),
+            Some(MethodKind::ReadOnly)
+        );
+        assert_eq!(
+            reg.method_kind(ZLOG_CLASS, "checkpoint_read"),
+            Some(MethodKind::ReadOnly)
+        );
+        assert_eq!(
             reg.method_kind(ZLOG_CLASS, "maxpos"),
             Some(MethodKind::ReadOnly)
         );
@@ -452,5 +686,198 @@ mod tests {
             reg.method_kind(ZLOG_CLASS, "seal"),
             Some(MethodKind::ReadWrite)
         );
+        assert_eq!(
+            reg.method_kind(ZLOG_CLASS, "trim_upto"),
+            Some(MethodKind::ReadWrite)
+        );
+        assert_eq!(
+            reg.method_kind(ZLOG_CLASS, "checkpoint"),
+            Some(MethodKind::ReadWrite)
+        );
+    }
+
+    fn rb_input(epoch: u64, positions: &[u64]) -> String {
+        String::from_utf8(encode_read_batch(epoch, positions)).unwrap()
+    }
+
+    fn rb(
+        reg: &ClassRegistry,
+        slot: &mut Option<Object>,
+        epoch: u64,
+        positions: &[u64],
+    ) -> Result<Vec<(u64, crate::log::ReadOutcome)>, i32> {
+        let out = call(reg, slot, "read_batch", &rb_input(epoch, positions))?;
+        Ok(decode_read_batch(out.as_bytes()).unwrap())
+    }
+
+    #[test]
+    fn read_batch_spans_every_cell_state() {
+        use crate::log::ReadOutcome;
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        call(&reg, &mut slot, "write", "0|0|early").unwrap();
+        call(&reg, &mut slot, "write", "0|8|live|data").unwrap();
+        call(&reg, &mut slot, "fill", "0|12").unwrap();
+        call(&reg, &mut slot, "trim", "0|16").unwrap();
+        // One vector covering data, junk, trimmed, and unwritten positions.
+        let got = rb(&reg, &mut slot, 0, &[8, 12, 16, 20]).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                (8, ReadOutcome::Data(b"live|data".to_vec())),
+                (12, ReadOutcome::Filled),
+                (16, ReadOutcome::Trimmed),
+                (20, ReadOutcome::NotWritten),
+            ]
+        );
+    }
+
+    #[test]
+    fn read_batch_rejects_stale_epoch_wholesale() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        call(&reg, &mut slot, "write", "0|0|x").unwrap();
+        call(&reg, &mut slot, "seal", "4").unwrap();
+        assert_eq!(rb(&reg, &mut slot, 3, &[0, 4]), Err(-116));
+        assert!(rb(&reg, &mut slot, 4, &[0]).is_ok());
+    }
+
+    #[test]
+    fn read_batch_bad_inputs_are_einval() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        for input in ["", "0|", "0|x", "x|1", "0|1,,2"] {
+            assert_eq!(call(&reg, &mut slot, "read_batch", input), Err(-22));
+        }
+    }
+
+    #[test]
+    fn trim_upto_trims_prefix_and_purges_entries() {
+        use crate::log::ReadOutcome;
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        for pos in [0u64, 4, 8, 12] {
+            call(&reg, &mut slot, "write", &format!("0|{pos}|v{pos}")).unwrap();
+        }
+        // Trim everything through position 8: three entries purged.
+        assert_eq!(call(&reg, &mut slot, "trim_upto", "0|8"), Ok("3".into()));
+        assert_eq!(call(&reg, &mut slot, "read", "0|0"), Ok("T|".into()));
+        assert_eq!(call(&reg, &mut slot, "read", "0|8"), Ok("T|".into()));
+        assert_eq!(call(&reg, &mut slot, "read", "0|12"), Ok("D|v12".into()));
+        // Positions under the watermark read trimmed even if never written.
+        assert_eq!(call(&reg, &mut slot, "read", "0|6"), Ok("T|".into()));
+        let got = rb(&reg, &mut slot, 0, &[4, 12]).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                (4, ReadOutcome::Trimmed),
+                (12, ReadOutcome::Data(b"v12".to_vec())),
+            ]
+        );
+        // Idempotent / monotone: re-trimming a covered prefix purges nothing.
+        assert_eq!(call(&reg, &mut slot, "trim_upto", "0|4"), Ok("0".into()));
+        assert_eq!(call(&reg, &mut slot, "read", "0|12"), Ok("D|v12".into()));
+    }
+
+    #[test]
+    fn trimmed_prefix_rejects_rewrites_and_fills() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        call(&reg, &mut slot, "write", "0|4|x").unwrap();
+        call(&reg, &mut slot, "trim_upto", "0|8").unwrap();
+        assert_eq!(call(&reg, &mut slot, "write", "0|4|late"), Err(-17));
+        assert_eq!(call(&reg, &mut slot, "write", "0|8|late"), Err(-17));
+        assert_eq!(call(&reg, &mut slot, "fill", "0|0"), Err(-17));
+        assert_eq!(call(&reg, &mut slot, "trim", "0|4"), Ok("ok".into()));
+        let input = batch_input(0, &[(8, "under"), (12, "over")]);
+        assert_eq!(call(&reg, &mut slot, "write_batch", &input), Err(-17));
+        assert_eq!(call(&reg, &mut slot, "read", "0|12"), Err(-2));
+        // Writes strictly above the watermark still land.
+        assert_eq!(call(&reg, &mut slot, "write", "0|12|ok"), Ok("ok".into()));
+    }
+
+    #[test]
+    fn trim_upto_bumps_maxpos_and_respects_seal() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        call(&reg, &mut slot, "trim_upto", "0|20").unwrap();
+        assert_eq!(call(&reg, &mut slot, "maxpos", ""), Ok("20".into()));
+        call(&reg, &mut slot, "seal", "2").unwrap();
+        assert_eq!(call(&reg, &mut slot, "trim_upto", "1|40"), Err(-116));
+        assert_eq!(call(&reg, &mut slot, "read", "2|40"), Err(-2));
+    }
+
+    #[test]
+    fn checkpoint_is_monotone() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        assert_eq!(
+            call(&reg, &mut slot, "checkpoint_read", ""),
+            Ok("-1|0|".into())
+        );
+        let input = String::from_utf8(encode_checkpoint(0, 100, b"state@100")).unwrap();
+        assert_eq!(
+            call(&reg, &mut slot, "checkpoint", &input),
+            Ok("100".into())
+        );
+        // An older snapshot cannot roll the checkpoint back.
+        let stale = String::from_utf8(encode_checkpoint(0, 60, b"state@60")).unwrap();
+        assert_eq!(
+            call(&reg, &mut slot, "checkpoint", &stale),
+            Ok("100".into())
+        );
+        let out = call(&reg, &mut slot, "checkpoint_read", "").unwrap();
+        assert_eq!(
+            decode_checkpoint(out.as_bytes()).unwrap(),
+            Some((100, b"state@100".to_vec()))
+        );
+        // A newer one advances it, and blobs may contain separators.
+        let fresh = String::from_utf8(encode_checkpoint(0, 250, b"a|b|c")).unwrap();
+        assert_eq!(
+            call(&reg, &mut slot, "checkpoint", &fresh),
+            Ok("250".into())
+        );
+        let out = call(&reg, &mut slot, "checkpoint_read", "").unwrap();
+        assert_eq!(
+            decode_checkpoint(out.as_bytes()).unwrap(),
+            Some((250, b"a|b|c".to_vec()))
+        );
+    }
+
+    #[test]
+    fn checkpoint_checks_epoch_and_input() {
+        let reg = reg();
+        let mut slot = Some(Object::new());
+        call(&reg, &mut slot, "seal", "3").unwrap();
+        let stale = String::from_utf8(encode_checkpoint(2, 10, b"s")).unwrap();
+        assert_eq!(call(&reg, &mut slot, "checkpoint", &stale), Err(-116));
+        for input in ["", "0", "0|1", "0|1|9|short", "0|1|x|y"] {
+            assert_eq!(call(&reg, &mut slot, "checkpoint", input), Err(-22));
+        }
+        assert_eq!(
+            call(&reg, &mut slot, "checkpoint_read", ""),
+            Ok("-1|0|".into())
+        );
+    }
+
+    #[test]
+    fn read_batch_roundtrip_helpers() {
+        use crate::log::ReadOutcome;
+        assert_eq!(
+            String::from_utf8(encode_read_batch(7, &[1, 33, 65])).unwrap(),
+            "7|1,33,65"
+        );
+        let reply = b"3|1|D|5|ab|cd2|U|0|3|T|0|";
+        assert_eq!(
+            decode_read_batch(reply).unwrap(),
+            vec![
+                (1, ReadOutcome::Data(b"ab|cd".to_vec())),
+                (2, ReadOutcome::NotWritten),
+                (3, ReadOutcome::Trimmed),
+            ]
+        );
+        assert!(decode_read_batch(b"1|5|D|9|short").is_err());
+        assert!(decode_read_batch(b"1|5|X|0|").is_err());
+        assert!(decode_read_batch(b"junk").is_err());
     }
 }

@@ -3,56 +3,137 @@
 //! high-performance shared logs (§5.2): "The shared-log is a powerful
 //! abstraction used to construct distributed systems".
 //!
-//! Two independent clients append `SET key=value` commands to one log;
-//! each client *materializes* its own map by replaying the log, and both
-//! converge to identical state because the sequencer imposes one total
-//! order. A crash of the metadata server mid-run exercises the CORFU
-//! recovery protocol (seal + tail restore) without losing a single
-//! committed command.
+//! Two independent clients append `put`/`del` commands to one log; each
+//! client *materializes* its own [`KvStore`] by replaying the log through
+//! a pipelined tailing cursor (vectored `read_batch` per stripe, bounded
+//! read-ahead), and both converge to identical state because the
+//! sequencer imposes one total order. The read-side scale-out machinery
+//! then keeps replicas cheap forever:
+//!
+//! * a **checkpoint** persists `(position, snapshot)` on the log's
+//!   checkpoint object, and
+//! * a **trim** reclaims the checkpointed prefix, so
+//! * a brand-new replica restores the snapshot and replays only the
+//!   suffix — the log never replays from zero.
+//!
+//! A crash of the metadata server mid-run exercises the CORFU recovery
+//! protocol (seal + tail restore) without losing a single committed
+//! command. Transient op failures ride a typed retry/backoff policy
+//! instead of killing the run.
 //!
 //! Run with: `cargo run --example shared_log_kv`
 
-use std::collections::BTreeMap;
-
 use mala_mds::server::Mds;
 use mala_mds::{MdsConfig, NoBalancer};
-use mala_sim::{NodeId, Sim, SimDuration};
+use mala_sim::{Context, NodeId, Sim, SimDuration};
 use mala_zlog::log::{run_op, ZlogOut};
-use mala_zlog::{zlog_interface_update, AppendResult, ReadOutcome, ZlogClient, ZlogConfig};
+use mala_zlog::{
+    encode_cmd, zlog_interface_update, AppendResult, KvCmd, KvStore, ReadConfig, ZlogClient,
+    ZlogConfig,
+};
 use malacology::cluster::ClusterBuilder;
 
-/// Replays the log from position 0 into a map.
-fn materialize(sim: &mut Sim, node: NodeId, until: u64) -> BTreeMap<String, String> {
-    let mut map = BTreeMap::new();
-    for pos in 0..until {
-        let res = run_op(sim, node, SimDuration::from_secs(10), move |c, ctx| {
-            c.read(ctx, pos)
-        });
-        let AppendResult::Ok(ZlogOut::Read(outcome)) = res else {
-            panic!("read {pos} failed: {res:?}");
-        };
-        match outcome {
-            ReadOutcome::Data(bytes) => {
-                let cmd = String::from_utf8_lossy(&bytes).into_owned();
-                if let Some((key, value)) = cmd.split_once('=') {
-                    map.insert(key.to_string(), value.to_string());
-                }
-            }
-            // Junk-filled or trimmed positions carry no command.
-            ReadOutcome::Filled | ReadOutcome::Trimmed => {}
-            ReadOutcome::NotWritten => panic!("hole at {pos} below the tail"),
-        }
-    }
-    map
+/// How a zlog op failure should be treated by the driver.
+#[derive(Debug)]
+enum OpError {
+    /// Worth retrying after a backoff: timeouts, remaps, lost replies.
+    Transient(String),
+    /// Protocol rejection that retrying cannot fix.
+    Fatal(String),
 }
 
-fn append(sim: &mut Sim, node: NodeId, cmd: &str) -> u64 {
-    let bytes = cmd.as_bytes().to_vec();
-    match run_op(sim, node, SimDuration::from_secs(10), move |c, ctx| {
-        c.append(ctx, bytes)
+fn classify(msg: String) -> OpError {
+    // Storage-class rejections are deterministic verdicts; everything
+    // else (op watchdog expiry, sealed-epoch races, backfill bounces)
+    // resolves with time.
+    if msg.contains("rejected") || msg.contains("malformed") {
+        OpError::Fatal(msg)
+    } else {
+        OpError::Transient(msg)
+    }
+}
+
+/// Retry policy: capped-exponential backoff over simulated time.
+struct Retry {
+    attempts: u32,
+    base: SimDuration,
+}
+
+impl Default for Retry {
+    fn default() -> Self {
+        Retry {
+            attempts: 5,
+            base: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// Drives `f` to completion, retrying transient failures with backoff.
+/// Panics only on a fatal rejection or after the policy is exhausted.
+fn with_retry(
+    sim: &mut Sim,
+    node: NodeId,
+    what: &str,
+    retry: &Retry,
+    mut f: impl FnMut(&mut ZlogClient, &mut Context<'_>) -> u64,
+) -> ZlogOut {
+    let mut delay = retry.base;
+    for attempt in 1..=retry.attempts {
+        match run_op(sim, node, SimDuration::from_secs(10), &mut f) {
+            AppendResult::Ok(out) => return out,
+            AppendResult::Err(msg) => match classify(msg) {
+                OpError::Fatal(msg) => panic!("{what}: fatal rejection: {msg}"),
+                OpError::Transient(msg) => {
+                    println!("  {what}: transient failure (attempt {attempt}): {msg}");
+                    sim.run_for(delay);
+                    delay = SimDuration(delay.0.saturating_mul(2)).min(SimDuration::from_secs(2));
+                }
+            },
+        }
+    }
+    panic!("{what}: still failing after {} attempts", retry.attempts);
+}
+
+fn append_cmd(sim: &mut Sim, node: NodeId, retry: &Retry, cmd: &KvCmd) -> u64 {
+    let bytes = encode_cmd(cmd);
+    match with_retry(sim, node, "append", retry, move |c, ctx| {
+        c.append(ctx, bytes.clone())
     }) {
-        AppendResult::Ok(ZlogOut::Pos(pos)) => pos,
-        other => panic!("append failed: {other:?}"),
+        ZlogOut::Pos(pos) => pos,
+        other => panic!("append resolved oddly: {other:?}"),
+    }
+}
+
+/// Materializes a replica by tailing the log from its latest checkpoint:
+/// snapshot restore plus a vectored, pipelined suffix replay. Returns the
+/// store and how many positions were actually replayed.
+fn materialize(sim: &mut Sim, node: NodeId, retry: &Retry) -> (KvStore, u64) {
+    let ckpt = match with_retry(sim, node, "checkpoint_read", retry, |c, ctx| {
+        c.checkpoint_read(ctx)
+    }) {
+        ZlogOut::Checkpoint(c) => c,
+        other => panic!("checkpoint_read resolved oddly: {other:?}"),
+    };
+    let mut store = match &ckpt {
+        Some((pos, blob)) => KvStore::restore(*pos, blob).expect("snapshot decodes"),
+        None => KvStore::new(),
+    };
+    let cursor = sim.with_actor::<ZlogClient, _>(node, |c, ctx| c.tail_cursor(ctx));
+    let mut replayed = 0u64;
+    loop {
+        let batch = match with_retry(sim, node, "cursor batch", retry, move |c, ctx| {
+            c.cursor_next_batch(ctx, cursor, 16)
+        }) {
+            ZlogOut::CursorBatch(batch) => batch,
+            other => panic!("cursor resolved oddly: {other:?}"),
+        };
+        if batch.is_empty() {
+            return (store, replayed);
+        }
+        for (pos, outcome) in &batch {
+            store.apply(*pos, outcome).expect("in-order replay");
+            replayed += 1;
+        }
     }
 }
 
@@ -73,12 +154,20 @@ fn main() {
         home_rank: 0,
         monitor: cluster.mon(),
     };
+    let read_cfg = ReadConfig {
+        readahead: 16,
+        max_inflight: 4,
+    };
     let alice = cluster.alloc_node();
     let a_cfg = cfg(&cluster);
-    cluster.sim.add_node(alice, ZlogClient::new(a_cfg));
+    cluster
+        .sim
+        .add_node(alice, ZlogClient::with_read_config(a_cfg, read_cfg.clone()));
     let bob = cluster.alloc_node();
     let b_cfg = cfg(&cluster);
-    cluster.sim.add_node(bob, ZlogClient::new(b_cfg));
+    cluster
+        .sim
+        .add_node(bob, ZlogClient::with_read_config(b_cfg, read_cfg));
     cluster.sim.run_for(SimDuration::from_secs(1));
     run_op(
         &mut cluster.sim,
@@ -86,25 +175,45 @@ fn main() {
         SimDuration::from_secs(10),
         |c, ctx| c.setup(ctx),
     );
+    let retry = Retry::default();
 
     // Interleaved writers: last-writer-wins is decided by log order, i.e.
     // by the sequencer, not by wall-clock races.
-    println!("two clients appending interleaved SET commands...");
-    append(&mut cluster.sim, alice, "owner=alice");
-    append(&mut cluster.sim, bob, "owner=bob");
-    append(&mut cluster.sim, alice, "color=green");
-    append(&mut cluster.sim, bob, "color=blue");
-    append(&mut cluster.sim, alice, "count=1");
-    let tail = append(&mut cluster.sim, bob, "count=2") + 1;
+    println!("two clients appending interleaved commands...");
+    for (node, cmd) in [
+        (alice, KvCmd::put("owner", "alice")),
+        (bob, KvCmd::put("owner", "bob")),
+        (alice, KvCmd::put("color", "green")),
+        (bob, KvCmd::put("color", "blue")),
+        (alice, KvCmd::put("count", "1")),
+        (bob, KvCmd::put("count", "2")),
+        (alice, KvCmd::del("color")),
+    ] {
+        append_cmd(&mut cluster.sim, node, &retry, &cmd);
+    }
 
-    let view_a = materialize(&mut cluster.sim, alice, tail);
-    let view_b = materialize(&mut cluster.sim, bob, tail);
+    let (view_a, replayed_a) = materialize(&mut cluster.sim, alice, &retry);
+    let (view_b, _) = materialize(&mut cluster.sim, bob, &retry);
     assert_eq!(view_a, view_b, "replicas diverged");
-    println!("both replicas materialized identically: {view_a:?}");
+    println!(
+        "both replicas materialized identically ({replayed_a} entries replayed): {:?}",
+        view_a.map()
+    );
+
+    // Checkpoint Alice's state and trim the prefix: from here on no
+    // replica ever replays those positions again.
+    let (pos, blob) = (view_a.applied(), view_a.snapshot());
+    println!("\ncheckpointing at {pos} and trimming the prefix...");
+    with_retry(&mut cluster.sim, alice, "checkpoint", &retry, {
+        move |c, ctx| c.checkpoint(ctx, pos, blob.clone())
+    });
+    with_retry(&mut cluster.sim, alice, "trim_to", &retry, move |c, ctx| {
+        c.trim_to(ctx, pos)
+    });
 
     // Crash the MDS (losing the volatile sequencer tail), recover via the
     // CORFU seal protocol, and keep going.
-    println!("\ncrashing the metadata server holding the sequencer...");
+    println!("crashing the metadata server holding the sequencer...");
     let mds0 = cluster.mds_node(0);
     let mon = cluster.mon();
     cluster.sim.crash(mds0);
@@ -119,26 +228,34 @@ fn main() {
         SimDuration::from_secs(10),
         |c, ctx| c.setup(ctx),
     );
-    let res = run_op(
-        &mut cluster.sim,
-        bob,
-        SimDuration::from_secs(20),
-        |c, ctx| c.recover(ctx),
-    );
-    let AppendResult::Ok(ZlogOut::Recovered {
+    let ZlogOut::Recovered {
         epoch,
         tail: restored,
-    }) = res
+    } = with_retry(&mut cluster.sim, bob, "recover", &retry, |c, ctx| {
+        c.recover(ctx)
+    })
     else {
-        panic!("recovery failed: {res:?}");
+        panic!("recovery resolved oddly");
     };
     println!("recovered: epoch {epoch}, sequencer restarted at {restored}");
-    assert_eq!(restored, tail, "recovery must find the true tail");
+    assert_eq!(restored, pos, "recovery must find the true tail");
 
-    let pos = append(&mut cluster.sim, bob, "count=3");
-    assert_eq!(pos, tail, "no committed position may be reused");
-    let view = materialize(&mut cluster.sim, alice, pos + 1);
-    println!("post-recovery state: {view:?}");
-    assert_eq!(view.get("count").map(String::as_str), Some("3"));
+    let next = append_cmd(&mut cluster.sim, bob, &retry, &KvCmd::put("count", "3"));
+    assert_eq!(next, pos, "no committed position may be reused");
+
+    // A brand-new replica restores the snapshot and replays only the
+    // post-checkpoint suffix — recovery cost is flat in total log length.
+    let (view, replayed) = materialize(&mut cluster.sim, alice, &retry);
+    println!(
+        "post-recovery replica replayed {replayed} of {} total entries: {:?}",
+        view.applied(),
+        view.map()
+    );
+    assert_eq!(view.get("count"), Some("3"));
+    assert_eq!(view.get("color"), None, "deleted key resurfaced");
+    assert!(
+        replayed < view.applied(),
+        "checkpoint restore must skip the trimmed prefix"
+    );
     println!("\nshared-log kv store survived sequencer failure with zero lost writes");
 }

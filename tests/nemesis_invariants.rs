@@ -1316,6 +1316,161 @@ mod elastic_membership {
         }
     }
 
+    /// Fixed-seed read-path smoke (satellite): a pipelined tailing reader
+    /// follows a writer *through* an `OsdDrain` remap, and the log is
+    /// checkpointed and trimmed mid-stream. The cursor's vectored reads
+    /// land in the same op history as the writer's appends and the trim,
+    /// and the whole trace — reads bounced across the remap, the trimmed
+    /// prefix, junk cells — must stay linearizable. `ci.sh` runs exactly
+    /// this test.
+    #[test]
+    fn smoke_tailing_reader_through_drain_and_trim() {
+        let seed = 2017;
+        let mut cluster = ClusterBuilder::new()
+            .monitors(1)
+            .osds(3)
+            .mds_ranks(1)
+            .pool("p", 16, 2)
+            .build(seed);
+        cluster.commit_updates(vec![zlog_interface_update()]);
+        let config = |cluster: &Cluster| ZlogConfig {
+            name: "tail-smoke".into(),
+            pool: "p".into(),
+            stripe_width: 3,
+            mds_nodes: cluster.mds_nodes(),
+            home_rank: 0,
+            monitor: cluster.mon(),
+        };
+        let history = super::lin::recorder();
+        let writer = cluster.alloc_node();
+        let wcfg = config(&cluster);
+        cluster
+            .sim
+            .add_node(writer, ZlogClient::new(wcfg).with_history(history.clone()));
+        let reader = cluster.alloc_node();
+        let rcfg = config(&cluster);
+        cluster
+            .sim
+            .add_node(reader, ZlogClient::new(rcfg).with_history(history.clone()));
+        cluster.sim.run_for(SimDuration::from_secs(1));
+        run_op(
+            &mut cluster.sim,
+            writer,
+            SimDuration::from_secs(30),
+            |c, ctx| c.setup(ctx),
+        );
+
+        let t0 = cluster.sim.now();
+        let joiner = NodeId(13);
+        let schedule = FaultSchedule::new()
+            .at(SimTime(t0.0 + 1_000_000), Fault::OsdJoin(joiner))
+            .at(
+                SimTime(t0.0 + 3_000_000),
+                Fault::OsdDrain(cluster.osd_node(0)),
+            );
+        let mut nemesis = Nemesis::new(schedule)
+            .with_labels(Cluster::node_role)
+            .on_membership(membership_callback(&cluster));
+
+        // Drives one client op to completion while the nemesis keeps
+        // injecting the membership schedule underneath it.
+        fn drive(
+            cluster: &mut Cluster,
+            nemesis: &mut Nemesis,
+            node: NodeId,
+            what: &str,
+            f: impl FnOnce(&mut ZlogClient, &mut mala_sim::Context<'_>) -> u64,
+        ) -> AppendResult {
+            let op = cluster.sim.with_actor::<ZlogClient, _>(node, f);
+            let deadline = cluster.sim.now() + SimDuration::from_secs(90);
+            while !cluster.sim.actor::<ZlogClient>(node).is_done(op) {
+                assert!(cluster.sim.now() < deadline, "{what} hung mid-remap");
+                nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(200));
+            }
+            cluster
+                .sim
+                .actor_mut::<ZlogClient>(node)
+                .take_result(op)
+                .unwrap()
+        }
+
+        let mut delivered: Vec<u64> = Vec::new();
+        let cursor = cluster
+            .sim
+            .with_actor::<ZlogClient, _>(reader, |c, ctx| c.tail_cursor(ctx));
+        for k in 0..10u32 {
+            let payload = format!("tail-{k}").into_bytes();
+            let res = drive(&mut cluster, &mut nemesis, writer, "append", {
+                let p = payload;
+                move |c, ctx| c.append(ctx, p)
+            });
+            let AppendResult::Ok(ZlogOut::Pos(pos)) = res else {
+                panic!("append {k} failed across the remap: {res:?}");
+            };
+            assert_eq!(pos, u64::from(k), "positions must stay dense");
+            // Checkpoint + trim the prefix mid-stream, while the reader
+            // is still behind it.
+            if k == 4 {
+                let res = drive(
+                    &mut cluster,
+                    &mut nemesis,
+                    writer,
+                    "checkpoint",
+                    |c, ctx| c.checkpoint(ctx, 3, b"state-through-2".to_vec()),
+                );
+                assert!(
+                    matches!(res, AppendResult::Ok(ZlogOut::CheckpointAt(3))),
+                    "{res:?}"
+                );
+                let res = drive(&mut cluster, &mut nemesis, writer, "trim_to", |c, ctx| {
+                    c.trim_to(ctx, 3)
+                });
+                assert!(matches!(res, AppendResult::Ok(ZlogOut::Done)), "{res:?}");
+            }
+            // Tail along: pull whatever the cursor has ready.
+            let res = drive(&mut cluster, &mut nemesis, reader, "cursor batch", {
+                move |c, ctx| c.cursor_next_batch(ctx, cursor, 8)
+            });
+            let AppendResult::Ok(ZlogOut::CursorBatch(batch)) = res else {
+                panic!("cursor batch failed across the remap: {res:?}");
+            };
+            delivered.extend(batch.iter().map(|(p, _)| *p));
+        }
+        while !nemesis.finished() {
+            nemesis.run_for(&mut cluster.sim, SimDuration::from_millis(500));
+        }
+        cluster.sim.run_for(SimDuration::from_secs(3));
+        // Catch up the straggler tail after the schedule closes.
+        loop {
+            let res = drive(&mut cluster, &mut nemesis, reader, "cursor drain", {
+                move |c, ctx| c.cursor_next_batch(ctx, cursor, 8)
+            });
+            let AppendResult::Ok(ZlogOut::CursorBatch(batch)) = res else {
+                panic!("cursor drain failed: {res:?}");
+            };
+            if batch.is_empty() {
+                break;
+            }
+            delivered.extend(batch.iter().map(|(p, _)| *p));
+        }
+
+        assert_eq!(
+            delivered,
+            (0..10u64).collect::<Vec<_>>(),
+            "the tailing reader must deliver every position once, in order"
+        );
+        let m = cluster.sim.metrics();
+        assert_eq!(m.counter("nemesis.osd_join"), 1, "join fault missing");
+        assert_eq!(m.counter("nemesis.osd_drain"), 1, "drain fault missing");
+        assert!(
+            m.counter("rados.read_batch_ops") > 0,
+            "the cursor never used the vectored read path"
+        );
+        if let Err(e) = super::lin::check_log(&history, seed) {
+            panic!("{e}");
+        }
+    }
+
     /// Fixed-seed backfill-under-partition smoke (satellite): a joiner is
     /// partitioned from part of the cluster *while* it backfills. The
     /// backfill machinery must rotate to reachable sources (or retry
