@@ -37,4 +37,15 @@ cargo test -q --test nemesis_invariants smoke_tailing_reader
 echo "==> read-path smoke (cursor catch-up + checkpointed KV recovery)"
 cargo test -q -p mala-zlog --test read_scale
 
+echo "==> dsl-diff smoke (fixed-seed interpreter/VM differential + disassembler snapshots)"
+cargo test -q -p mala-dsl --test differential fixed_seed_differential_smoke
+cargo test -q -p mala-dsl --test disasm_snapshots
+
+echo "==> dsl sandbox equivalence (budget/depth trips identical across engines)"
+cargo test -q -p mala-dsl --test vm_sandbox
+
+echo "==> VM-backed Mantle policy + scripted-class tests"
+cargo test -q -p mala-mantle
+cargo test -q -p mala-rados class::
+
 echo "CI gate passed."

@@ -1,0 +1,18 @@
+//! Cephalo engine comparison (bytecode VM vs tree-walker); writes
+//! `results/BENCH_dsl_vm.json` next to the rendered table.
+
+use std::io::Write;
+
+fn main() {
+    let config = mala_bench::exp::dsl_vm::Config::default();
+    let data = mala_bench::exp::dsl_vm::run(&config);
+    print!("{}", mala_bench::exp::dsl_vm::render(&data));
+    let json = mala_bench::exp::dsl_vm::to_json(&data);
+    let path = std::path::Path::new("results/BENCH_dsl_vm.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    let mut f = std::fs::File::create(path).expect("create BENCH_dsl_vm.json");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("\nwrote {}", path.display());
+}

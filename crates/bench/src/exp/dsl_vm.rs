@@ -1,0 +1,305 @@
+//! Cephalo engine comparison: bytecode VM versus tree-walking interpreter.
+//!
+//! Policy evaluation is a hot path — Mantle runs `when()`/`balance()` on
+//! every balancing tick on every MDS, and scripted object classes execute
+//! on every request that touches them. This experiment measures both
+//! engines on the two real workloads:
+//!
+//! * **`mantle_balance`** — the paper-style load-shedding policy: reads
+//!   the per-rank metrics table, loops over the ranks, fills `targets`.
+//!   Each eval is one `when()` + one `balance()` call, exactly what
+//!   `MantleBalancer::decide` issues.
+//! * **`class_guard`** — a representative scripted-object-class method:
+//!   an epoch guard that parses its input, compares against persistent
+//!   state, and updates it (the ESTALE pattern the ZLog sequencer uses).
+//!
+//! Per-eval latency is timed individually so the table can report p50/p99
+//! alongside throughput. The binary writes `results/BENCH_dsl_vm.json`.
+
+use std::time::Instant;
+
+use mala_dsl::{DslEngine, EngineKind, Script, Table, Value};
+
+use crate::report;
+
+/// The Mantle balancer policy used for the `mantle_balance` workload.
+pub const BALANCER_POLICY: &str = r#"
+    function when()
+        return mds[whoami]["load"] > avg * 1.1
+    end
+    function balance()
+        local my = mds[whoami]["load"]
+        local n = #mds
+        local t = {}
+        for i = 1, n do
+            if i ~= whoami then
+                t[i] = (my - avg) / (n - 1)
+            else
+                t[i] = 0
+            end
+        end
+        targets = t
+        return 0
+    end
+"#;
+
+/// The scripted-class epoch guard used for the `class_guard` workload.
+pub const GUARD_CLASS: &str = r#"
+    __readonly = {"get_epoch"}
+    state = {epoch = 0}
+    function get_epoch(input)
+        return fmt(state.epoch)
+    end
+    function guard(input)
+        local e = tonumber(input)
+        if e == nil then error("EINVAL: bad epoch") end
+        if e < state.epoch then error("ESTALE: epoch too old") end
+        state.epoch = e
+        return "ok"
+    end
+"#;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Timed evaluations per engine per workload.
+    pub iters: u32,
+    /// Untimed warmup evaluations.
+    pub warmup: u32,
+    /// Simulated MDS ranks in the metrics table.
+    pub ranks: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            iters: 20_000,
+            warmup: 500,
+            ranks: 8,
+        }
+    }
+}
+
+/// One engine × workload measurement.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// Engine label (`tree` or `vm`).
+    pub engine: String,
+    /// Workload label (`mantle_balance` or `class_guard`).
+    pub workload: String,
+    /// Completed evaluations per wall-clock second.
+    pub evals_per_sec: f64,
+    /// Median per-eval latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-eval latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// Full comparison results.
+#[derive(Debug, Clone)]
+pub struct Data {
+    /// Configuration used.
+    pub config: Config,
+    /// Four rows: {tree, vm} × {mantle_balance, class_guard}.
+    pub runs: Vec<EngineRun>,
+    /// VM evals/sec over tree-walker evals/sec, balancer workload.
+    pub speedup_mantle: f64,
+    /// VM evals/sec over tree-walker evals/sec, guard workload.
+    pub speedup_guard: f64,
+}
+
+fn kind_label(kind: EngineKind) -> &'static str {
+    match kind {
+        EngineKind::TreeWalk => "tree",
+        EngineKind::Bytecode => "vm",
+    }
+}
+
+/// Installs the per-tick globals the balancer policy reads.
+fn set_balancer_globals(engine: &mut DslEngine, ranks: u32) {
+    let mut mds = Table::new();
+    let mut total = 0.0;
+    for r in 0..ranks {
+        let mut row = Table::new();
+        let load = 100.0 + f64::from(r) * 17.0;
+        row.set_str("rank", Value::from(f64::from(r)));
+        row.set_str("load", Value::from(load));
+        row.set_str("cpu", Value::from(load / 100.0));
+        row.set_str("coherence", Value::from(0.0));
+        mds.push(Value::from_table(row));
+        total += load;
+    }
+    engine.set_global("mds", Value::from_table(mds));
+    engine.set_global("whoami", Value::from(f64::from(ranks)));
+    engine.set_global("total", Value::from(total));
+    engine.set_global("avg", Value::from(total / f64::from(ranks)));
+    engine.set_global("targets", Value::table());
+}
+
+/// Times `iters` runs of `eval`, returning per-eval samples (µs).
+fn sample<F: FnMut()>(iters: u32, warmup: u32, mut eval: F) -> Vec<f64> {
+    for _ in 0..warmup {
+        eval();
+    }
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        eval();
+        samples.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    samples
+}
+
+fn summarize(engine: EngineKind, workload: &str, mut samples: Vec<f64>) -> EngineRun {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let total_us: f64 = samples.iter().sum();
+    let p50 = samples[samples.len() / 2];
+    let p99 = samples[((samples.len() as f64 * 0.99) as usize).min(samples.len() - 1)];
+    EngineRun {
+        engine: kind_label(engine).to_string(),
+        workload: workload.to_string(),
+        evals_per_sec: samples.len() as f64 / (total_us / 1e6),
+        p50_us: p50,
+        p99_us: p99,
+    }
+}
+
+/// Runs the comparison.
+pub fn run(config: &Config) -> Data {
+    let balancer = Script::compile(BALANCER_POLICY).expect("balancer policy compiles");
+    let guard = Script::compile(GUARD_CLASS).expect("guard class compiles");
+    let mut runs = Vec::new();
+
+    for kind in [EngineKind::TreeWalk, EngineKind::Bytecode] {
+        let mut engine = DslEngine::new(kind);
+        engine.load(&balancer).expect("balancer loads");
+        set_balancer_globals(&mut engine, config.ranks);
+        let samples = sample(config.iters, config.warmup, || {
+            let go = engine.call("when", &[], &mut ()).expect("when() runs");
+            assert!(go.truthy(), "benchmark policy must decide to act");
+            engine
+                .call("balance", &[], &mut ())
+                .expect("balance() runs");
+        });
+        runs.push(summarize(kind, "mantle_balance", samples));
+    }
+
+    for kind in [EngineKind::TreeWalk, EngineKind::Bytecode] {
+        let mut engine = DslEngine::new(kind);
+        engine.load(&guard).expect("guard loads");
+        let arg = [Value::str("7")];
+        let samples = sample(config.iters, config.warmup, || {
+            let out = engine.call("guard", &arg, &mut ()).expect("guard() runs");
+            debug_assert_eq!(out.as_str(), Some("ok"));
+        });
+        runs.push(summarize(kind, "class_guard", samples));
+    }
+
+    let rate = |workload: &str, engine: &str| {
+        runs.iter()
+            .find(|r| r.workload == workload && r.engine == engine)
+            .map(|r| r.evals_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    Data {
+        config: config.clone(),
+        speedup_mantle: rate("mantle_balance", "vm") / rate("mantle_balance", "tree"),
+        speedup_guard: rate("class_guard", "vm") / rate("class_guard", "tree"),
+        runs,
+    }
+}
+
+/// Renders the comparison as an aligned table.
+pub fn render(data: &Data) -> String {
+    let rows: Vec<Vec<String>> = data
+        .runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.engine.clone(),
+                format!("{:.0}", r.evals_per_sec),
+                format!("{:.2}", r.p50_us),
+                format!("{:.2}", r.p99_us),
+            ]
+        })
+        .collect();
+    let mut out = format!(
+        "Cephalo engines: {} evals each ({} ranks), per-eval timing\n\n",
+        data.config.iters, data.config.ranks
+    );
+    out.push_str(&report::table(
+        &["workload", "engine", "evals/s", "p50_us", "p99_us"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\nVM speedup: {:.2}x (mantle_balance), {:.2}x (class_guard)\n",
+        data.speedup_mantle, data.speedup_guard
+    ));
+    out
+}
+
+/// Machine-readable results for `results/BENCH_dsl_vm.json`.
+pub fn to_json(data: &Data) -> String {
+    let mut out = String::from("{\n  \"bench\": \"dsl_vm\",\n  \"runs\": [\n");
+    for (i, r) in data.runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"evals_per_sec\": {:.0}, \
+             \"p50_us\": {:.3}, \"p99_us\": {:.3}}}{}\n",
+            r.workload,
+            r.engine,
+            r.evals_per_sec,
+            r.p50_us,
+            r.p99_us,
+            if i + 1 == data.runs.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"speedup_mantle\": {:.2},\n  \"speedup_guard\": {:.2}\n}}\n",
+        data.speedup_mantle, data.speedup_guard
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_produces_all_four_rows() {
+        let config = Config {
+            iters: 200,
+            warmup: 20,
+            ranks: 4,
+        };
+        let data = run(&config);
+        assert_eq!(data.runs.len(), 4);
+        for r in &data.runs {
+            assert!(r.evals_per_sec > 0.0, "{r:?}");
+            assert!(r.p99_us >= r.p50_us, "{r:?}");
+        }
+        assert!(data.speedup_mantle.is_finite());
+        let rendered = render(&data);
+        assert!(rendered.contains("mantle_balance"));
+        let json = to_json(&data);
+        assert!(json.contains("\"bench\": \"dsl_vm\""));
+        assert!(json.contains("speedup_mantle"));
+    }
+
+    #[test]
+    fn both_engines_produce_the_same_targets_table() {
+        // The bench is only meaningful if the engines agree on the work.
+        let script = Script::compile(BALANCER_POLICY).unwrap();
+        let mut results = Vec::new();
+        for kind in [EngineKind::TreeWalk, EngineKind::Bytecode] {
+            let mut engine = DslEngine::new(kind);
+            engine.load(&script).unwrap();
+            set_balancer_globals(&mut engine, 4);
+            engine.call("when", &[], &mut ()).unwrap();
+            engine.call("balance", &[], &mut ()).unwrap();
+            results.push(engine.global("targets").display());
+        }
+        assert_eq!(results[0], results[1]);
+        assert!(results[0].contains(", 0}"), "{}", results[0]);
+    }
+}

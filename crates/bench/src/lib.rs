@@ -19,6 +19,7 @@ pub mod workload;
 pub mod exp {
     //! The per-figure experiment modules.
     pub mod backoff;
+    pub mod dsl_vm;
     pub mod elastic;
     pub mod fig10;
     pub mod fig12;

@@ -1,0 +1,185 @@
+//! Engine selection for Cephalo consumers.
+//!
+//! Both engines expose the same surface (load/call/globals/output/sandbox)
+//! over the same `Value` ABI; [`DslEngine`] lets embedding code — Mantle
+//! policy evaluation, scripted object classes — pick one at construction
+//! time without branching at every call site. The bytecode VM is the
+//! default; the tree-walking interpreter remains available as the
+//! reference implementation (and as the oracle for differential testing).
+
+use std::any::Any;
+
+use crate::interp::{Interp, RtError, Sandbox};
+use crate::value::{NativeFn, Value};
+use crate::vm::Vm;
+use crate::Script;
+
+/// Which execution engine to embed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The tree-walking interpreter: reference semantics.
+    TreeWalk,
+    /// The bytecode compiler + stack VM: the hot-path default.
+    #[default]
+    Bytecode,
+}
+
+/// A Cephalo execution engine: either the reference interpreter or the
+/// bytecode VM, behind one API.
+pub enum DslEngine {
+    /// Tree-walking reference interpreter.
+    Tree(Interp),
+    /// Bytecode stack VM.
+    Vm(Vm),
+}
+
+impl Default for DslEngine {
+    fn default() -> Self {
+        DslEngine::new(EngineKind::default())
+    }
+}
+
+impl DslEngine {
+    /// Creates an engine of `kind` with the default sandbox.
+    pub fn new(kind: EngineKind) -> DslEngine {
+        DslEngine::with_sandbox(kind, Sandbox::default())
+    }
+
+    /// Creates an engine of `kind` with explicit sandbox limits.
+    pub fn with_sandbox(kind: EngineKind, sandbox: Sandbox) -> DslEngine {
+        match kind {
+            EngineKind::TreeWalk => DslEngine::Tree(Interp::with_sandbox(sandbox)),
+            EngineKind::Bytecode => DslEngine::Vm(Vm::with_sandbox(sandbox)),
+        }
+    }
+
+    /// Which engine this is.
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            DslEngine::Tree(_) => EngineKind::TreeWalk,
+            DslEngine::Vm(_) => EngineKind::Bytecode,
+        }
+    }
+
+    /// Registers a native function under a global name.
+    pub fn register(&mut self, name: &str, f: NativeFn) {
+        match self {
+            DslEngine::Tree(i) => i.register(name, f),
+            DslEngine::Vm(v) => v.register(name, f),
+        }
+    }
+
+    /// Sets a global variable.
+    pub fn set_global(&mut self, name: &str, v: Value) {
+        match self {
+            DslEngine::Tree(i) => i.set_global(name, v),
+            DslEngine::Vm(m) => m.set_global(name, v),
+        }
+    }
+
+    /// Reads a global variable (`nil` if unset).
+    pub fn global(&self, name: &str) -> Value {
+        match self {
+            DslEngine::Tree(i) => i.global(name),
+            DslEngine::Vm(v) => v.global(name),
+        }
+    }
+
+    /// Lines produced by `print`/`log` since the last take.
+    pub fn take_output(&mut self) -> Vec<String> {
+        match self {
+            DslEngine::Tree(i) => i.take_output(),
+            DslEngine::Vm(v) => v.take_output(),
+        }
+    }
+
+    /// Whether a global function named `name` exists.
+    pub fn has_function(&self, name: &str) -> bool {
+        match self {
+            DslEngine::Tree(i) => i.has_function(name),
+            DslEngine::Vm(v) => v.has_function(name),
+        }
+    }
+
+    /// Executes a script's top level without host state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any runtime error, including sandbox violations.
+    pub fn load(&mut self, script: &Script) -> Result<(), RtError> {
+        self.load_with(script, &mut ())
+    }
+
+    /// Executes a script's top level with host state available to natives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any runtime error, including sandbox violations.
+    pub fn load_with(&mut self, script: &Script, host: &mut dyn Any) -> Result<(), RtError> {
+        match self {
+            DslEngine::Tree(i) => i.load_with(script, host),
+            DslEngine::Vm(v) => v.load_with(script, host),
+        }
+    }
+
+    /// Calls the global function `name` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the global is not callable or the call raises.
+    pub fn call(
+        &mut self,
+        name: &str,
+        args: &[Value],
+        host: &mut dyn Any,
+    ) -> Result<Value, RtError> {
+        match self {
+            DslEngine::Tree(i) => i.call(name, args, host),
+            DslEngine::Vm(v) => v.call(name, args, host),
+        }
+    }
+
+    /// Calls an arbitrary callable value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `f` is not callable or the call raises.
+    pub fn call_value(
+        &mut self,
+        f: &Value,
+        args: Vec<Value>,
+        host: &mut dyn Any,
+    ) -> Result<Value, RtError> {
+        match self {
+            DslEngine::Tree(i) => i.call_value(f, args, host),
+            DslEngine::Vm(v) => v.call_value(f, args, host),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_engines_run_the_same_script() {
+        let script =
+            Script::compile("function pick(a, b) if a < b then return a end return b end").unwrap();
+        for kind in [EngineKind::TreeWalk, EngineKind::Bytecode] {
+            let mut eng = DslEngine::new(kind);
+            assert_eq!(eng.kind(), kind);
+            eng.load(&script).unwrap();
+            assert!(eng.has_function("pick"));
+            let out = eng
+                .call("pick", &[Value::from(4.0), Value::from(7.0)], &mut ())
+                .unwrap();
+            assert_eq!(out, Value::from(4.0));
+        }
+    }
+
+    #[test]
+    fn default_engine_is_bytecode() {
+        assert_eq!(DslEngine::default().kind(), EngineKind::Bytecode);
+        assert_eq!(EngineKind::default(), EngineKind::Bytecode);
+    }
+}

@@ -102,10 +102,10 @@ impl Interp {
     pub fn register(&mut self, name: &str, f: NativeFn) {
         self.globals.declare(
             name,
-            Value::Native(Native {
+            Value::Native(Rc::new(Native {
                 name: name.to_string(),
                 f,
-            }),
+            })),
         );
     }
 
@@ -147,7 +147,7 @@ impl Interp {
     pub fn has_function(&self, name: &str) -> bool {
         matches!(
             self.globals.get(name),
-            Value::Func(_) | Value::Native { .. }
+            Value::Func(_) | Value::Closure(_) | Value::Native { .. }
         )
     }
 
@@ -204,6 +204,9 @@ impl Interp {
                 };
                 (n.f)(&mut ctx, &args)
             }
+            Value::Closure(_) => Err(RtError::new(
+                "attempt to call a bytecode closure from the tree-walking interpreter",
+            )),
             other => Err(RtError::new(format!(
                 "attempt to call a {} value",
                 other.type_name()
@@ -415,8 +418,7 @@ impl Interp {
     }
 
     fn num(&self, v: Value) -> Result<f64, RtError> {
-        v.as_num()
-            .ok_or_else(|| RtError::new(format!("expected a number, got {}", v.type_name())))
+        num_of(&v)
     }
 
     fn eval(&mut self, e: &Expr, env: &Rc<Scope>, host: &mut dyn Any) -> Result<Value, RtError> {
@@ -553,7 +555,15 @@ impl Interp {
     }
 }
 
-fn to_key(v: &Value) -> Result<Key, RtError> {
+/// Numeric view of a value, with the engines' shared error message.
+/// Both the interpreter and the VM call these helpers so type errors are
+/// byte-for-byte identical — a property the differential harness asserts.
+pub(crate) fn num_of(v: &Value) -> Result<f64, RtError> {
+    v.as_num()
+        .ok_or_else(|| RtError::new(format!("expected a number, got {}", v.type_name())))
+}
+
+pub(crate) fn to_key(v: &Value) -> Result<Key, RtError> {
     match v {
         Value::Num(n) => {
             if n.fract() == 0.0 {
@@ -570,7 +580,7 @@ fn to_key(v: &Value) -> Result<Key, RtError> {
     }
 }
 
-fn coerce_str(v: &Value) -> Result<String, RtError> {
+pub(crate) fn coerce_str(v: &Value) -> Result<String, RtError> {
     match v {
         Value::Str(s) => Ok(s.to_string()),
         Value::Num(n) => Ok(fmt_num(*n)),
@@ -583,7 +593,7 @@ fn coerce_str(v: &Value) -> Result<String, RtError> {
     }
 }
 
-fn compare(a: &Value, b: &Value) -> Result<std::cmp::Ordering, RtError> {
+pub(crate) fn compare(a: &Value, b: &Value) -> Result<std::cmp::Ordering, RtError> {
     match (a, b) {
         (Value::Num(x), Value::Num(y)) => x
             .partial_cmp(y)

@@ -36,16 +36,23 @@
 //! ```
 
 pub mod ast;
+pub mod compile;
+pub mod engine;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod stdlib;
+pub mod testgen;
 pub mod value;
+pub mod vm;
 
 pub use ast::{BinOp, Block, Expr, Stmt, UnOp};
+pub use compile::{Chunk, CompileError};
+pub use engine::{DslEngine, EngineKind};
 pub use interp::{Interp, RtError, Sandbox};
 pub use parser::ParseError;
 pub use value::{NativeFn, Table, Value};
+pub use vm::Vm;
 
 /// A compiled (parsed) Cephalo script, ready to be loaded into an
 /// interpreter. Compilation is pure: no side effects, no host access.

@@ -7,7 +7,7 @@
 use std::rc::Rc;
 
 use crate::interp::{Interp, RtError};
-use crate::value::{fmt_num, HostCtx, Key, Value};
+use crate::value::{fmt_num, HostCtx, Key, NativeFn, Value};
 
 fn arg(args: &[Value], i: usize) -> Value {
     args.get(i).cloned().unwrap_or(Value::Nil)
@@ -21,6 +21,17 @@ fn num_arg(name: &str, args: &[Value], i: usize) -> Result<f64, RtError> {
 
 /// Installs the standard library into `interp`.
 pub fn install(interp: &mut Interp) {
+    for (name, f) in natives() {
+        interp.register(name, f);
+    }
+}
+
+/// The standard library as `(name, fn)` pairs — the single definition both
+/// engines (tree-walking [`Interp`] and the bytecode [`crate::vm::Vm`])
+/// install, so stdlib behavior cannot diverge between them.
+pub(crate) fn natives() -> Vec<(&'static str, NativeFn)> {
+    let mut interp = Registrar(Vec::new());
+
     // print(...) — joins arguments with tabs into the output buffer.
     interp.register(
         "print",
@@ -262,6 +273,18 @@ pub fn install(interp: &mut Interp) {
         "fmt",
         Rc::new(|_, args| Ok(Value::str(fmt_num(num_arg("fmt", args, 0)?)))),
     );
+
+    interp.0
+}
+
+/// Collects `(name, fn)` pairs through the same `register` call shape the
+/// engines expose, keeping the registration bodies above engine-agnostic.
+struct Registrar(Vec<(&'static str, NativeFn)>);
+
+impl Registrar {
+    fn register(&mut self, name: &'static str, f: NativeFn) {
+        self.0.push((name, f));
+    }
 }
 
 #[cfg(test)]

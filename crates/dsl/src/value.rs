@@ -242,8 +242,13 @@ pub enum Value {
     Table(Rc<RefCell<Table>>),
     /// Script-defined function.
     Func(Rc<Function>),
-    /// Host-registered native function.
-    Native(Native),
+    /// Compiled script function (the bytecode VM's closure form).
+    Closure(Rc<crate::vm::Closure>),
+    /// Host-registered native function. Boxed behind `Rc` so the variant
+    /// is pointer-sized: it keeps `Value` at 24 bytes (it would otherwise
+    /// carry `Native`'s inline `String` + fat fn pointer), and cloning a
+    /// native global is a refcount bump instead of a string allocation.
+    Native(Rc<Native>),
 }
 
 impl Value {
@@ -275,7 +280,7 @@ impl Value {
             Value::Num(_) => "number",
             Value::Str(_) => "string",
             Value::Table(_) => "table",
-            Value::Func(_) | Value::Native(_) => "function",
+            Value::Func(_) | Value::Closure(_) | Value::Native(_) => "function",
         }
     }
 
@@ -305,20 +310,35 @@ impl Value {
 
     /// Converts to a display string (the `tostring` builtin).
     pub fn display(&self) -> String {
+        self.display_depth(8)
+    }
+
+    /// Display with a nesting budget: tables deeper than the budget
+    /// render as `{...}`, so cyclic tables (`t.x = t`) cannot recurse the
+    /// host stack into an abort the sandbox can't catch.
+    fn display_depth(&self, depth: u32) -> String {
         match self {
             Value::Nil => "nil".to_string(),
             Value::Bool(b) => b.to_string(),
             Value::Num(n) => fmt_num(*n),
             Value::Str(s) => s.to_string(),
             Value::Table(t) => {
+                if depth == 0 {
+                    return "{...}".to_string();
+                }
                 let t = t.borrow();
-                let mut parts: Vec<String> = t.array().iter().map(Value::display).collect();
+                let mut parts: Vec<String> = t
+                    .array()
+                    .iter()
+                    .map(|v| v.display_depth(depth - 1))
+                    .collect();
                 for (k, v) in t.iter().skip(t.array().len()) {
-                    parts.push(format!("{k} = {}", v.display()));
+                    parts.push(format!("{k} = {}", v.display_depth(depth - 1)));
                 }
                 format!("{{{}}}", parts.join(", "))
             }
             Value::Func(func) => format!("{func:?}"),
+            Value::Closure(c) => format!("{c:?}"),
             Value::Native(n) => format!("{n:?}"),
         }
     }
@@ -343,6 +363,7 @@ impl PartialEq for Value {
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Table(a), Value::Table(b)) => Rc::ptr_eq(a, b),
             (Value::Func(a), Value::Func(b)) => Rc::ptr_eq(a, b),
+            (Value::Closure(a), Value::Closure(b)) => Rc::ptr_eq(a, b),
             (Value::Native(a), Value::Native(b)) => Rc::ptr_eq(&a.f, &b.f),
             _ => false,
         }
@@ -473,5 +494,17 @@ mod tests {
         t.push(Value::from(1.0));
         t.set_str("k", Value::str("v"));
         assert_eq!(Value::from_table(t).display(), "{1, k = v}");
+    }
+
+    #[test]
+    fn display_cyclic_table_terminates() {
+        let v = Value::table();
+        if let Value::Table(rc) = &v {
+            rc.borrow_mut().set_str("me", v.clone());
+        }
+        // `t.me = t`: the display budget bottoms out instead of
+        // recursing the host stack to death.
+        let s = v.display();
+        assert!(s.ends_with("{...}}}}}}}}}"), "{s}");
     }
 }

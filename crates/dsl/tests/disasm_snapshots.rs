@@ -1,0 +1,142 @@
+//! Compiler snapshot tests: `Chunk::disassemble` output is pinned to
+//! golden files so codegen changes are visible (and reviewed) rather than
+//! silent.
+//!
+//! To update after an intentional codegen change:
+//!
+//! ```text
+//! BLESS_DISASM=1 cargo test -p mala-dsl --test disasm_snapshots
+//! ```
+
+use mala_dsl::{compile, Script};
+
+/// One corpus entry: a name (the golden file stem) and a program that
+/// exercises a codegen area.
+const CORPUS: &[(&str, &str)] = &[
+    (
+        "arith",
+        r#"
+        local a = 1 + 2 * 3
+        local b = (a - 4) / 2 % 3
+        local c = 2 ^ a
+        local d = -a
+        msg = "a=" .. a .. " nil? " .. (a == nil)
+        "#,
+    ),
+    (
+        "control",
+        r#"
+        local n = 10
+        local acc = 0
+        for i = 1, n do
+            if i % 2 == 0 then
+                acc = acc + i
+            elseif i > 7 then
+                break
+            end
+        end
+        while acc > 3 do
+            acc = acc - 1
+        end
+        repeat
+            acc = acc + 2
+        until acc >= 5
+        "#,
+    ),
+    (
+        "closures",
+        r#"
+        function counter(start)
+            local n = start
+            return function()
+                n = n + 1
+                return n
+            end
+        end
+        local tick = counter(10)
+        tick()
+        "#,
+    ),
+    (
+        "tables",
+        r#"
+        local t = {1, 2, 3, mode = "up", nested = {a = 1}}
+        t.mode = "down"
+        t[4] = t[1] + t[2]
+        local k = "mo" .. "de"
+        t[k] = "dynamic"
+        for key, value in t do
+            print(key, value)
+        end
+        "#,
+    ),
+    (
+        "policy",
+        // Shaped like the Mantle balancer policy: host metrics come in as
+        // globals, `when`/`balance` read and decide.
+        r#"
+        function when()
+            return mds[whoami]["load"] > avg * 1.5
+        end
+        function balance()
+            local t = {}
+            for i = 0, total - 1 do
+                if i ~= whoami then
+                    t[i + 1] = (mds[whoami]["load"] - avg) / (total - 1)
+                else
+                    t[i + 1] = 0
+                end
+            end
+            targets = t
+            return 0
+        end
+        "#,
+    ),
+];
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(format!("{name}.disasm"))
+}
+
+#[test]
+fn disassembly_matches_golden_files() {
+    let bless = std::env::var_os("BLESS_DISASM").is_some();
+    let mut mismatches = Vec::new();
+    for (name, source) in CORPUS {
+        let script = Script::compile(source).expect(name);
+        let chunk = compile::compile(&script).expect(name);
+        let got = chunk.disassemble();
+        let path = golden_path(name);
+        if bless {
+            std::fs::write(&path, &got).expect(name);
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("{name}: missing golden file {path:?} ({e}); run with BLESS_DISASM=1 to create")
+        });
+        if got != want {
+            mismatches.push(format!(
+                "--- {name}: disassembly drifted from {path:?} ---\nexpected:\n{want}\nactual:\n{got}"
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{}\n(if the codegen change is intentional, re-bless with BLESS_DISASM=1)",
+        mismatches.join("\n")
+    );
+}
+
+/// The disassembler itself must be deterministic run-to-run (pools are
+/// ordered, no hashing leaks into the listing).
+#[test]
+fn disassembly_is_deterministic() {
+    for (name, source) in CORPUS {
+        let script = Script::compile(source).expect(name);
+        let a = compile::compile(&script).expect(name).disassemble();
+        let b = compile::compile(&script).expect(name).disassemble();
+        assert_eq!(a, b, "{name}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Sandbox equivalence: instruction budgets and call-depth limits must
+//! trip in both engines, with the same error message, and a tripped VM
+//! must be left in a usable (non-poisoned) state.
+//!
+//! The two engines meter differently — the interpreter ticks per AST
+//! node, the VM per opcode — so the *point* of a trip inside a runaway
+//! program differs; what must be identical is that both trip, and what
+//! they report.
+
+use mala_dsl::{DslEngine, EngineKind, Interp, Sandbox, Script, Value, Vm};
+
+const BOTH: [EngineKind; 2] = [EngineKind::TreeWalk, EngineKind::Bytecode];
+
+fn tiny(steps: u64) -> Sandbox {
+    Sandbox {
+        max_steps: steps,
+        max_depth: 16,
+    }
+}
+
+#[test]
+fn infinite_loop_trips_budget_in_both_engines() {
+    let script = Script::compile("while true do x = 1 end").unwrap();
+    for kind in BOTH {
+        let mut eng = DslEngine::with_sandbox(kind, tiny(10_000));
+        let err = eng.load(&script).expect_err("must trip");
+        assert_eq!(err.message, "instruction budget exceeded", "{kind:?}");
+    }
+}
+
+#[test]
+fn infinite_numeric_for_trips_budget_in_both_engines() {
+    // A huge-but-finite numeric for: far more iterations than budget.
+    let script = Script::compile("for i = 1, 100000000 do y = i end").unwrap();
+    for kind in BOTH {
+        let mut eng = DslEngine::with_sandbox(kind, tiny(5_000));
+        let err = eng.load(&script).expect_err("must trip");
+        assert_eq!(err.message, "instruction budget exceeded", "{kind:?}");
+    }
+}
+
+#[test]
+fn deep_recursion_trips_depth_limit_in_both_engines() {
+    let script = Script::compile("function f(n) return f(n + 1) end").unwrap();
+    for kind in BOTH {
+        let mut eng = DslEngine::with_sandbox(kind, tiny(1_000_000));
+        eng.load(&script).unwrap();
+        let err = eng
+            .call("f", &[Value::from(0.0)], &mut ())
+            .expect_err("must trip");
+        assert_eq!(err.message, "call depth limit exceeded", "{kind:?}");
+    }
+}
+
+#[test]
+fn budget_resets_between_calls_in_both_engines() {
+    // Each call costs a few hundred ticks; with the budget reset per
+    // entry point, fifty calls must all succeed even though their sum is
+    // far beyond one budget.
+    let script = Script::compile(
+        "function work(n)\n  local s = 0\n  for i = 1, 40 do s = s + i end\n  return s + n\nend",
+    )
+    .unwrap();
+    for kind in BOTH {
+        let mut eng = DslEngine::with_sandbox(kind, tiny(1_000));
+        eng.load(&script).unwrap();
+        for i in 0..50 {
+            let out = eng
+                .call("work", &[Value::from(i as f64)], &mut ())
+                .unwrap_or_else(|e| panic!("{kind:?} call {i}: {e:?}"));
+            assert_eq!(out, Value::from(820.0 + i as f64));
+        }
+    }
+}
+
+#[test]
+fn tripped_vm_is_not_poisoned() {
+    // A budget trip mid-call must leave globals, output plumbing, and
+    // subsequent calls fully functional (the VM keeps its run-time stacks
+    // local to the dispatch loop, so an error cannot strand state).
+    let script = Script::compile(
+        r#"
+        done = 0
+        function spin()
+            print("entering spin")
+            while true do done = done + 1 end
+        end
+        function ok(a, b)
+            print("ok ran")
+            return a + b
+        end
+        "#,
+    )
+    .unwrap();
+    let mut vm = Vm::with_sandbox(tiny(20_000));
+    vm.load(&script).unwrap();
+    vm.take_output();
+
+    let err = vm.call("spin", &[], &mut ()).expect_err("must trip");
+    assert_eq!(err.message, "instruction budget exceeded");
+    // Output produced before the trip is still delivered.
+    assert_eq!(vm.take_output(), vec!["entering spin".to_string()]);
+    // The global mutated before the trip reflects the partial execution.
+    assert!(vm.global("done").as_num().unwrap_or(0.0) > 0.0);
+
+    // And the engine still works.
+    let out = vm
+        .call("ok", &[Value::from(2.0), Value::from(3.0)], &mut ())
+        .unwrap();
+    assert_eq!(out, Value::from(5.0));
+    assert_eq!(vm.take_output(), vec!["ok ran".to_string()]);
+}
+
+#[test]
+fn tripped_interp_matches_vm_recovery_behaviour() {
+    // Parity check for the recovery path itself: after an equivalent trip
+    // the interpreter also services later calls.
+    let script =
+        Script::compile("function spin() while true do end end function ok() return 7 end")
+            .unwrap();
+    let mut interp = Interp::with_sandbox(tiny(10_000));
+    interp.load(&script).unwrap();
+    let ei = interp.call("spin", &[], &mut ()).expect_err("trip");
+    let oi = interp.call("ok", &[], &mut ()).unwrap();
+
+    let mut vm = Vm::with_sandbox(tiny(10_000));
+    vm.load(&script).unwrap();
+    let ev = vm.call("spin", &[], &mut ()).expect_err("trip");
+    let ov = vm.call("ok", &[], &mut ()).unwrap();
+
+    assert_eq!(ei.message, "instruction budget exceeded");
+    assert_eq!(ei.message, ev.message);
+    assert_eq!(oi, Value::from(7.0));
+    assert_eq!(oi, ov);
+}
+
+#[test]
+fn depth_trip_then_shallow_call_succeeds() {
+    let script = Script::compile(
+        r#"
+        function down(n)
+            if n <= 0 then return 0 end
+            return down(n - 1) + 1
+        end
+        "#,
+    )
+    .unwrap();
+    for kind in BOTH {
+        let mut eng = DslEngine::with_sandbox(kind, tiny(1_000_000));
+        eng.load(&script).unwrap();
+        // 100 nested calls exceeds max_depth=16.
+        let err = eng
+            .call("down", &[Value::from(100.0)], &mut ())
+            .expect_err("must trip");
+        assert_eq!(err.message, "call depth limit exceeded", "{kind:?}");
+        // A shallow call right after succeeds: depth accounting unwound.
+        let out = eng.call("down", &[Value::from(5.0)], &mut ()).unwrap();
+        assert_eq!(out, Value::from(5.0), "{kind:?}");
+    }
+}

@@ -43,7 +43,7 @@
 
 pub mod policies;
 
-use mala_dsl::{Interp, Script, Table, Value};
+use mala_dsl::{DslEngine, EngineKind, Script, Table, Value};
 use mala_mds::balancer::{BalanceView, Balancer, Export};
 use mala_mds::{FileType, ServeStyle};
 
@@ -55,7 +55,8 @@ pub const MANTLE_POLICY_KEY: &str = "balancer";
 
 /// The Mantle balancer: evaluates an installed Cephalo policy each tick.
 pub struct MantleBalancer {
-    interp: Option<Interp>,
+    engine: Option<DslEngine>,
+    engine_kind: EngineKind,
     version: u64,
     log: Vec<String>,
     /// Policy installed directly at construction (tests / static setups);
@@ -65,9 +66,17 @@ pub struct MantleBalancer {
 
 impl MantleBalancer {
     /// A balancer with no policy yet (it waits for the `mantle` map).
+    /// Policies run on the bytecode VM; see [`MantleBalancer::with_engine`]
+    /// to select the reference tree-walker instead.
     pub fn new() -> MantleBalancer {
+        MantleBalancer::with_engine(EngineKind::default())
+    }
+
+    /// A balancer whose policies run on the given engine.
+    pub fn with_engine(kind: EngineKind) -> MantleBalancer {
         MantleBalancer {
-            interp: None,
+            engine: None,
+            engine_kind: kind,
             version: 0,
             log: Vec::new(),
             bootstrap: None,
@@ -80,10 +89,24 @@ impl MantleBalancer {
     ///
     /// Panics if the bootstrap policy does not compile — a harness bug.
     pub fn with_policy(source: &str) -> MantleBalancer {
-        let mut b = MantleBalancer::new();
+        MantleBalancer::with_policy_engine(source, EngineKind::default())
+    }
+
+    /// [`MantleBalancer::with_policy`] on an explicit engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bootstrap policy does not compile — a harness bug.
+    pub fn with_policy_engine(source: &str, kind: EngineKind) -> MantleBalancer {
+        let mut b = MantleBalancer::with_engine(kind);
         b.install(source, 0).expect("bootstrap policy must compile");
         b.bootstrap = Some(source.to_string());
         b
+    }
+
+    /// Which engine evaluates policies.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine_kind
     }
 
     /// The installed policy version.
@@ -93,21 +116,21 @@ impl MantleBalancer {
 
     fn install(&mut self, source: &str, version: u64) -> Result<(), String> {
         let script = Script::compile(source).map_err(|e| e.to_string())?;
-        let mut interp = Interp::new();
-        interp.load(&script).map_err(|e| e.to_string())?;
-        if !interp.has_function("when") || !interp.has_function("balance") {
+        let mut engine = DslEngine::new(self.engine_kind);
+        engine.load(&script).map_err(|e| e.to_string())?;
+        if !engine.has_function("when") || !engine.has_function("balance") {
             return Err("policy must define when() and balance()".to_string());
         }
         // Persistent state table surviving across ticks (but not across
         // policy versions, as in Mantle).
-        interp.set_global("state", Value::table());
-        self.interp = Some(interp);
+        engine.set_global("state", Value::table());
+        self.engine = Some(engine);
         self.version = version;
         self.log.push(format!("mantle: policy v{version} loaded"));
         Ok(())
     }
 
-    fn build_globals(interp: &mut Interp, view: &BalanceView) {
+    fn build_globals(engine: &mut DslEngine, view: &BalanceView) {
         let mut mds = Table::new();
         let mut total = 0.0;
         for sample in &view.loads {
@@ -126,13 +149,13 @@ impl MantleBalancer {
             .map(|i| i + 1)
             .unwrap_or(1);
         let n = view.loads.len().max(1) as f64;
-        interp.set_global("mds", Value::from_table(mds));
-        interp.set_global("whoami", Value::from(whoami as f64));
-        interp.set_global("total", Value::from(total));
-        interp.set_global("avg", Value::from(total / n));
-        interp.set_global("targets", Value::table());
-        interp.set_global("mode", Value::Nil);
-        interp.set_global("only_type", Value::Nil);
+        engine.set_global("mds", Value::from_table(mds));
+        engine.set_global("whoami", Value::from(whoami as f64));
+        engine.set_global("total", Value::from(total));
+        engine.set_global("avg", Value::from(total / n));
+        engine.set_global("targets", Value::table());
+        engine.set_global("mode", Value::Nil);
+        engine.set_global("only_type", Value::Nil);
     }
 
     /// Maps the policy's `targets` load amounts onto concrete inodes.
@@ -204,31 +227,31 @@ impl Balancer for MantleBalancer {
     }
 
     fn decide(&mut self, view: &BalanceView) -> Vec<Export> {
-        let Some(mut interp) = self.interp.take() else {
+        let Some(mut engine) = self.engine.take() else {
             return Vec::new();
         };
-        Self::build_globals(&mut interp, view);
+        Self::build_globals(&mut engine, view);
         let exports = (|| {
-            let go = interp
+            let go = engine
                 .call("when", &[], &mut ())
                 .map_err(|e| format!("when(): {e}"))?;
             if !go.truthy() {
                 return Ok(Vec::new());
             }
-            interp
+            engine
                 .call("balance", &[], &mut ())
                 .map_err(|e| format!("balance(): {e}"))?;
-            let style = match interp.global("mode").as_str() {
+            let style = match engine.global("mode").as_str() {
                 Some("proxy") => ServeStyle::Proxy,
                 _ => ServeStyle::Direct,
             };
-            let only_type = match interp.global("only_type").as_str() {
+            let only_type = match engine.global("only_type").as_str() {
                 Some("sequencer") => Some(FileType::Sequencer),
                 Some("dir") => Some(FileType::Dir),
                 Some("regular") => Some(FileType::Regular),
                 _ => None,
             };
-            let targets = interp.global("targets");
+            let targets = engine.global("targets");
             let exports = match targets.as_table() {
                 Some(t) => {
                     let t = t.borrow().clone();
@@ -239,10 +262,10 @@ impl Balancer for MantleBalancer {
             Ok::<_, String>(exports)
         })();
         // Policy print()/log() output feeds the central log.
-        for line in interp.take_output() {
+        for line in engine.take_output() {
             self.log.push(format!("mantle v{}: {line}", self.version));
         }
-        self.interp = Some(interp);
+        self.engine = Some(engine);
         match exports {
             Ok(exports) => exports,
             Err(e) => {
@@ -254,7 +277,7 @@ impl Balancer for MantleBalancer {
     }
 
     fn install_policy(&mut self, source: &str, version: u64) -> Result<(), String> {
-        if version <= self.version && self.interp.is_some() {
+        if version <= self.version && self.engine.is_some() {
             return Ok(()); // stale or duplicate install
         }
         match self.install(source, version) {
@@ -451,6 +474,44 @@ mod tests {
             log.iter().any(|l| l.contains("deciding on rank")),
             "{log:?}"
         );
+    }
+
+    #[test]
+    fn default_engine_is_bytecode_vm() {
+        assert_eq!(MantleBalancer::new().engine_kind(), EngineKind::Bytecode);
+    }
+
+    #[test]
+    fn both_engines_reach_the_same_decision() {
+        // The paper's migration-unit policy, plus state and print, run on
+        // the tree-walker and the VM: identical exports and log output.
+        let policy = r#"
+            function when()
+                if state.tick == nil then state.tick = 0 end
+                state.tick = state.tick + 1
+                print("tick", state.tick)
+                return mds[whoami]["load"] > avg * 1.1
+            end
+            function balance()
+                mode = "proxy"
+                targets[whoami + 1] = mds[whoami]["load"] / 2
+            end
+        "#;
+        let v = view(
+            0,
+            vec![(0, 300.0, 0.0), (1, 0.0, 0.0)],
+            vec![(10, 150.0), (11, 150.0)],
+        );
+        let mut tree = MantleBalancer::with_policy_engine(policy, EngineKind::TreeWalk);
+        let mut vmb = MantleBalancer::with_policy_engine(policy, EngineKind::Bytecode);
+        for _ in 0..3 {
+            let et = tree.decide(&v);
+            let ev = vmb.decide(&v);
+            assert_eq!(et, ev);
+            assert!(!et.is_empty());
+            assert!(et.iter().all(|e| e.style == ServeStyle::Proxy));
+            assert_eq!(tree.take_log(), vmb.take_log());
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use mala_dsl::{Interp, RtError, Script, Value};
+use mala_dsl::{DslEngine, EngineKind, RtError, Script, Value};
 
 use crate::object::Object;
 
@@ -99,23 +99,37 @@ type NativeMethod = Rc<dyn Fn(&mut ObjCtx<'_>, &[u8]) -> Result<Vec<u8>, ClassEr
 struct ScriptedClass {
     version: u64,
     script: Script,
-    /// Cached interpreter with the script loaded; rebuilt on reinstall.
-    interp: RefCell<Interp>,
+    /// Cached engine with the script loaded; rebuilt on reinstall.
+    engine: RefCell<DslEngine>,
 }
 
 /// The per-OSD registry of object classes.
 pub struct ClassRegistry {
     native: HashMap<(String, String), (MethodKind, NativeMethod)>,
     scripted: HashMap<String, ScriptedClass>,
+    /// Engine used for scripted classes (bytecode VM by default; the
+    /// tree-walker remains selectable as the reference implementation).
+    engine_kind: EngineKind,
 }
 
 impl ClassRegistry {
     /// An empty registry (no classes).
     pub fn new() -> ClassRegistry {
+        ClassRegistry::with_engine(EngineKind::default())
+    }
+
+    /// An empty registry whose scripted classes run on `kind`.
+    pub fn with_engine(kind: EngineKind) -> ClassRegistry {
         ClassRegistry {
             native: HashMap::new(),
             scripted: HashMap::new(),
+            engine_kind: kind,
         }
+    }
+
+    /// Which engine executes scripted classes.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine_kind
     }
 
     /// A registry pre-loaded with the built-in native classes.
@@ -158,11 +172,11 @@ impl ClassRegistry {
         }
         let script = Script::compile(source)
             .map_err(|e| ClassError::invalid(format!("compile error: {e}")))?;
-        let mut interp = Interp::new();
-        install_object_natives(&mut interp);
+        let mut engine = DslEngine::new(self.engine_kind);
+        install_object_natives(&mut engine);
         // Run the top level once (declares the method functions).
         let mut probe = ObjHost { obj: None };
-        interp
+        engine
             .load_with(&script, &mut probe)
             .map_err(|e| ClassError::invalid(format!("load error: {e}")))?;
         self.scripted.insert(
@@ -170,7 +184,7 @@ impl ClassRegistry {
             ScriptedClass {
                 version,
                 script,
-                interp: RefCell::new(interp),
+                engine: RefCell::new(engine),
             },
         );
         Ok(())
@@ -192,13 +206,13 @@ impl ClassRegistry {
             return Some(*kind);
         }
         let cls = self.scripted.get(class)?;
-        let interp = cls.interp.borrow();
-        if !interp.has_function(method) {
+        let engine = cls.engine.borrow();
+        if !engine.has_function(method) {
             return None;
         }
         // Scripted classes may declare read-only methods in a
         // `__readonly = {\"m1\", ...}` global; default is read-write.
-        if let Value::Table(t) = interp.global("__readonly") {
+        if let Value::Table(t) = engine.global("__readonly") {
             let ro = t
                 .borrow()
                 .array()
@@ -230,8 +244,8 @@ impl ClassRegistry {
         let Some(cls) = self.scripted.get(class) else {
             return Err(crate::ops::OsdError::NoClass(format!("{class}.{method}")));
         };
-        let mut interp = cls.interp.borrow_mut();
-        if !interp.has_function(method) {
+        let mut engine = cls.engine.borrow_mut();
+        if !engine.has_function(method) {
             return Err(crate::ops::OsdError::NoClass(format!("{class}.{method}")));
         }
         // The host must be `'static` to travel as `&mut dyn Any`, so it
@@ -240,7 +254,7 @@ impl ClassRegistry {
         // on error).
         let mut host = ObjHost { obj: slot.take() };
         let arg = Value::str(String::from_utf8_lossy(input));
-        let out = interp.call(method, &[arg], &mut host);
+        let out = engine.call(method, &[arg], &mut host);
         *slot = host.obj;
         let out = out.map_err(|e| crate::ops::OsdError::Class(rt_to_class(e)))?;
         let bytes = match out {
@@ -264,13 +278,13 @@ impl ClassRegistry {
         let Some(cls) = self.scripted.get_mut(class) else {
             return Err(ClassError::invalid(format!("no such class {class}")));
         };
-        let mut interp = Interp::new();
-        install_object_natives(&mut interp);
+        let mut engine = DslEngine::new(self.engine_kind);
+        install_object_natives(&mut engine);
         let mut probe = ObjHost { obj: None };
-        interp
+        engine
             .load_with(&cls.script, &mut probe)
             .map_err(|e| ClassError::invalid(format!("load error: {e}")))?;
-        cls.interp = RefCell::new(interp);
+        cls.engine = RefCell::new(engine);
         Ok(())
     }
 }
@@ -308,7 +322,7 @@ struct ObjHost {
 }
 
 /// Registers the object-access natives scripted classes use.
-fn install_object_natives(interp: &mut Interp) {
+fn install_object_natives(interp: &mut DslEngine) {
     macro_rules! with_host {
         ($ctx:expr, $h:ident, $body:expr) => {{
             let $h = $ctx
@@ -637,6 +651,40 @@ mod tests {
             reg.call("nope", "m", &mut slot, b""),
             Err(crate::ops::OsdError::NoClass(_))
         ));
+    }
+
+    #[test]
+    fn scripted_classes_default_to_bytecode_vm() {
+        assert_eq!(ClassRegistry::new().engine_kind(), EngineKind::Bytecode);
+    }
+
+    #[test]
+    fn both_engines_run_scripted_classes_identically() {
+        for kind in [EngineKind::TreeWalk, EngineKind::Bytecode] {
+            let mut reg = ClassRegistry::with_engine(kind);
+            reg.install_scripted("counter", COUNTER_CLS, 1).unwrap();
+            assert_eq!(
+                reg.method_kind("counter", "get"),
+                Some(MethodKind::ReadOnly),
+                "{kind:?}"
+            );
+            let mut slot = None;
+            assert_eq!(
+                reg.call("counter", "incr", &mut slot, b"5").unwrap(),
+                b"5",
+                "{kind:?}"
+            );
+            assert_eq!(
+                reg.call("counter", "incr", &mut slot, b"3").unwrap(),
+                b"8",
+                "{kind:?}"
+            );
+            assert_eq!(
+                reg.call("counter", "get", &mut slot, b"").unwrap(),
+                b"8",
+                "{kind:?}"
+            );
+        }
     }
 
     #[test]
