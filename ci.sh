@@ -37,6 +37,12 @@ cargo test -q --test nemesis_invariants smoke_tailing_reader
 echo "==> read-path smoke (cursor catch-up + checkpointed KV recovery)"
 cargo test -q -p mala-zlog --test read_scale
 
+echo "==> scaleout smoke (16 logs x 3 ranks x 256 open-loop clients, fixed seed)"
+cargo test -q -p mala-bench --lib exp::scaleout
+
+echo "==> migration-routing smoke (sequencer exported mid-append-stream, WGL check)"
+cargo test -q -p mala-zlog --test migration_routing
+
 echo "==> dsl-diff smoke (fixed-seed interpreter/VM differential + disassembler snapshots)"
 cargo test -q -p mala-dsl --test differential fixed_seed_differential_smoke
 cargo test -q -p mala-dsl --test disasm_snapshots

@@ -1,0 +1,18 @@
+//! Multi-log scale-out sweep (open-loop fleet vs. ranks/logs/clients);
+//! writes `results/BENCH_scaleout.json` next to the rendered tables.
+
+use std::io::Write;
+
+fn main() {
+    let config = mala_bench::exp::scaleout::Config::default();
+    let data = mala_bench::exp::scaleout::run(&config);
+    print!("{}", mala_bench::exp::scaleout::render(&data));
+    let json = mala_bench::exp::scaleout::to_json(&data);
+    let path = std::path::Path::new("results/BENCH_scaleout.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    let mut f = std::fs::File::create(path).expect("create BENCH_scaleout.json");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("\nwrote {}", path.display());
+}

@@ -13,6 +13,7 @@
 //! experiment and print the rendering; `EXPERIMENTS.md` records
 //! paper-vs-measured values.
 
+pub mod openloop;
 pub mod report;
 pub mod workload;
 
@@ -30,6 +31,7 @@ pub mod exp {
     pub mod fig9;
     pub mod linearize;
     pub mod nemesis;
+    pub mod scaleout;
     pub mod tables;
     pub mod trace;
     pub mod zlog_pipeline;

@@ -79,7 +79,8 @@ impl Default for SeqBenchCfg {
 /// A tiny administrative client used for namespace setup.
 #[derive(Default)]
 pub struct AdminClient {
-    created: HashMap<u64, Result<Ino, mala_mds::types::MdsError>>,
+    /// `Created` replies by reqid (harnesses read inodes back out).
+    pub(crate) created: HashMap<u64, Result<Ino, mala_mds::types::MdsError>>,
 }
 
 impl Actor for AdminClient {

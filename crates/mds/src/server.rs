@@ -220,6 +220,12 @@ pub struct Mds {
 
     namespace: Namespace,
     routes: HashMap<Ino, Route>,
+    /// Cached "namespace is split" verdict (≥ 2 participating ranks).
+    /// The underlying scan is O(#sequencer inodes); at fleet scale
+    /// (thousands of logs) recomputing it per request made typeop
+    /// dispatch itself the cross-log bottleneck. Invalidated on every
+    /// route or namespace-shape change.
+    split_cache: Option<bool>,
     caps: HashMap<Ino, CapState>,
     frozen: HashSet<Ino>,
     /// Exports deferred until the holder releases its capability.
@@ -308,6 +314,7 @@ impl Mds {
             balancer,
             namespace: Namespace::new(),
             routes: HashMap::new(),
+            split_cache: None,
             caps: HashMap::new(),
             frozen: HashSet::new(),
             pending_exports: HashMap::new(),
@@ -431,8 +438,16 @@ impl Mds {
     /// split. Proxied finds are exempt: shielding the slave from the
     /// client-facing coherence work is exactly the benefit the paper
     /// ascribes to proxy mode.
-    fn split_surcharge(&self) -> SimDuration {
-        if self.participating_ranks().len() < 2 {
+    fn split_surcharge(&mut self) -> SimDuration {
+        let split = match self.split_cache {
+            Some(split) => split,
+            None => {
+                let split = self.participating_ranks().len() >= 2;
+                self.split_cache = Some(split);
+                split
+            }
+        };
+        if !split {
             return SimDuration::ZERO;
         }
         let mut extra = self.config.costs.coherence;
@@ -755,6 +770,7 @@ impl Mds {
 
     fn broadcast_route(&mut self, ctx: &mut Context<'_>, ino: Ino, route: Route) {
         self.routes.insert(ino, route);
+        self.split_cache = None;
         for (rank, entry) in self.mdsmap.ranks.clone() {
             if rank != self.rank && entry.up {
                 ctx.send(
@@ -1497,6 +1513,7 @@ impl Mds {
             } => {
                 let cost = self.config.costs.handle;
                 let delay = self.enqueue(ctx.now(), cost);
+                self.split_cache = None;
                 let result = self.namespace.resolve(&parent_path).and_then(|parent| {
                     let ino = self.namespace.create(parent, &name, ftype.clone())?;
                     self.journal(JournalEntry::Create {
@@ -1750,6 +1767,7 @@ impl Actor for Mds {
                         style,
                     } => {
                         self.routes.insert(ino, Route { auth, home, style });
+                        self.split_cache = None;
                         self.frozen.remove(&ino);
                     }
                     MdsPeer::NsReplicate { entry } => {
@@ -1761,6 +1779,7 @@ impl Actor for Mds {
                         }) = JournalEntry::decode(entry.trim_end())
                         {
                             let _ = self.namespace.apply_create(ino, parent, &name, ftype);
+                            self.split_cache = None;
                         }
                     }
                     MdsPeer::ProxyOp {
@@ -1816,6 +1835,7 @@ impl Actor for Mds {
                             }
                         };
                         self.namespace = replay.namespace;
+                        self.split_cache = None;
                         self.seq_layouts.extend(replay.layouts);
                         // Sequencers the journal knows about but has no
                         // layout for cannot be sealed here: their tails

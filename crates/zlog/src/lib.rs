@@ -22,6 +22,7 @@
 
 pub mod kv;
 pub mod log;
+pub mod route;
 pub mod sequencer;
 pub mod storage;
 
@@ -29,6 +30,7 @@ pub use kv::{decode_cmd, encode_cmd, KvCmd, KvStore};
 pub use log::{
     log_read_of, AppendResult, BatchConfig, ReadConfig, ReadOutcome, ZlogClient, ZlogConfig,
 };
+pub use route::SeqRouter;
 pub use sequencer::{SeqMode, SeqStats, SeqWorkload};
 pub use storage::{
     encode_checkpoint, encode_read_batch, encode_write_batch, zlog_interface_update, ZLOG_CLASS,

@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use mala_consensus::{MapUpdate, MonMsg, SERVICE_MAP_MDS};
 use mala_mds::types::{MdsError, MdsMsg};
-use mala_mds::{FileType, Ino, MdsMapView};
+use mala_mds::{FileType, Ino};
 use mala_rados::client::RETRY_TOKEN_BASE as RADOS_RETRY_TOKEN_BASE;
 use mala_rados::{ObjectId, Op, OpResult, OsdError, RadosClient};
 use mala_sim::history::Recorder;
@@ -21,6 +21,7 @@ use mala_sim::linearize::{LogOp, LogRead, LogRet};
 use mala_sim::{Actor, Context, NodeId, Sim, SimDuration, SimTime, SpanContext, TimerHandle};
 use rand::Rng;
 
+use crate::route::SeqRouter;
 use crate::storage::{
     decode_checkpoint, decode_read_batch, encode_checkpoint, encode_read_batch, encode_write_batch,
     ZLOG_CLASS,
@@ -345,9 +346,9 @@ pub struct ZlogClient {
     config: ZlogConfig,
     /// Current CORFU epoch for this log (from the `zlog` map).
     epoch: u64,
-    /// Live MDS map: failover moves a rank to another node, and requests
-    /// must follow it rather than the static config.
-    mdsmap: MdsMapView,
+    /// Placement-aware MDS routing: live mdsmap plus the cached
+    /// authoritative rank of the sequencer inode.
+    router: SeqRouter,
     seq_ino: Option<Ino>,
     ops: HashMap<u64, PendingOp>,
     results: HashMap<u64, AppendResult>,
@@ -361,6 +362,13 @@ pub struct ZlogClient {
     mon_waiting: HashMap<u64, u64>,
     /// Ops blocked until a newer epoch arrives.
     blocked_on_epoch: Vec<(u64, u64)>,
+    /// Ops whose MDS rank was unroutable (withheld send or a typed
+    /// `MdsUnavailable`); re-driven as soon as a fresh mdsmap is
+    /// adopted, mirroring the osdmap `retry_blocked` path — without
+    /// this they'd sit out the full watchdog backoff.
+    mds_blocked: Vec<u64>,
+    /// Batches in the same situation (grant round trips).
+    mds_blocked_batches: Vec<u64>,
     /// Pipelined append tuning.
     batch_cfg: BatchConfig,
     /// Ops in [`Stage::Queued`], awaiting a flush.
@@ -398,9 +406,9 @@ impl ZlogClient {
     pub fn new(config: ZlogConfig) -> ZlogClient {
         ZlogClient {
             rados: RadosClient::new(config.monitor),
+            router: SeqRouter::new(config.mds_nodes.clone(), config.home_rank),
             config,
             epoch: 0,
-            mdsmap: MdsMapView::default(),
             seq_ino: None,
             ops: HashMap::new(),
             results: HashMap::new(),
@@ -410,6 +418,8 @@ impl ZlogClient {
             mds_waiting: HashMap::new(),
             mon_waiting: HashMap::new(),
             blocked_on_epoch: Vec::new(),
+            mds_blocked: Vec::new(),
+            mds_blocked_batches: Vec::new(),
             batch_cfg: BatchConfig::default(),
             append_queue: Vec::new(),
             flush_timer: None,
@@ -460,6 +470,11 @@ impl ZlogClient {
     /// The sequencer inode, once resolved.
     pub fn seq_ino(&self) -> Option<Ino> {
         self.seq_ino
+    }
+
+    /// The routing state (placement cache + cached mdsmap view).
+    pub fn router(&self) -> &SeqRouter {
+        &self.router
     }
 
     /// Takes a completed result.
@@ -768,30 +783,69 @@ impl ZlogClient {
 
     // ---- plumbing ----
 
-    fn home_node(&self) -> Option<NodeId> {
-        // Prefer the live map: after a failover the rank lives on the
-        // promoted standby's node. Fall back to the static config until
-        // the first mdsmap snapshot arrives (a send to a dead node is
-        // simply dropped and the watchdog re-drives the op). A rank in
-        // neither map is the same situation as a vacant rank
-        // (`MdsUnavailable`): no panic, nobody to send to yet.
-        self.mdsmap
-            .node_of(self.config.home_rank)
-            .or_else(|| self.config.mds_nodes.get(&self.config.home_rank).copied())
-    }
-
-    /// Sends `msg` to the home rank's node if one is known. With the rank
-    /// unroutable the message is withheld — the watchdog re-drives the op
-    /// with backoff, exactly as for a typed `MdsUnavailable` reply.
-    fn send_home(&mut self, ctx: &mut Context<'_>, msg: MdsMsg) {
-        self.send_home_spanned(ctx, msg, None);
-    }
-
-    fn send_home_spanned(&mut self, ctx: &mut Context<'_>, msg: MdsMsg, span: Option<SpanContext>) {
-        match self.home_node() {
+    /// Sends `msg` to `rank`'s node if one is known (the live map wins
+    /// over the static config — after a failover the rank lives on the
+    /// promoted standby's node). With the rank unroutable the message
+    /// is withheld and the owning op/batch is parked on the mdsmap:
+    /// adoption of a fresh map re-drives it immediately, and the
+    /// watchdog backoff remains the backstop for lost maps.
+    fn send_mds(
+        &mut self,
+        ctx: &mut Context<'_>,
+        rank: u32,
+        msg: MdsMsg,
+        span: Option<SpanContext>,
+    ) {
+        match self.router.node_for_rank(rank) {
             Some(node) => ctx.send_spanned(node, msg, span),
-            None => ctx.metrics().incr("zlog.mds_unroutable", 1),
+            None => {
+                ctx.metrics().incr("zlog.mds_unroutable", 1);
+                self.park_on_mdsmap(&msg);
+            }
         }
+    }
+
+    /// Parks the op or batch owning a withheld message on the mdsmap
+    /// (see [`ZlogClient::retry_blocked_mds`]). Messages with no reply
+    /// routing (fire-and-forget `SetSeqLayout`) have nothing to park.
+    fn park_on_mdsmap(&mut self, msg: &MdsMsg) {
+        let reqid = match msg {
+            MdsMsg::Resolve { reqid, .. }
+            | MdsMsg::Create { reqid, .. }
+            | MdsMsg::TypeOp { reqid, .. } => *reqid,
+            _ => return,
+        };
+        if let Some(&op) = self.mds_waiting.get(&reqid) {
+            if !self.mds_blocked.contains(&op) {
+                self.mds_blocked.push(op);
+            }
+        } else if let Some(&id) = self.mds_batch_waiting.get(&reqid) {
+            if !self.mds_blocked_batches.contains(&id) {
+                self.mds_blocked_batches.push(id);
+            }
+        }
+    }
+
+    /// Sends a namespace op (resolve/create) to the home rank, which
+    /// owns the directory tree.
+    fn send_home(&mut self, ctx: &mut Context<'_>, msg: MdsMsg) {
+        self.send_mds(ctx, self.router.home_rank(), msg, None);
+    }
+
+    /// Sends sequencer traffic for `ino` to its cached authoritative
+    /// rank (home until a placement is learned).
+    fn send_seq(&mut self, ctx: &mut Context<'_>, ino: Ino, msg: MdsMsg) {
+        self.send_seq_spanned(ctx, ino, msg, None);
+    }
+
+    fn send_seq_spanned(
+        &mut self,
+        ctx: &mut Context<'_>,
+        ino: Ino,
+        msg: MdsMsg,
+        span: Option<SpanContext>,
+    ) {
+        self.send_mds(ctx, self.router.rank_of(ino), msg, span);
     }
 
     /// Re-drives `op` after a transient typed MDS error (frozen inode,
@@ -804,6 +858,33 @@ impl ZlogClient {
         self.arm_watchdog(ctx, op);
     }
 
+    /// Typed transient MDS error. `MdsUnavailable` additionally drops
+    /// every cached placement at the vacant rank (affected logs
+    /// re-resolve through home instead of hammering a dead address) and
+    /// parks the op on the mdsmap so adoption re-drives it at once; the
+    /// watchdog backoff stays armed as the backstop.
+    fn on_mds_transient(&mut self, ctx: &mut Context<'_>, op: u64, e: &MdsError) {
+        if let MdsError::MdsUnavailable { rank } = e {
+            self.router.invalidate_rank(*rank);
+            if !self.mds_blocked.contains(&op) {
+                self.mds_blocked.push(op);
+            }
+        }
+        self.retry_shortly(ctx, op);
+    }
+
+    /// `NotAuth { rank }` redirect (direct-mode migration): cache the
+    /// new placement and re-drive immediately. Going through
+    /// `restart_op` burns an attempt, which bounds the ping-pong when
+    /// two ranks disagree mid-migration.
+    fn on_redirect(&mut self, ctx: &mut Context<'_>, op: u64, rank: u32) {
+        ctx.metrics().incr("zlog.redirects", 1);
+        if let Some(ino) = self.seq_ino {
+            self.router.learn(ino, rank);
+        }
+        self.restart_op(ctx, op);
+    }
+
     /// Tells the authoritative MDS where this log's stripe objects live so
     /// a promoted standby can seal them before reissuing positions.
     /// Fire-and-forget and idempotent; re-sent on every resolve and on
@@ -811,8 +892,9 @@ impl ZlogClient {
     /// journal missed the `SeqLayout` entry before a crash) cannot leave
     /// the authority permanently layout-blind.
     fn register_layout(&mut self, ctx: &mut Context<'_>, ino: Ino) {
-        self.send_home(
+        self.send_seq(
             ctx,
+            ino,
             MdsMsg::SetSeqLayout {
                 ino,
                 pool: self.config.pool.clone(),
@@ -1021,8 +1103,9 @@ impl ZlogClient {
         // seal, and this is what lets it.
         self.register_layout(ctx, ino);
         let reqid = self.mds_reqid(op);
-        self.send_home(
+        self.send_seq(
             ctx,
+            ino,
             MdsMsg::TypeOp {
                 reqid,
                 ino,
@@ -1051,8 +1134,9 @@ impl ZlogClient {
         // trustworthy can never run.
         self.register_layout(ctx, ino);
         let reqid = self.mds_reqid(op);
-        self.send_home(
+        self.send_seq(
             ctx,
+            ino,
             MdsMsg::TypeOp {
                 reqid,
                 ino,
@@ -1532,14 +1616,29 @@ impl ZlogClient {
         }
     }
 
+    /// Re-drives every op/batch parked on an unroutable MDS rank. Runs
+    /// on mdsmap adoption (mirroring the osdmap `retry_blocked` path):
+    /// the map change is progress, so no attempt is burned — without
+    /// this, an op withheld because its rank was unroutable would sit
+    /// out the full watchdog backoff after the fresh map arrived.
+    fn retry_blocked_mds(&mut self, ctx: &mut Context<'_>) {
+        let blocked = std::mem::take(&mut self.mds_blocked);
+        for op in blocked {
+            if self.ops.contains_key(&op) {
+                ctx.metrics().incr("zlog.mdsmap_redrives", 1);
+                self.redrive_op(ctx, op);
+            }
+        }
+        let batches = std::mem::take(&mut self.mds_blocked_batches);
+        for id in batches {
+            if self.batches.contains_key(&id) {
+                ctx.metrics().incr("zlog.mdsmap_redrives", 1);
+                self.drive_batch_grant(ctx, id);
+            }
+        }
+    }
+
     fn restart_op(&mut self, ctx: &mut Context<'_>, op: u64) {
-        // Drop any stale epoch-block entry and abandon outstanding
-        // requests from earlier attempts: their late replies must not be
-        // routed into the fresh attempt's state machine.
-        self.blocked_on_epoch.retain(|(o, _)| *o != op);
-        self.rados_waiting.retain(|_, o| *o != op);
-        self.mds_waiting.retain(|_, o| *o != op);
-        self.mon_waiting.retain(|_, o| *o != op);
         let Some(pending) = self.ops.get_mut(&op) else {
             return;
         };
@@ -1549,6 +1648,24 @@ impl ZlogClient {
             return;
         }
         ctx.metrics().incr("zlog.retries", 1);
+        self.redrive_op(ctx, op);
+    }
+
+    /// Re-dispatches `op` from its current stage without touching the
+    /// attempt budget (the caller decides whether the re-drive is a
+    /// retry or externally-driven progress, e.g. a fresh mdsmap).
+    fn redrive_op(&mut self, ctx: &mut Context<'_>, op: u64) {
+        // Drop any stale epoch-block entry and abandon outstanding
+        // requests from earlier attempts: their late replies must not be
+        // routed into the fresh attempt's state machine.
+        self.blocked_on_epoch.retain(|(o, _)| *o != op);
+        self.mds_blocked.retain(|o| *o != op);
+        self.rados_waiting.retain(|_, o| *o != op);
+        self.mds_waiting.retain(|_, o| *o != op);
+        self.mon_waiting.retain(|_, o| *o != op);
+        let Some(pending) = self.ops.get_mut(&op) else {
+            return;
+        };
         if matches!(pending.stage, Stage::Queued | Stage::InBatch) {
             // Batched appends are re-driven by the flush/batch machinery,
             // never through the single-op path (a stray restart here
@@ -1927,7 +2044,7 @@ impl ZlogClient {
                         },
                     );
                 }
-                Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
+                Err(e) if e.is_retryable() => self.on_mds_transient(ctx, op, &e),
                 Err(e) => self.fail(ctx, op, format!("mkdir /zlog failed: {e}")),
             },
             (Stage::SetupSeq, MdsMsg::Created { result, .. }) => match result {
@@ -1942,12 +2059,15 @@ impl ZlogClient {
                     let path = format!("/zlog/{}", self.config.name);
                     self.send_home(ctx, MdsMsg::Resolve { reqid, path });
                 }
-                Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
+                Err(e) if e.is_retryable() => self.on_mds_transient(ctx, op, &e),
                 Err(e) => self.fail(ctx, op, format!("create sequencer failed: {e}")),
             },
             (Stage::ResolveSeq, MdsMsg::Resolved { result, .. }) => match result {
-                Ok((ino, _rank)) => {
+                Ok((ino, rank)) => {
                     self.seq_ino = Some(ino);
+                    // The resolve carries the authoritative rank: route
+                    // sequencer traffic straight there.
+                    self.router.learn(ino, rank);
                     let kind = pending.kind.clone();
                     self.register_layout(ctx, ino);
                     match kind {
@@ -1959,7 +2079,7 @@ impl ZlogClient {
                         _ => {}
                     }
                 }
-                Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
+                Err(e) if e.is_retryable() => self.on_mds_transient(ctx, op, &e),
                 Err(e) => self.fail(ctx, op, format!("sequencer resolve failed: {e}")),
             },
             (Stage::GetPos, MdsMsg::TypeOpReply { result, .. }) => match result {
@@ -1973,12 +2093,14 @@ impl ZlogClient {
                     let payload = String::from_utf8_lossy(&data).into_owned();
                     self.call_class(ctx, op, oid, "write", format!("{epoch}|{pos}|{payload}"));
                 }
-                Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
+                Err(MdsError::NotAuth { rank }) => self.on_redirect(ctx, op, rank),
+                Err(e) if e.is_retryable() => self.on_mds_transient(ctx, op, &e),
                 Err(e) => self.fail(ctx, op, format!("sequencer next failed: {e}")),
             },
             (Stage::Tail, MdsMsg::TypeOpReply { result, .. }) => match result {
                 Ok(tail) => self.finish(ctx, op, AppendResult::Ok(ZlogOut::Tail(tail))),
-                Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
+                Err(MdsError::NotAuth { rank }) => self.on_redirect(ctx, op, rank),
+                Err(e) if e.is_retryable() => self.on_mds_transient(ctx, op, &e),
                 Err(e) => self.fail(ctx, op, format!("tail read failed: {e}")),
             },
             (Stage::RecoverAdvance { new_epoch, tail }, MdsMsg::TypeOpReply { result, .. }) => {
@@ -1992,7 +2114,26 @@ impl ZlogClient {
                             tail,
                         }),
                     ),
-                    Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
+                    Err(MdsError::NotAuth { rank }) => {
+                        // Don't replay the whole recovery for a stale
+                        // route: follow the redirect and re-send the
+                        // idempotent tail write-back.
+                        ctx.metrics().incr("zlog.redirects", 1);
+                        if let Some(ino) = self.seq_ino {
+                            self.router.learn(ino, rank);
+                            let reqid = self.mds_reqid(op);
+                            self.send_seq(
+                                ctx,
+                                ino,
+                                MdsMsg::TypeOp {
+                                    reqid,
+                                    ino,
+                                    op: format!("advance_to:{tail}"),
+                                },
+                            );
+                        }
+                    }
+                    Err(e) if e.is_retryable() => self.on_mds_transient(ctx, op, &e),
                     Err(e) => self.fail(ctx, op, format!("sequencer restart failed: {e}")),
                 }
             }
@@ -2000,11 +2141,13 @@ impl ZlogClient {
                 let (new_epoch, tail) = (*new_epoch, *tail);
                 let _ = new_epoch;
                 match result {
-                    Ok((ino, _)) => {
+                    Ok((ino, rank)) => {
                         self.seq_ino = Some(ino);
+                        self.router.learn(ino, rank);
                         let reqid = self.mds_reqid(op);
-                        self.send_home(
+                        self.send_seq(
                             ctx,
+                            ino,
                             MdsMsg::TypeOp {
                                 reqid,
                                 ino,
@@ -2012,7 +2155,7 @@ impl ZlogClient {
                             },
                         );
                     }
-                    Err(e) if e.is_retryable() => self.retry_shortly(ctx, op),
+                    Err(e) if e.is_retryable() => self.on_mds_transient(ctx, op, &e),
                     Err(e) => self.fail(ctx, op, format!("resolve during recovery failed: {e}")),
                 }
             }
@@ -2110,14 +2253,21 @@ impl ZlogClient {
         let reqid = self.next_seq;
         self.next_seq += 1;
         self.mds_batch_waiting.insert(reqid, id);
-        let msg = match self.seq_ino {
-            Some(ino) => MdsMsg::get_pos_batch(reqid, ino, n),
-            None => MdsMsg::Resolve {
-                reqid,
-                path: format!("/zlog/{}", self.config.name),
-            },
-        };
-        self.send_home_spanned(ctx, msg, Some(span));
+        match self.seq_ino {
+            // Grants go to the sequencer's cached authoritative rank;
+            // the resolve that discovers it goes to home.
+            Some(ino) => {
+                self.send_seq_spanned(ctx, ino, MdsMsg::get_pos_batch(reqid, ino, n), Some(span))
+            }
+            None => {
+                let msg = MdsMsg::Resolve {
+                    reqid,
+                    path: format!("/zlog/{}", self.config.name),
+                };
+                let home = self.router.home_rank();
+                self.send_mds(ctx, home, msg, Some(span));
+            }
+        }
         self.arm_batch_watchdog(ctx, id);
     }
 
@@ -2158,6 +2308,36 @@ impl ZlogClient {
         self.arm_batch_watchdog(ctx, id);
     }
 
+    /// Batch-side twin of [`ZlogClient::on_mds_transient`].
+    fn on_batch_transient(&mut self, ctx: &mut Context<'_>, id: u64, e: &MdsError) {
+        if let MdsError::MdsUnavailable { rank } = e {
+            self.router.invalidate_rank(*rank);
+            if !self.mds_blocked_batches.contains(&id) {
+                self.mds_blocked_batches.push(id);
+            }
+        }
+        self.batch_retry(ctx, id);
+    }
+
+    /// Batch-side twin of [`ZlogClient::on_redirect`]: cache the new
+    /// placement and re-send the grant immediately (one attempt burned
+    /// bounds migration ping-pong).
+    fn on_batch_redirect(&mut self, ctx: &mut Context<'_>, id: u64, rank: u32) {
+        ctx.metrics().incr("zlog.redirects", 1);
+        if let Some(ino) = self.seq_ino {
+            self.router.learn(ino, rank);
+        }
+        let Some(batch) = self.batches.get_mut(&id) else {
+            return;
+        };
+        batch.attempts += 1;
+        if batch.attempts > self.max_attempts {
+            self.fail_batch(ctx, id, "bulk grant: too many retries");
+            return;
+        }
+        self.drive_batch_grant(ctx, id);
+    }
+
     fn fail_batch(&mut self, ctx: &mut Context<'_>, id: u64, msg: impl Into<String>) {
         let msg = msg.into();
         if let Some(batch) = self.batches.get(&id) {
@@ -2176,6 +2356,7 @@ impl ZlogClient {
                 ctx.cancel_timer(timer);
             }
         }
+        self.mds_blocked_batches.retain(|b| *b != id);
         self.mds_batch_waiting.retain(|_, b| *b != id);
         let stale: Vec<u64> = self
             .rados_batch_waiting
@@ -2198,17 +2379,19 @@ impl ZlogClient {
         }
         match msg {
             MdsMsg::Resolved { result, .. } => match result {
-                Ok((ino, _rank)) => {
+                Ok((ino, rank)) => {
                     self.seq_ino = Some(ino);
+                    self.router.learn(ino, rank);
                     self.register_layout(ctx, ino);
                     self.drive_batch_grant(ctx, id);
                 }
-                Err(e) if e.is_retryable() => self.batch_retry(ctx, id),
+                Err(e) if e.is_retryable() => self.on_batch_transient(ctx, id, &e),
                 Err(e) => self.fail_batch(ctx, id, format!("sequencer resolve failed: {e}")),
             },
             MdsMsg::TypeOpReply { result, .. } => match result {
                 Ok(base) => self.launch_batch_writes(ctx, id, base),
-                Err(e) if e.is_retryable() => self.batch_retry(ctx, id),
+                Err(MdsError::NotAuth { rank }) => self.on_batch_redirect(ctx, id, rank),
+                Err(e) if e.is_retryable() => self.on_batch_transient(ctx, id, &e),
                 Err(e) => self.fail_batch(ctx, id, format!("bulk grant failed: {e}")),
             },
             _ => {}
@@ -2499,19 +2682,34 @@ impl Actor for ZlogClient {
                         return;
                     }
                     MonMsg::Snapshot(snap) if snap.map == SERVICE_MAP_MDS => {
-                        if snap.epoch > self.mdsmap.epoch {
-                            self.mdsmap = MdsMapView::from_snapshot(snap);
+                        // Newer epochs win; a same-epoch snapshot is
+                        // adopted when the local view is empty (see
+                        // `SeqRouter::adopt_snapshot`). A fresh map is
+                        // progress: re-drive ops parked on an
+                        // unroutable rank right away instead of letting
+                        // them sit out the watchdog backoff.
+                        if self.router.adopt_snapshot(snap) {
+                            self.retry_blocked_mds(ctx);
                         }
                         return;
                     }
-                    MonMsg::Changed { map, .. } if map == SERVICE_MAP_MDS => {
-                        // Re-fetch the full map (deltas may skip epochs).
-                        ctx.send(
-                            self.config.monitor,
-                            MonMsg::Get {
-                                map: SERVICE_MAP_MDS.to_string(),
-                            },
-                        );
+                    MonMsg::Changed { map, epoch, .. } if map == SERVICE_MAP_MDS => {
+                        // Re-fetch the full map (deltas may skip
+                        // epochs) — but only when the notification is
+                        // newer than the cached view. Unconditional
+                        // fetches meant N subscribed clients × one
+                        // balancer epoch bump = N full-map round trips.
+                        if self.router.needs_fetch(*epoch) {
+                            ctx.metrics().incr("zlog.mdsmap_refetches", 1);
+                            ctx.send(
+                                self.config.monitor,
+                                MonMsg::Get {
+                                    map: SERVICE_MAP_MDS.to_string(),
+                                },
+                            );
+                        } else {
+                            ctx.metrics().incr("zlog.mdsmap_refetch_skips", 1);
+                        }
                         return;
                     }
                     MonMsg::SubmitAck { seq, .. } => {
